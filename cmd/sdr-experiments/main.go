@@ -1,0 +1,53 @@
+// Command sdr-experiments regenerates the paper's evaluation figures
+// (§5). Each figure prints the same rows/series the paper plots;
+// EXPERIMENTS.md records paper-vs-measured.
+//
+// Usage:
+//
+//	sdr-experiments -fig 3a            # one figure
+//	sdr-experiments -fig all           # everything (slow)
+//	sdr-experiments -fig 9 -samples 5000 -seed 7
+//	sdr-experiments -fig 14 -duration 2.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdrrdma/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure ID ("+strings.Join(experiments.List(), ", ")+") or 'all'")
+	samples := flag.Int("samples", 1000, "stochastic model samples per point")
+	tailSamples := flag.Int("tail-samples", 10000, "samples for p99.9 points")
+	seed := flag.Int64("seed", 42, "deterministic RNG seed")
+	duration := flag.Float64("duration", 1.0, "seconds per functional throughput point")
+	flag.Parse()
+
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "usage: sdr-experiments -fig <id|all>")
+		fmt.Fprintln(os.Stderr, "figures:", strings.Join(experiments.List(), ", "))
+		os.Exit(2)
+	}
+	opts := experiments.Options{
+		Samples:     *samples,
+		TailSamples: *tailSamples,
+		Seed:        *seed,
+		DurationSec: *duration,
+	}
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = experiments.List()
+	}
+	for _, id := range ids {
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sdr-experiments: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+	}
+}

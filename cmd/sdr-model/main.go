@@ -1,0 +1,94 @@
+// Command sdr-model is the deployment explorer built on the paper's
+// completion-time framework (§4.2): given long-haul channel parameters
+// and a message size, it predicts the completion time of every
+// reliability scheme and recommends one — the "guided choice and
+// performance tuning" workflow of §1.
+//
+// Usage:
+//
+//	sdr-model -size 128MiB -bw 400 -dist 3750 -pdrop 1e-4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sdrrdma/internal/model"
+	"sdrrdma/internal/stats"
+	"sdrrdma/internal/wan"
+)
+
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	for _, suffix := range []struct {
+		tag string
+		m   int64
+	}{{"TiB", 1 << 40}, {"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10}, {"B", 1}} {
+		if strings.HasSuffix(s, suffix.tag) {
+			mult = suffix.m
+			s = strings.TrimSuffix(s, suffix.tag)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+func main() {
+	sizeStr := flag.String("size", "128MiB", "message size (B/KiB/MiB/GiB/TiB)")
+	bw := flag.Float64("bw", 400, "link bandwidth [Gbit/s]")
+	dist := flag.Float64("dist", 3750, "one-way distance [km]")
+	pdrop := flag.Float64("pdrop", 1e-5, "per-chunk drop probability")
+	chunk := flag.Int("chunk", 4096, "bitmap chunk size [bytes]")
+	samples := flag.Int("samples", 10000, "stochastic samples")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdr-model:", err)
+		os.Exit(2)
+	}
+	ch := wan.Params{
+		BandwidthBps: *bw * 1e9,
+		DistanceKm:   *dist,
+		PDrop:        *pdrop,
+		MTUBytes:     4096,
+		ChunkBytes:   *chunk,
+	}
+	if err := ch.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "sdr-model:", err)
+		os.Exit(2)
+	}
+
+	lossless := model.LosslessTime(ch, size)
+	fmt.Printf("channel: %.0f Gbit/s, %.0f km (RTT %.2f ms), P_drop %.1e, chunk %d B\n",
+		*bw, *dist, ch.RTT()*1e3, *pdrop, *chunk)
+	fmt.Printf("message: %s (%d chunks), BDP %.2f MiB, lossless Write %.3f ms\n\n",
+		*sizeStr, ch.ChunksIn(size), ch.BDPBytes()/(1<<20), lossless*1e3)
+
+	schemes := []model.Scheme{
+		model.NewSRRTO(ch),
+		model.NewSRNACK(ch),
+		model.NewMDS(ch),
+		model.NewXOR(ch),
+	}
+	fmt.Printf("%-16s  %12s  %12s  %10s\n", "scheme", "mean [ms]", "p99.9 [ms]", "slowdown")
+	best, bestMean := "", 0.0
+	for i, s := range schemes {
+		sum := stats.Summarize(model.Sample(s, size, *samples, *seed+int64(i)))
+		fmt.Printf("%-16s  %12.3f  %12.3f  %9.2fx\n",
+			s.Name(), sum.Mean*1e3, sum.P999*1e3, sum.Mean/lossless)
+		if best == "" || sum.Mean < bestMean {
+			best, bestMean = s.Name(), sum.Mean
+		}
+	}
+	fmt.Printf("\nrecommended reliability scheme for this deployment: %s\n", best)
+}

@@ -1,0 +1,21 @@
+// Package sdrrdma is a from-scratch Go reproduction of "SDR-RDMA:
+// Software-Defined Reliability Architecture for Planetary Scale RDMA
+// Communication" (Khalilov et al., SC 2025, arXiv:2505.05366).
+//
+// The repository contains, under internal/:
+//
+//   - core: the SDR SDK — partial message completion bitmaps over
+//     unreliable RDMA transports (the paper's primary contribution)
+//   - nicsim, fabric, dpa: the simulated substrate (UC/UD/RC queue
+//     pairs, indirect and NULL memory keys, lossy long-haul wire,
+//     DPA worker emulation)
+//   - reliability: Selective Repeat and Erasure Coding layers built
+//     on the SDR bitmap
+//   - ec, gf256: Reed–Solomon and XOR erasure codes
+//   - model: the completion-time analysis framework (stochastic +
+//     analytic), collective: ring Allreduce (model and functional)
+//   - experiments: regenerates every figure of the paper's evaluation
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+// results. Benchmarks in bench_test.go regenerate each figure.
+package sdrrdma

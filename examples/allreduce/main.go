@@ -1,0 +1,71 @@
+// allreduce runs a gradient Allreduce across four simulated
+// datacenters on the full stack: ring schedule (§5.3) → reliability
+// layer (§4) → SDR bitmap middleware (§3) → simulated UC NICs over
+// lossy long-haul links. Every point-to-point stage is a reliable
+// Write; the example compares SR and EC end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"sdrrdma/internal/collective"
+	"sdrrdma/internal/core"
+	"sdrrdma/internal/fabric"
+	"sdrrdma/internal/reliability"
+)
+
+func main() {
+	const (
+		nDCs = 4
+		vlen = 8192 // float64 gradient elements (divisible by nDCs)
+	)
+	coreCfg := core.Config{
+		MTU: 1024, ChunkBytes: 4096, MaxMsgBytes: 1 << 20,
+		MsgIDBits: 10, PktOffsetBits: 18, UserImmBits: 4,
+		Generations: 4, Channels: 2,
+	}
+	relCfg := reliability.Config{
+		RTT:          2 * time.Millisecond,
+		Alpha:        2,
+		PollInterval: 300 * time.Microsecond,
+		AckInterval:  600 * time.Microsecond,
+		K:            4, M: 2, Code: "mds",
+	}
+
+	rng := rand.New(rand.NewSource(2024))
+	inputs := make([][]float64, nDCs)
+	want := make([]float64, vlen)
+	for i := range inputs {
+		inputs[i] = make([]float64, vlen)
+		for j := range inputs[i] {
+			inputs[i][j] = float64(rng.Intn(1000))
+			want[j] += inputs[i][j]
+		}
+	}
+
+	for _, proto := range []string{"sr", "ec"} {
+		ring, err := collective.BuildFunctionalRing(nDCs, coreCfg, relCfg,
+			fabric.Config{Latency: time.Millisecond, DropProb: 0.02, Seed: 99},
+			time.Millisecond, vlen*8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		got, err := ring.Allreduce(inputs, proto)
+		elapsed := time.Since(start)
+		ring.Close()
+		if err != nil {
+			log.Fatalf("%s allreduce: %v", proto, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				log.Fatalf("%s allreduce: element %d = %g, want %g", proto, j, got[j], want[j])
+			}
+		}
+		fmt.Printf("%-3s ring allreduce over %d DCs (2%% loss, %d stages): %7.2f ms — result verified\n",
+			proto, nDCs, 2*nDCs-2, elapsed.Seconds()*1e3)
+	}
+}

@@ -1,0 +1,254 @@
+// Package bitmap implements the two-level completion bitmap at the heart
+// of the SDR middleware (paper §3.1.1, §3.2.1).
+//
+// The backend maintains a per-packet bitmap for each in-flight message;
+// when every packet of a chunk (a contiguous block of packetsPerChunk
+// MTUs) has arrived, the corresponding bit of the frontend chunk bitmap
+// is set. The reliability layer above SDR polls only the chunk bitmap.
+//
+// All operations are safe for concurrent use: on real hardware the
+// per-packet bitmap lives in DPA memory and is updated by many DPA
+// worker threads in parallel (§3.4.2); here the workers are goroutines.
+package bitmap
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Bitmap is a fixed-size atomic bitset.
+type Bitmap struct {
+	words []atomic.Uint64
+	nbits int
+}
+
+// New creates a bitmap holding nbits bits, all clear.
+func New(nbits int) *Bitmap {
+	if nbits < 0 {
+		panic("bitmap: negative size")
+	}
+	return &Bitmap{
+		words: make([]atomic.Uint64, (nbits+63)/64),
+		nbits: nbits,
+	}
+}
+
+// Len returns the number of bits in the bitmap.
+func (b *Bitmap) Len() int { return b.nbits }
+
+// Set sets bit i and reports whether this call was the one that set it
+// (false if it was already set, e.g. a duplicated packet).
+func (b *Bitmap) Set(i int) bool {
+	if i < 0 || i >= b.nbits {
+		panic("bitmap: Set out of range")
+	}
+	mask := uint64(1) << (uint(i) % 64)
+	old := b.words[i/64].Or(mask)
+	return old&mask == 0
+}
+
+// Test reports whether bit i is set.
+func (b *Bitmap) Test(i int) bool {
+	if i < 0 || i >= b.nbits {
+		panic("bitmap: Test out of range")
+	}
+	return b.words[i/64].Load()&(uint64(1)<<(uint(i)%64)) != 0
+}
+
+// Clear clears bit i.
+func (b *Bitmap) Clear(i int) {
+	if i < 0 || i >= b.nbits {
+		panic("bitmap: Clear out of range")
+	}
+	b.words[i/64].And(^(uint64(1) << (uint(i) % 64)))
+}
+
+// Reset clears every bit. Not atomic with respect to concurrent setters;
+// callers must quiesce the bitmap first (SDR does this when recycling a
+// message slot).
+func (b *Bitmap) Reset() {
+	for i := range b.words {
+		b.words[i].Store(0)
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	n := 0
+	for i := range b.words {
+		n += bits.OnesCount64(b.words[i].Load())
+	}
+	return n
+}
+
+// Full reports whether every bit is set.
+func (b *Bitmap) Full() bool { return b.Count() == b.nbits }
+
+// FirstZero returns the index of the lowest clear bit, or -1 if the
+// bitmap is full. Reliability layers use this to locate the first
+// missing chunk (the cumulative-ACK point).
+func (b *Bitmap) FirstZero() int {
+	for w := range b.words {
+		v := b.words[w].Load()
+		if v != ^uint64(0) {
+			i := w*64 + bits.TrailingZeros64(^v)
+			if i < b.nbits {
+				return i
+			}
+			return -1 // only padding bits beyond nbits are clear
+		}
+	}
+	return -1
+}
+
+// CumulativeCount returns the length of the set-bit prefix: the highest
+// n such that bits [0,n) are all set. This is the paper's cumulative-ACK
+// value (§4.1.1).
+func (b *Bitmap) CumulativeCount() int {
+	fz := b.FirstZero()
+	if fz < 0 {
+		return b.nbits
+	}
+	return fz
+}
+
+// Missing appends the indices of clear bits in [from, to) to dst and
+// returns it. Reliability layers use this to build retransmission lists
+// and NACKs.
+func (b *Bitmap) Missing(dst []int, from, to int) []int {
+	if from < 0 {
+		from = 0
+	}
+	if to > b.nbits {
+		to = b.nbits
+	}
+	for i := from; i < to; i++ {
+		if !b.Test(i) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// Snapshot copies the raw words into dst (allocating if needed) and
+// returns a byte-view of the bitmap, LSB-first within each byte. This
+// is the representation carried inside selective-ACK payloads.
+func (b *Bitmap) Snapshot(dst []byte) []byte {
+	need := (b.nbits + 7) / 8
+	if cap(dst) < need {
+		dst = make([]byte, need)
+	}
+	dst = dst[:need]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for w := range b.words {
+		v := b.words[w].Load()
+		for byteIdx := 0; byteIdx < 8; byteIdx++ {
+			off := w*8 + byteIdx
+			if off >= need {
+				break
+			}
+			dst[off] = byte(v >> (8 * uint(byteIdx)))
+		}
+	}
+	return dst
+}
+
+// LoadFrom overwrites the bitmap from a Snapshot byte-view. Extra bytes
+// are ignored; missing bytes leave high bits clear.
+func (b *Bitmap) LoadFrom(src []byte) {
+	for w := range b.words {
+		var v uint64
+		for byteIdx := 0; byteIdx < 8; byteIdx++ {
+			off := w*8 + byteIdx
+			if off < len(src) {
+				v |= uint64(src[off]) << (8 * uint(byteIdx))
+			}
+		}
+		// mask padding bits beyond nbits
+		if (w+1)*64 > b.nbits {
+			valid := uint(b.nbits - w*64)
+			if valid < 64 {
+				v &= (uint64(1) << valid) - 1
+			}
+		}
+		b.words[w].Store(v)
+	}
+}
+
+// Message is the two-level (packet, chunk) completion structure for one
+// in-flight SDR message. The packet level is the "backend" bitmap that
+// DPA workers update per CQE; the chunk level is the "frontend" bitmap
+// the user polls through RecvBitmapGet.
+type Message struct {
+	Packets         *Bitmap
+	Chunks          *Bitmap
+	packetsPerChunk int
+	// perChunkCount[i] counts packets received in chunk i so the final
+	// packet of a chunk can flip the frontend bit without rescanning.
+	perChunkCount []atomic.Int32
+	chunkSizes    []int32 // packets in each chunk (last may be short)
+}
+
+// NewMessage builds the two-level bitmap for a message of totalPackets
+// MTU-sized packets grouped into chunks of packetsPerChunk packets
+// (the last chunk may be shorter).
+func NewMessage(totalPackets, packetsPerChunk int) *Message {
+	if totalPackets < 0 || packetsPerChunk <= 0 {
+		panic("bitmap: invalid message geometry")
+	}
+	nchunks := (totalPackets + packetsPerChunk - 1) / packetsPerChunk
+	m := &Message{
+		Packets:         New(totalPackets),
+		Chunks:          New(nchunks),
+		packetsPerChunk: packetsPerChunk,
+		perChunkCount:   make([]atomic.Int32, nchunks),
+		chunkSizes:      make([]int32, nchunks),
+	}
+	for c := 0; c < nchunks; c++ {
+		sz := packetsPerChunk
+		if rem := totalPackets - c*packetsPerChunk; rem < sz {
+			sz = rem
+		}
+		m.chunkSizes[c] = int32(sz)
+	}
+	return m
+}
+
+// NumChunks returns the number of chunks in the message.
+func (m *Message) NumChunks() int { return m.Chunks.Len() }
+
+// PacketsPerChunk returns the chunk resolution in packets.
+func (m *Message) PacketsPerChunk() int { return m.packetsPerChunk }
+
+// MarkPacket records arrival of packet pkt and returns
+// (newlySet, chunkCompleted): newlySet is false for duplicate packets
+// (which are otherwise ignored); chunkCompleted is true exactly once
+// per chunk, when its final missing packet arrives — that caller is
+// the DPA worker responsible for updating the host-side chunk bitmap
+// over PCIe (§3.4.2).
+func (m *Message) MarkPacket(pkt int) (newlySet, chunkCompleted bool) {
+	if !m.Packets.Set(pkt) {
+		return false, false // duplicate
+	}
+	chunk := pkt / m.packetsPerChunk
+	if m.perChunkCount[chunk].Add(1) == m.chunkSizes[chunk] {
+		m.Chunks.Set(chunk)
+		return true, true
+	}
+	return true, false
+}
+
+// Complete reports whether every packet of the message has arrived.
+func (m *Message) Complete() bool { return m.Chunks.Full() }
+
+// Reset clears both levels for slot reuse. Callers must quiesce
+// concurrent writers first (SDR's generation mechanism guarantees this).
+func (m *Message) Reset() {
+	m.Packets.Reset()
+	m.Chunks.Reset()
+	for i := range m.perChunkCount {
+		m.perChunkCount[i].Store(0)
+	}
+}

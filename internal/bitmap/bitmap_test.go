@@ -1,0 +1,326 @@
+package bitmap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in fresh bitmap", i)
+		}
+		if !b.Set(i) {
+			t.Fatalf("Set(%d) reported already-set on first set", i)
+		}
+		if b.Set(i) {
+			t.Fatalf("Set(%d) reported newly-set on second set", i)
+		}
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Test(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestCountAndFull(t *testing.T) {
+	b := New(100)
+	for i := 0; i < 100; i++ {
+		b.Set(i)
+		if got := b.Count(); got != i+1 {
+			t.Fatalf("Count after %d sets = %d", i+1, got)
+		}
+	}
+	if !b.Full() {
+		t.Fatal("bitmap with all bits set reports !Full")
+	}
+	b.Reset()
+	if b.Count() != 0 || b.Full() {
+		t.Fatal("Reset did not clear all bits")
+	}
+}
+
+func TestFullEmptyBitmap(t *testing.T) {
+	b := New(0)
+	if !b.Full() {
+		t.Fatal("zero-length bitmap should be trivially Full")
+	}
+	if b.FirstZero() != -1 {
+		t.Fatal("zero-length bitmap FirstZero should be -1")
+	}
+}
+
+func TestFirstZeroAndCumulative(t *testing.T) {
+	b := New(70)
+	if b.FirstZero() != 0 {
+		t.Fatalf("FirstZero of empty = %d", b.FirstZero())
+	}
+	for i := 0; i < 66; i++ {
+		b.Set(i)
+	}
+	if got := b.FirstZero(); got != 66 {
+		t.Fatalf("FirstZero = %d, want 66", got)
+	}
+	if got := b.CumulativeCount(); got != 66 {
+		t.Fatalf("CumulativeCount = %d, want 66", got)
+	}
+	// a hole before the frontier
+	b.Clear(3)
+	if got := b.CumulativeCount(); got != 3 {
+		t.Fatalf("CumulativeCount with hole at 3 = %d", got)
+	}
+	for i := 0; i < 70; i++ {
+		b.Set(i)
+	}
+	if got := b.FirstZero(); got != -1 {
+		t.Fatalf("FirstZero of full = %d", got)
+	}
+	if got := b.CumulativeCount(); got != 70 {
+		t.Fatalf("CumulativeCount of full = %d", got)
+	}
+}
+
+// FirstZero must ignore the padding bits of the last word.
+func TestFirstZeroPadding(t *testing.T) {
+	b := New(65)
+	for i := 0; i < 65; i++ {
+		b.Set(i)
+	}
+	if got := b.FirstZero(); got != -1 {
+		t.Fatalf("FirstZero with only padding clear = %d, want -1", got)
+	}
+}
+
+func TestMissing(t *testing.T) {
+	b := New(20)
+	for i := 0; i < 20; i++ {
+		if i%3 != 0 {
+			b.Set(i)
+		}
+	}
+	got := b.Missing(nil, 0, 20)
+	want := []int{0, 3, 6, 9, 12, 15, 18}
+	if len(got) != len(want) {
+		t.Fatalf("Missing = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Missing = %v, want %v", got, want)
+		}
+	}
+	// clamped ranges
+	if len(b.Missing(nil, -5, 3)) != 1 {
+		t.Fatal("Missing did not clamp negative from")
+	}
+	if got := b.Missing(nil, 18, 100); len(got) != 1 || got[0] != 18 {
+		t.Fatalf("Missing with clamped to = %v, want [18]", got)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	check := func(seed int64, nbitsRaw uint16) bool {
+		nbits := int(nbitsRaw)%300 + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := New(nbits)
+		for i := 0; i < nbits; i++ {
+			if rng.Intn(2) == 1 {
+				b.Set(i)
+			}
+		}
+		snap := b.Snapshot(nil)
+		b2 := New(nbits)
+		b2.LoadFrom(snap)
+		for i := 0; i < nbits; i++ {
+			if b.Test(i) != b2.Test(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotMasksPadding(t *testing.T) {
+	b := New(10)
+	// Feed a snapshot with high garbage bits; LoadFrom must mask them.
+	b.LoadFrom([]byte{0xFF, 0xFF})
+	if got := b.Count(); got != 10 {
+		t.Fatalf("Count after LoadFrom(all ones) = %d, want 10", got)
+	}
+}
+
+func TestConcurrentSet(t *testing.T) {
+	const nbits = 1 << 14
+	b := New(nbits)
+	var wg sync.WaitGroup
+	var firstSets [8]int
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < nbits; i++ {
+				if b.Set(i) {
+					n++
+				}
+			}
+			firstSets[w] = n
+		}(w)
+	}
+	wg.Wait()
+	if !b.Full() {
+		t.Fatal("concurrent sets left holes")
+	}
+	total := 0
+	for _, n := range firstSets {
+		total += n
+	}
+	if total != nbits {
+		t.Fatalf("first-set reports sum to %d, want exactly %d", total, nbits)
+	}
+}
+
+func TestMessageGeometry(t *testing.T) {
+	m := NewMessage(33, 16) // 3 chunks: 16, 16, 1
+	if m.NumChunks() != 3 {
+		t.Fatalf("NumChunks = %d, want 3", m.NumChunks())
+	}
+	if m.PacketsPerChunk() != 16 {
+		t.Fatalf("PacketsPerChunk = %d", m.PacketsPerChunk())
+	}
+	// filling the short tail chunk completes it alone
+	fresh, done := m.MarkPacket(32)
+	if !fresh || !done {
+		t.Fatalf("tail packet: fresh=%v done=%v", fresh, done)
+	}
+	if !m.Chunks.Test(2) || m.Chunks.Test(0) {
+		t.Fatal("chunk bitmap wrong after tail completion")
+	}
+}
+
+func TestMessageChunkCompletionExactlyOnce(t *testing.T) {
+	m := NewMessage(32, 16)
+	completions := 0
+	for pkt := 0; pkt < 16; pkt++ {
+		if _, done := m.MarkPacket(pkt); done {
+			completions++
+		}
+		// duplicates never complete and are not newly set
+		if fresh, done := m.MarkPacket(pkt); fresh || done {
+			t.Fatalf("duplicate of packet %d: fresh=%v done=%v", pkt, fresh, done)
+		}
+	}
+	if completions != 1 {
+		t.Fatalf("chunk completed %d times, want 1", completions)
+	}
+	if m.Complete() {
+		t.Fatal("message complete with half its packets")
+	}
+	for pkt := 16; pkt < 32; pkt++ {
+		m.MarkPacket(pkt)
+	}
+	if !m.Complete() {
+		t.Fatal("message not complete after all packets")
+	}
+	m.Reset()
+	if m.Complete() || m.Packets.Count() != 0 {
+		t.Fatal("Reset did not clear message state")
+	}
+}
+
+// Property: regardless of arrival order, each chunk completes exactly
+// once and the message completes iff all packets arrived.
+func TestMessageArrivalOrderProperty(t *testing.T) {
+	check := func(seed int64, pktsRaw, ppcRaw uint8) bool {
+		pkts := int(pktsRaw)%200 + 1
+		ppc := int(ppcRaw)%17 + 1
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMessage(pkts, ppc)
+		order := rng.Perm(pkts)
+		completions := 0
+		for _, p := range order {
+			if _, done := m.MarkPacket(p); done {
+				completions++
+			}
+		}
+		return completions == m.NumChunks() && m.Complete()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageConcurrentMark(t *testing.T) {
+	const pkts = 4096
+	m := NewMessage(pkts, 16)
+	var wg sync.WaitGroup
+	var completed [4]int
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			n := 0
+			for _, p := range rng.Perm(pkts) {
+				if _, done := m.MarkPacket(p); done {
+					n++
+				}
+			}
+			completed[w] = n
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range completed {
+		total += n
+	}
+	if total != m.NumChunks() {
+		t.Fatalf("chunk completions = %d, want %d", total, m.NumChunks())
+	}
+	if !m.Complete() {
+		t.Fatal("message incomplete after concurrent marking")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	b := New(8)
+	for _, fn := range []func(){
+		func() { b.Set(-1) },
+		func() { b.Set(8) },
+		func() { b.Test(9) },
+		func() { b.Clear(-2) },
+		func() { New(-1) },
+		func() { NewMessage(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkMarkPacket(b *testing.B) {
+	m := NewMessage(1<<16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MarkPacket(i & (1<<16 - 1))
+		if i&(1<<16-1) == 1<<16-1 {
+			m.Reset()
+		}
+	}
+}

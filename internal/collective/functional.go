@@ -1,0 +1,197 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"sdrrdma/internal/core"
+	"sdrrdma/internal/fabric"
+	"sdrrdma/internal/nicsim"
+	"sdrrdma/internal/reliability"
+)
+
+// FunctionalRing is a ring of simulated datacenters connected by
+// lossy long-haul links, running the real SDR + reliability stack —
+// the functional counterpart of the Fig 13 model. Node i sends to
+// node (i+1) mod N over its own fabric link.
+type FunctionalRing struct {
+	N        int
+	sessions []*reliability.Session
+	nodes    []*ringNode
+}
+
+type ringNode struct {
+	idx     int
+	sendEP  *reliability.Endpoint
+	recvEP  *reliability.Endpoint
+	staging *nicsim.MR // receive segment buffer (on the recv device)
+	parity  *nicsim.MR // EC parity scratch (on the recv device)
+}
+
+// BuildFunctionalRing wires n datacenters with per-link impairments.
+// maxSegmentBytes bounds the per-stage message size (used to size the
+// staging buffers).
+func BuildFunctionalRing(n int, coreCfg core.Config, relCfg reliability.Config,
+	linkCfg fabric.Config, oobLatency time.Duration, maxSegmentBytes int) (*FunctionalRing, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("collective: ring needs >=2 nodes, got %d", n)
+	}
+	r := &FunctionalRing{N: n}
+	for i := 0; i < n; i++ {
+		cfg := linkCfg
+		cfg.Seed = linkCfg.Seed + int64(i)*7919
+		s, err := reliability.NewSession(coreCfg, relCfg, cfg, cfg, oobLatency)
+		if err != nil {
+			return nil, fmt.Errorf("collective: link %d: %w", i, err)
+		}
+		r.sessions = append(r.sessions, s)
+	}
+	for i := 0; i < n; i++ {
+		recvSession := r.sessions[(i-1+n)%n]
+		node := &ringNode{
+			idx:     i,
+			sendEP:  r.sessions[i].A,
+			recvEP:  recvSession.B,
+			staging: recvSession.Pair.B.Ctx.RegMR(make([]byte, maxSegmentBytes)),
+			parity:  recvSession.Pair.B.Ctx.RegMR(make([]byte, 4*maxSegmentBytes+1<<20)),
+		}
+		r.nodes = append(r.nodes, node)
+	}
+	return r, nil
+}
+
+// Close tears all links down.
+func (r *FunctionalRing) Close() {
+	for _, s := range r.sessions {
+		s.Close()
+	}
+}
+
+func (n *ringNode) send(data []byte, protocol string) error {
+	if protocol == "ec" {
+		return n.sendEP.WriteEC(data)
+	}
+	return n.sendEP.WriteSR(data)
+}
+
+func (n *ringNode) recv(size int, protocol string) error {
+	if protocol == "ec" {
+		return n.recvEP.ReceiveEC(n.staging, 0, size, n.parity)
+	}
+	return n.recvEP.ReceiveSR(n.staging, 0, size)
+}
+
+// Allreduce sums the per-node float64 vectors with the ring algorithm
+// (§5.3: reduce-scatter + allgather, 2N−2 stages) using the given
+// reliability protocol ("sr" or "ec") for every point-to-point stage.
+// All inputs must have equal length divisible by N. It returns the
+// reduced vector (identical on every node) or the first error.
+func (r *FunctionalRing) Allreduce(inputs [][]float64, protocol string) ([]float64, error) {
+	n := r.N
+	if len(inputs) != n {
+		return nil, fmt.Errorf("collective: %d inputs for %d nodes", len(inputs), n)
+	}
+	vlen := len(inputs[0])
+	if vlen%n != 0 {
+		return nil, fmt.Errorf("collective: vector length %d not divisible by %d nodes", vlen, n)
+	}
+	for i, in := range inputs {
+		if len(in) != vlen {
+			return nil, fmt.Errorf("collective: input %d length %d != %d", i, len(in), vlen)
+		}
+	}
+	seg := vlen / n
+	segBytes := seg * 8
+	if uint64(segBytes) > r.nodes[0].staging.Span() {
+		return nil, fmt.Errorf("collective: segment %d B exceeds staging buffer", segBytes)
+	}
+
+	// local working copies
+	work := make([][]float64, n)
+	for i := range work {
+		work[i] = append([]float64(nil), inputs[i]...)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			node := r.nodes[i]
+			buf := work[i]
+			sendSeg := func(segIdx int) error {
+				payload := make([]byte, segBytes)
+				for j := 0; j < seg; j++ {
+					binary.LittleEndian.PutUint64(payload[j*8:],
+						math.Float64bits(buf[segIdx*seg+j]))
+				}
+				return node.send(payload, protocol)
+			}
+			recvSeg := func(segIdx int, reduce bool) error {
+				if err := node.recv(segBytes, protocol); err != nil {
+					return err
+				}
+				raw := node.staging.Bytes()
+				for j := 0; j < seg; j++ {
+					v := math.Float64frombits(binary.LittleEndian.Uint64(raw[j*8:]))
+					if reduce {
+						buf[segIdx*seg+j] += v
+					} else {
+						buf[segIdx*seg+j] = v
+					}
+				}
+				return nil
+			}
+			step := func(sendIdx, recvIdx int, reduce bool) error {
+				var sErr, rErr error
+				var stepWG sync.WaitGroup
+				stepWG.Add(2)
+				go func() { defer stepWG.Done(); sErr = sendSeg(sendIdx) }()
+				go func() { defer stepWG.Done(); rErr = recvSeg(recvIdx, reduce) }()
+				stepWG.Wait()
+				if sErr != nil {
+					return sErr
+				}
+				return rErr
+			}
+			// reduce-scatter: after N−1 steps node i owns the full sum
+			// of segment (i+1) mod n.
+			for s := 0; s < n-1; s++ {
+				sendIdx := ((i-s)%n + n) % n
+				recvIdx := ((i-s-1)%n + n) % n
+				if err := step(sendIdx, recvIdx, true); err != nil {
+					errs[i] = fmt.Errorf("node %d reduce-scatter step %d: %w", i, s, err)
+					return
+				}
+			}
+			// allgather: circulate the finished segments.
+			for s := 0; s < n-1; s++ {
+				sendIdx := ((i+1-s)%n + n) % n
+				recvIdx := ((i-s)%n + n) % n
+				if err := step(sendIdx, recvIdx, false); err != nil {
+					errs[i] = fmt.Errorf("node %d allgather step %d: %w", i, s, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// all nodes must agree
+	for i := 1; i < n; i++ {
+		for j := range work[0] {
+			if work[i][j] != work[0][j] {
+				return nil, fmt.Errorf("collective: node %d disagrees at element %d", i, j)
+			}
+		}
+	}
+	return work[0], nil
+}

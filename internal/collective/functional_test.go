@@ -1,0 +1,98 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sdrrdma/internal/core"
+	"sdrrdma/internal/fabric"
+	"sdrrdma/internal/reliability"
+)
+
+func funcCoreCfg() core.Config {
+	return core.Config{
+		MTU: 1024, ChunkBytes: 4096, MaxMsgBytes: 1 << 20,
+		MsgIDBits: 10, PktOffsetBits: 18, UserImmBits: 4,
+		Generations: 4, Channels: 2,
+	}
+}
+
+func funcRelCfg() reliability.Config {
+	return reliability.Config{
+		RTT:           2 * time.Millisecond,
+		Alpha:         2,
+		PollInterval:  300 * time.Microsecond,
+		AckInterval:   600 * time.Microsecond,
+		Linger:        4 * time.Millisecond,
+		GlobalTimeout: 60 * time.Second,
+		K:             4, M: 2, Code: "mds",
+	}
+}
+
+func runFunctionalAllreduce(t *testing.T, n int, vlen int, loss float64, protocol string) {
+	t.Helper()
+	ring, err := BuildFunctionalRing(n, funcCoreCfg(), funcRelCfg(),
+		fabric.Config{Latency: time.Millisecond, DropProb: loss, Seed: 42},
+		time.Millisecond, vlen*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ring.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([][]float64, n)
+	want := make([]float64, vlen)
+	for i := range inputs {
+		inputs[i] = make([]float64, vlen)
+		for j := range inputs[i] {
+			inputs[i][j] = math.Round(rng.Float64() * 1000) // exact fp sums
+			want[j] += inputs[i][j]
+		}
+	}
+	got, err := ring.Allreduce(inputs, protocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Fatalf("allreduce[%d] = %g, want %g", j, got[j], want[j])
+		}
+	}
+}
+
+func TestFunctionalAllreduceSRLossless(t *testing.T) {
+	runFunctionalAllreduce(t, 4, 4096, 0, "sr")
+}
+
+func TestFunctionalAllreduceSRLossy(t *testing.T) {
+	runFunctionalAllreduce(t, 3, 3*1024, 0.05, "sr")
+}
+
+func TestFunctionalAllreduceECLossy(t *testing.T) {
+	runFunctionalAllreduce(t, 3, 3*1024, 0.05, "ec")
+}
+
+func TestFunctionalAllreduceTwoNodes(t *testing.T) {
+	runFunctionalAllreduce(t, 2, 2048, 0.02, "sr")
+}
+
+func TestFunctionalAllreduceValidation(t *testing.T) {
+	ring, err := BuildFunctionalRing(3, funcCoreCfg(), funcRelCfg(),
+		fabric.Config{}, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ring.Close()
+	if _, err := ring.Allreduce(make([][]float64, 2), "sr"); err == nil {
+		t.Fatal("wrong input count accepted")
+	}
+	bad := [][]float64{make([]float64, 10), make([]float64, 10), make([]float64, 10)}
+	if _, err := ring.Allreduce(bad, "sr"); err == nil {
+		t.Fatal("vector length not divisible by N accepted")
+	}
+	if _, err := BuildFunctionalRing(1, funcCoreCfg(), funcRelCfg(), fabric.Config{}, 0, 1024); err == nil {
+		t.Fatal("1-node ring accepted")
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"sdrrdma/internal/dpa"
+	"sdrrdma/internal/nicsim"
+)
+
+// Context owns the hardware resources shared by SDR QPs on one device:
+// the DPA worker pool, the NULL memory key used to retire completed
+// message slots, and the device's memory registrations (Table 1:
+// context_create).
+type Context struct {
+	dev    *nicsim.Device
+	cfg    Config
+	pool   *dpa.Pool
+	nullMR *nicsim.NullMR
+}
+
+// NewContext allocates a context on dev.
+func NewContext(dev *nicsim.Device, cfg Config) (*Context, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Context{
+		dev:    dev,
+		cfg:    cfg,
+		pool:   dpa.NewPool(),
+		nullMR: dev.AllocNullMR(),
+	}, nil
+}
+
+// Config returns the context configuration (with defaults applied).
+func (c *Context) Config() Config { return c.cfg }
+
+// Device returns the underlying NIC.
+func (c *Context) Device() *nicsim.Device { return c.dev }
+
+// Pool exposes the DPA worker pool (observability: processed packet
+// and PCIe-write counters).
+func (c *Context) Pool() *dpa.Pool { return c.pool }
+
+// RegMR registers a user buffer for send/receive via QPs in the
+// context (Table 1: mr_reg).
+func (c *Context) RegMR(buf []byte) *nicsim.MR { return c.dev.RegMR(buf) }
+
+// Close stops the DPA workers. QPs created from this context must not
+// be used afterwards.
+func (c *Context) Close() { c.pool.Stop() }
+
+// NullDiscarded reports how many late-packet payload bytes the NULL
+// memory key absorbed (§3.3.2 stage 1) — useful in tests and ablation
+// benches.
+func (c *Context) NullDiscarded() uint64 { return c.nullMR.Discarded.Load() }
+
+func (c *Context) String() string {
+	return fmt.Sprintf("sdr.Context(dev=%s mtu=%d chunk=%d slots=%d gens=%d chans=%d)",
+		c.dev.Name(), c.cfg.MTU, c.cfg.ChunkBytes, c.cfg.Slots(), c.cfg.Generations, c.cfg.Channels)
+}

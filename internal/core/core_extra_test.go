@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sdrrdma/internal/fabric"
+)
+
+// The alternative 8+22+2 immediate split (§3.2.4: "Alternative splits,
+// such as 8+22+2, can be used to support larger messages") must work
+// end to end.
+func TestAlternativeImmSplit(t *testing.T) {
+	cfg := Config{
+		MTU: 1024, ChunkBytes: 4096, MaxMsgBytes: 2 << 20,
+		MsgIDBits: 8, PktOffsetBits: 22, UserImmBits: 2,
+		Generations: 2, Channels: 2,
+	}
+	p := newTestPair(t, cfg, fabric.Config{}, fabric.Config{})
+	const size = 1 << 20
+	mr := p.B.Ctx.RegMR(make([]byte, size))
+	h, err := p.B.QP.RecvPost(mr, 0, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	fillPattern(data, 17)
+	const userImm = 0x9ABCDEF1
+	if _, err := p.A.QP.SendPost(data, userImm); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, h, time.Second)
+	if !bytes.Equal(mr.Bytes(), data) {
+		t.Fatal("payload corrupted under 8+22+2 split")
+	}
+	imm, err := h.Imm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imm != userImm {
+		t.Fatalf("imm = %#x, want %#x (2-bit fragments × 16 packets)", imm, userImm)
+	}
+	// slots shrink to 256 with 8-bit message IDs
+	if got := cfg.WithDefaults().Slots(); got != 256 {
+		t.Fatalf("Slots = %d, want 256", got)
+	}
+}
+
+// A split with no user-imm bits must still move data; Imm reports
+// not-ready.
+func TestNoUserImmBits(t *testing.T) {
+	cfg := Config{
+		MTU: 1024, ChunkBytes: 1024, MaxMsgBytes: 64 << 10,
+		MsgIDBits: 10, PktOffsetBits: 22, UserImmBits: 0,
+		Generations: 1, Channels: 1,
+	}
+	p := newTestPair(t, cfg, fabric.Config{}, fabric.Config{})
+	mr := p.B.Ctx.RegMR(make([]byte, 8<<10))
+	h, err := p.B.QP.RecvPost(mr, 0, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 8<<10)
+	fillPattern(data, 3)
+	if _, err := p.A.QP.SendPost(data, 0xFFFF); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, h, time.Second)
+	if !bytes.Equal(mr.Bytes(), data) {
+		t.Fatal("payload corrupted with 0 imm bits")
+	}
+	if _, err := h.Imm(); err == nil {
+		t.Fatal("Imm succeeded despite no user-imm bits in the split")
+	}
+}
+
+// Everything at once: loss + reordering + duplication + latency on
+// both directions, many sequential messages through slot wraparound.
+func TestCombinedImpairmentsStress(t *testing.T) {
+	cfg := Config{
+		MTU: 1024, ChunkBytes: 2048, MaxMsgBytes: 64 << 10,
+		MsgIDBits: 3, PktOffsetBits: 25, UserImmBits: 4, // 8 slots → wraps
+		Generations: 4, Channels: 4,
+	}
+	impair := fabric.Config{
+		Latency:       200 * time.Microsecond,
+		DuplicateProb: 0.05,
+		ReorderProb:   0.2,
+		ReorderExtra:  time.Millisecond,
+		Seed:          31,
+	}
+	p := newTestPair(t, cfg, impair, fabric.Config{})
+	mr := p.B.Ctx.RegMR(make([]byte, 64<<10))
+	const msgs = 40 // 5 full slot wraps through all generations
+	for i := 0; i < msgs; i++ {
+		size := 4<<10 + (i%4)*8<<10
+		h, err := p.B.QP.RecvPost(mr, 0, size)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		data := make([]byte, size)
+		fillPattern(data, byte(i))
+		if _, err := p.A.QP.SendPost(data, uint32(i)); err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		waitDone(t, h, 5*time.Second)
+		if !bytes.Equal(mr.Bytes()[:size], data) {
+			t.Fatalf("msg %d corrupted", i)
+		}
+		if err := h.Complete(); err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+	}
+	if p.B.QP.Stats().Duplicates == 0 {
+		t.Fatal("stress run produced no duplicates despite 5% duplication")
+	}
+}
+
+// Two QPs on the same pair of devices must not interfere: each has its
+// own channel QPs, slots and root keys.
+func TestTwoQPsIndependent(t *testing.T) {
+	cfg := smallCfg()
+	p := newTestPair(t, cfg, fabric.Config{}, fabric.Config{})
+	// second QP pair on the same devices/link
+	qpA2 := p.A.Ctx.NewQP()
+	qpB2 := p.B.Ctx.NewQP()
+	oob2 := fabric.NewOOB(0)
+	if err := qpA2.ConnectViaOOB(p.Link.AB, oob2, true, qpB2.Info()); err != nil {
+		t.Fatal(err)
+	}
+	if err := qpB2.ConnectViaOOB(p.Link.BA, oob2, false, qpA2.Info()); err != nil {
+		t.Fatal(err)
+	}
+	defer qpA2.Close()
+	defer qpB2.Close()
+
+	mr1 := p.B.Ctx.RegMR(make([]byte, 8<<10))
+	mr2 := p.B.Ctx.RegMR(make([]byte, 8<<10))
+	h1, err := p.B.QP.RecvPost(mr1, 0, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := qpB2.RecvPost(mr2, 0, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := make([]byte, 8<<10)
+	d2 := make([]byte, 8<<10)
+	fillPattern(d1, 1)
+	fillPattern(d2, 2)
+	if _, err := p.A.QP.SendPost(d1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qpA2.SendPost(d2, 0); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, h1, time.Second)
+	waitDone(t, h2, time.Second)
+	if !bytes.Equal(mr1.Bytes(), d1) || !bytes.Equal(mr2.Bytes(), d2) {
+		t.Fatal("cross-QP interference")
+	}
+}
+
+// Send on an unconnected QP must fail cleanly.
+func TestUnconnectedQP(t *testing.T) {
+	p := newTestPair(t, smallCfg(), fabric.Config{}, fabric.Config{})
+	lone := p.A.Ctx.NewQP()
+	defer lone.Close()
+	if _, err := lone.SendStreamStart(4096, 0); err != ErrNotConnected {
+		t.Fatalf("SendStreamStart on unconnected QP: %v", err)
+	}
+	mr := p.A.Ctx.RegMR(make([]byte, 4096))
+	if _, err := lone.RecvPost(mr, 0, 4096); err != ErrNotConnected {
+		t.Fatalf("RecvPost on unconnected QP: %v", err)
+	}
+}
+
+// Stream offset validation: unaligned offsets and overruns rejected.
+func TestStreamOffsetValidation(t *testing.T) {
+	p := newTestPair(t, smallCfg(), fabric.Config{}, fabric.Config{})
+	mr := p.B.Ctx.RegMR(make([]byte, 8<<10))
+	if _, err := p.B.QP.RecvPost(mr, 0, 8<<10); err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.A.QP.SendStreamStart(8<<10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Continue(100, make([]byte, 1024)); err == nil {
+		t.Fatal("unaligned offset accepted")
+	}
+	if err := st.Continue(7<<10, make([]byte, 2<<10)); err == nil {
+		t.Fatal("overrun accepted")
+	}
+	if err := st.Continue(0, make([]byte, 8<<10)); err != nil {
+		t.Fatal(err)
+	}
+	st.End()
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sdrrdma/internal/fabric"
+	"sdrrdma/internal/nicsim"
+)
+
+// Endpoint bundles one side of an SDR connection: the simulated NIC,
+// its SDR context and a connected QP.
+type Endpoint struct {
+	Dev *nicsim.Device
+	Ctx *Context
+	QP  *QP
+}
+
+// Pair is a fully wired client/server SDR deployment over one fabric
+// link — the unit the examples, tests and benchmark harnesses build
+// on.
+type Pair struct {
+	A, B *Endpoint
+	Link *fabric.Link
+	OOB  *fabric.OOB
+}
+
+// NewPair creates two devices, SDR contexts and QPs, connects them
+// across a link with the given per-direction impairments, and wires
+// the out-of-band CTS channel with oobLatency one-way delay.
+func NewPair(cfg Config, ab, ba fabric.Config, oobLatency time.Duration) (*Pair, error) {
+	devA := nicsim.NewDevice("dcA")
+	devB := nicsim.NewDevice("dcB")
+	ctxA, err := NewContext(devA, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sdr: context A: %w", err)
+	}
+	ctxB, err := NewContext(devB, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sdr: context B: %w", err)
+	}
+	qpA := ctxA.NewQP()
+	qpB := ctxB.NewQP()
+	link := fabric.NewLink(devA, devB, ab, ba)
+	oob := fabric.NewOOB(oobLatency)
+	if err := qpA.ConnectViaOOB(link.AB, oob, true, qpB.Info()); err != nil {
+		return nil, err
+	}
+	if err := qpB.ConnectViaOOB(link.BA, oob, false, qpA.Info()); err != nil {
+		return nil, err
+	}
+	return &Pair{
+		A:    &Endpoint{Dev: devA, Ctx: ctxA, QP: qpA},
+		B:    &Endpoint{Dev: devB, Ctx: ctxB, QP: qpB},
+		Link: link,
+		OOB:  oob,
+	}, nil
+}
+
+// Close tears both endpoints down.
+func (p *Pair) Close() {
+	p.A.QP.Close()
+	p.B.QP.Close()
+	p.A.Ctx.Close()
+	p.B.Ctx.Close()
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sdrrdma/internal/fabric"
+	"sdrrdma/internal/nicsim"
+)
+
+// Errors returned by the SDR data path.
+var (
+	// ErrRecvQueueFull means every message slot already holds an
+	// uncompleted receive (1024 in-flight descriptors for the default
+	// 10-bit message ID, §3.2.4).
+	ErrRecvQueueFull = errors.New("sdr: receive slot busy — complete earlier receives first")
+	// ErrMsgTooLarge means the message exceeds the per-slot maximum.
+	ErrMsgTooLarge = errors.New("sdr: message exceeds MaxMsgBytes")
+	// ErrSizeMismatch means a send does not fit the size announced by
+	// the matching receive's CTS (order-based matching contract,
+	// §3.1.3).
+	ErrSizeMismatch = errors.New("sdr: send larger than matched receive buffer")
+	// ErrImmNotReady means the user immediate cannot be reconstructed
+	// yet (not all fragments arrived, §3.2.4).
+	ErrImmNotReady = errors.New("sdr: user immediate not yet reconstructable")
+	// ErrAlreadyCompleted means the receive handle was completed.
+	ErrAlreadyCompleted = errors.New("sdr: receive already completed")
+	// ErrStreamEnded means Continue was called after End.
+	ErrStreamEnded = errors.New("sdr: send stream already ended")
+	// ErrNotConnected means the QP has not been connected.
+	ErrNotConnected = errors.New("sdr: QP not connected")
+	// ErrOffsetUnaligned means a streaming send targeted an offset
+	// that is not MTU-aligned.
+	ErrOffsetUnaligned = errors.New("sdr: stream offset must be MTU-aligned")
+)
+
+// QPInfo is the out-of-band connection blob (Table 1: qp_info_get):
+// everything the peer needs to address this QP.
+type QPInfo struct {
+	// RootKeys[g] is generation g's zero-based indirect memory key.
+	// Each generation owns a separate root table so that packets from
+	// a stale generation land in that generation's (NULL-retired)
+	// entries rather than a newer message reusing the slot (§3.3.2).
+	RootKeys []uint32
+	// ChannelQPNs[g][c] is the UC QP number for generation g,
+	// channel c.
+	ChannelQPNs [][]uint32
+}
+
+// Stats aggregates QP data-path counters.
+type Stats struct {
+	// PacketsSent counts data packets injected.
+	PacketsSent uint64
+	// PacketsReceived counts completions accepted by the backend.
+	PacketsReceived uint64
+	// LateDiscarded counts completions rejected by the generation /
+	// active-slot check (§3.3.2 stage 2).
+	LateDiscarded uint64
+	// Duplicates counts packets that hit an already-set bitmap bit.
+	Duplicates uint64
+	// CTSSent and CTSReceived count clear-to-send control messages.
+	CTSSent, CTSReceived uint64
+}
+
+// QP is an SDR queue pair (Table 1: qp_create). Internally it owns
+// Generations×Channels UC queue pairs; packets round-robin across
+// channels and each channel CQ is drained by a dedicated DPA worker
+// (§3.4.1).
+type QP struct {
+	ctx *Context
+	cfg Config
+	ic  immCodec
+
+	chQPs [][]*nicsim.UCQP // [generation][channel]
+	chCQs [][]*nicsim.CQ
+
+	// rootMRs[g] is generation g's root indirect memory key (§3.2.2,
+	// §3.3.2).
+	rootMRs []*nicsim.IndirectMR
+
+	connected atomic.Bool
+	peer      QPInfo
+	sendCTS   func([]byte)
+
+	// receiver state
+	recvMu  sync.Mutex
+	recvSeq uint64
+	slots   []recvSlot
+
+	// sender state
+	sendMu   sync.Mutex
+	sendCond *sync.Cond
+	sendSeq  uint64
+	ctsHigh  uint64            // receives posted by peer (CTS count)
+	ctsSize  map[uint64]uint64 // seq → posted buffer size
+
+	packetsSent     atomic.Uint64
+	packetsReceived atomic.Uint64
+	lateDiscarded   atomic.Uint64
+	duplicates      atomic.Uint64
+	ctsSent         atomic.Uint64
+	ctsReceived     atomic.Uint64
+}
+
+// NewQP creates an SDR QP within the context, allocating its internal
+// UC channel QPs, completion queues, DPA workers, and the root
+// indirect memory key.
+func (c *Context) NewQP() *QP {
+	cfg := c.cfg
+	qp := &QP{
+		ctx:     c,
+		cfg:     cfg,
+		ic:      newImmCodec(cfg),
+		rootMRs: make([]*nicsim.IndirectMR, cfg.Generations),
+		slots:   make([]recvSlot, cfg.Slots()),
+		ctsSize: make(map[uint64]uint64),
+	}
+	qp.sendCond = sync.NewCond(&qp.sendMu)
+	qp.chQPs = make([][]*nicsim.UCQP, cfg.Generations)
+	qp.chCQs = make([][]*nicsim.CQ, cfg.Generations)
+	for g := 0; g < cfg.Generations; g++ {
+		qp.rootMRs[g] = c.dev.AllocIndirectMR(cfg.Slots(), uint64(cfg.MaxMsgBytes))
+		qp.chQPs[g] = make([]*nicsim.UCQP, cfg.Channels)
+		qp.chCQs[g] = make([]*nicsim.CQ, cfg.Channels)
+		for ch := 0; ch < cfg.Channels; ch++ {
+			cq := nicsim.NewCQ(cfg.CQDepth, false)
+			qp.chCQs[g][ch] = cq
+			qp.chQPs[g][ch] = nicsim.NewUCQP(c.dev, cfg.MTU, cq, nil)
+			gen := uint32(g)
+			c.pool.Spawn(cq, func(cqe *nicsim.CQE) { qp.backendHandle(gen, cqe) })
+		}
+	}
+	// All slots of every generation start retired: late packets land
+	// in the NULL key.
+	for g := 0; g < cfg.Generations; g++ {
+		for i := 0; i < cfg.Slots(); i++ {
+			qp.rootMRs[g].SetEntry(i, c.nullMR, 0)
+		}
+	}
+	return qp
+}
+
+// Info returns the connection blob for out-of-band exchange (Table 1:
+// qp_info_get).
+func (qp *QP) Info() QPInfo {
+	info := QPInfo{RootKeys: make([]uint32, len(qp.rootMRs))}
+	for g, mr := range qp.rootMRs {
+		info.RootKeys[g] = mr.Key()
+	}
+	info.ChannelQPNs = make([][]uint32, len(qp.chQPs))
+	for g := range qp.chQPs {
+		info.ChannelQPNs[g] = make([]uint32, len(qp.chQPs[g]))
+		for ch := range qp.chQPs[g] {
+			info.ChannelQPNs[g][ch] = qp.chQPs[g][ch].QPN()
+		}
+	}
+	return info
+}
+
+// Connect establishes the data path toward the remote QP (Table 1:
+// qp_connect): wire carries data packets, sendCTS transmits
+// clear-to-send messages on the application's out-of-band channel, and
+// inbound CTS messages must be forwarded to DeliverCTS.
+func (qp *QP) Connect(wire nicsim.Wire, remote QPInfo, sendCTS func([]byte)) error {
+	if len(remote.ChannelQPNs) != qp.cfg.Generations || len(remote.RootKeys) != qp.cfg.Generations {
+		return fmt.Errorf("sdr: remote has %d generations, local %d",
+			len(remote.ChannelQPNs), qp.cfg.Generations)
+	}
+	for g := range qp.chQPs {
+		if len(remote.ChannelQPNs[g]) != qp.cfg.Channels {
+			return fmt.Errorf("sdr: remote generation %d has %d channels, local %d",
+				g, len(remote.ChannelQPNs[g]), qp.cfg.Channels)
+		}
+		for ch := range qp.chQPs[g] {
+			qp.chQPs[g][ch].Connect(wire, remote.ChannelQPNs[g][ch])
+		}
+	}
+	qp.peer = remote
+	qp.sendCTS = sendCTS
+	qp.connected.Store(true)
+	return nil
+}
+
+// ConnectViaOOB is a convenience wrapper using a fabric.OOB channel:
+// side A registers HandleA/SendToB, side B the reverse.
+func (qp *QP) ConnectViaOOB(wire nicsim.Wire, oob *fabric.OOB, sideA bool, remote QPInfo) error {
+	var send func([]byte)
+	if sideA {
+		send = oob.SendToB
+	} else {
+		send = oob.SendToA
+	}
+	if err := qp.Connect(wire, remote, send); err != nil {
+		return err
+	}
+	if sideA {
+		oob.HandleA(qp.DeliverCTS)
+	} else {
+		oob.HandleB(qp.DeliverCTS)
+	}
+	return nil
+}
+
+// Config returns the QP's effective configuration.
+func (qp *QP) Config() Config { return qp.cfg }
+
+// Stats snapshots the QP counters.
+func (qp *QP) Stats() Stats {
+	return Stats{
+		PacketsSent:     qp.packetsSent.Load(),
+		PacketsReceived: qp.packetsReceived.Load(),
+		LateDiscarded:   qp.lateDiscarded.Load(),
+		Duplicates:      qp.duplicates.Load(),
+		CTSSent:         qp.ctsSent.Load(),
+		CTSReceived:     qp.ctsReceived.Load(),
+	}
+}
+
+// Close detaches the QP's channel queue pairs from the device. The
+// context's DPA workers are stopped by Context.Close.
+func (qp *QP) Close() {
+	for g := range qp.chQPs {
+		for ch := range qp.chQPs[g] {
+			qp.ctx.dev.DestroyQP(qp.chQPs[g][ch].QPN())
+			qp.chCQs[g][ch].Close()
+		}
+	}
+}
+
+// genFor returns the generation of message sequence number seq: slots
+// cycle through generations as message IDs wrap (§3.3.2).
+func (qp *QP) genFor(seq uint64) uint32 {
+	return uint32(seq / uint64(qp.cfg.Slots()) % uint64(qp.cfg.Generations))
+}
+
+// slotFor returns the message slot (= wire message ID) for seq.
+func (qp *QP) slotFor(seq uint64) int {
+	return int(seq % uint64(qp.cfg.Slots()))
+}
+
+// --- CTS control messages -------------------------------------------------
+
+// ctsMsgLen is seq(8) + size(8).
+const ctsMsgLen = 16
+
+func encodeCTS(seq, size uint64) []byte {
+	buf := make([]byte, ctsMsgLen)
+	binary.LittleEndian.PutUint64(buf[0:], seq)
+	binary.LittleEndian.PutUint64(buf[8:], size)
+	return buf
+}
+
+// DeliverCTS ingests one clear-to-send message from the out-of-band
+// channel (§3.2.3: the receiver announces a posted buffer; the sender
+// may then write message seq).
+func (qp *QP) DeliverCTS(msg []byte) {
+	if len(msg) != ctsMsgLen {
+		return
+	}
+	seq := binary.LittleEndian.Uint64(msg[0:])
+	size := binary.LittleEndian.Uint64(msg[8:])
+	qp.ctsReceived.Add(1)
+	qp.sendMu.Lock()
+	qp.ctsSize[seq] = size
+	if seq >= qp.ctsHigh {
+		qp.ctsHigh = seq + 1
+	}
+	qp.sendMu.Unlock()
+	qp.sendCond.Broadcast()
+}
+
+// waitCTS blocks until the peer posted the receive matching seq and
+// returns its size.
+func (qp *QP) waitCTS(seq uint64) uint64 {
+	qp.sendMu.Lock()
+	defer qp.sendMu.Unlock()
+	for {
+		if size, ok := qp.ctsSize[seq]; ok {
+			delete(qp.ctsSize, seq)
+			return size
+		}
+		qp.sendCond.Wait()
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sdrrdma/internal/bitmap"
+	"sdrrdma/internal/nicsim"
+)
+
+// recvSlot is one entry of the receive message table (§3.2.2). The
+// handle pointer doubles as the "active" flag; gen is the generation
+// expected to deliver packets for the slot.
+type recvSlot struct {
+	gen    atomic.Uint32
+	handle atomic.Pointer[RecvHandle]
+}
+
+// RecvHandle is a posted receive (Table 1: recv_post). The reliability
+// layer polls its chunk Bitmap to track partial completion and calls
+// Complete to retire the slot.
+type RecvHandle struct {
+	qp   *QP
+	seq  uint64
+	slot int
+	gen  uint32
+
+	mr     *nicsim.MR
+	offset uint64
+	size   int
+
+	npackets int
+	msg      *bitmap.Message
+
+	immSeen   atomic.Uint32 // bitmask of received user-imm fragments
+	immVal    atomic.Uint32 // reconstructed user immediate
+	completed atomic.Bool
+}
+
+// RecvPost posts size bytes of the registered region mr (starting at
+// offset) as the next receive buffer. Matching is order-based
+// (§3.1.3): the sender's i-th send lands in the receiver's i-th
+// posted buffer. Posting sends a clear-to-send to the peer.
+func (qp *QP) RecvPost(mr *nicsim.MR, offset uint64, size int) (*RecvHandle, error) {
+	if !qp.connected.Load() {
+		return nil, ErrNotConnected
+	}
+	if size <= 0 || size > qp.cfg.MaxMsgBytes {
+		return nil, fmt.Errorf("%w: %d bytes (max %d)", ErrMsgTooLarge, size, qp.cfg.MaxMsgBytes)
+	}
+	if offset+uint64(size) > mr.Span() {
+		return nil, fmt.Errorf("sdr: receive [%d,%d) outside MR of %d bytes",
+			offset, offset+uint64(size), mr.Span())
+	}
+
+	qp.recvMu.Lock()
+	seq := qp.recvSeq
+	slot := qp.slotFor(seq)
+	s := &qp.slots[slot]
+	if s.handle.Load() != nil {
+		qp.recvMu.Unlock()
+		return nil, ErrRecvQueueFull
+	}
+	qp.recvSeq++
+	gen := qp.genFor(seq)
+	h := &RecvHandle{
+		qp:       qp,
+		seq:      seq,
+		slot:     slot,
+		gen:      gen,
+		mr:       mr,
+		offset:   offset,
+		size:     size,
+		npackets: (size + qp.cfg.MTU - 1) / qp.cfg.MTU,
+	}
+	h.msg = bitmap.NewMessage(h.npackets, qp.cfg.PacketsPerChunk())
+	// Populate the message table: root-mkey slot → user buffer, then
+	// raise the generation gate and announce the buffer.
+	s.gen.Store(gen)
+	qp.rootMRs[gen].SetEntry(slot, mr, offset)
+	s.handle.Store(h)
+	qp.recvMu.Unlock()
+
+	qp.ctsSent.Add(1)
+	qp.sendCTS(encodeCTS(seq, uint64(size)))
+	return h, nil
+}
+
+// Bitmap returns the chunk-granular completion bitmap (Table 1:
+// recv_bitmap_get). Bit i covers bytes [i·chunk, (i+1)·chunk) of the
+// receive buffer and is set once every packet of the chunk arrived.
+func (h *RecvHandle) Bitmap() *bitmap.Bitmap { return h.msg.Chunks }
+
+// PacketBitmap exposes the backend per-packet bitmap (diagnostics and
+// tests; real hardware keeps this in DPA memory, §3.4.2).
+func (h *RecvHandle) PacketBitmap() *bitmap.Bitmap { return h.msg.Packets }
+
+// Seq returns the message sequence number of this receive.
+func (h *RecvHandle) Seq() uint64 { return h.seq }
+
+// Size returns the posted buffer size in bytes.
+func (h *RecvHandle) Size() int { return h.size }
+
+// NumChunks returns the number of bitmap chunks in the message.
+func (h *RecvHandle) NumChunks() int { return h.msg.NumChunks() }
+
+// Done reports whether every chunk has arrived.
+func (h *RecvHandle) Done() bool { return h.msg.Complete() }
+
+// Imm reconstructs the 32-bit user immediate from the per-packet
+// fragments (Table 1: recv_imm_get). It returns ErrImmNotReady until
+// either all fragment positions have been observed or the message is
+// fully delivered (shorter messages cannot carry every fragment; the
+// missing bits read as zero).
+func (h *RecvHandle) Imm() (uint32, error) {
+	frags := h.qp.cfg.immFragments()
+	if frags == 0 {
+		return 0, fmt.Errorf("%w: immediate split reserves no user bits", ErrImmNotReady)
+	}
+	need := frags
+	if h.npackets < frags {
+		need = h.npackets
+	}
+	full := uint32(1)<<uint(need) - 1
+	if h.immSeen.Load()&full != full {
+		return 0, ErrImmNotReady
+	}
+	if h.npackets < frags && !h.Done() {
+		return 0, ErrImmNotReady
+	}
+	return h.immVal.Load(), nil
+}
+
+// Complete retires the receive (Table 1: recv_complete): the root
+// memory-key entry is redirected to the NULL key so late packets are
+// absorbed (§3.3.2 stage 1), and the slot becomes available for the
+// next wraparound posting.
+func (h *RecvHandle) Complete() error {
+	if !h.completed.CompareAndSwap(false, true) {
+		return ErrAlreadyCompleted
+	}
+	qp := h.qp
+	s := &qp.slots[h.slot]
+	qp.rootMRs[h.gen].SetEntry(h.slot, qp.ctx.nullMR, 0)
+	s.handle.Store(nil)
+	return nil
+}
+
+// backendHandle is the DPA worker body (§3.4.2): validate the
+// completion's generation, locate the message descriptor from the
+// immediate, update the per-packet bitmap, and coalesce into the
+// host-side chunk bitmap.
+func (qp *QP) backendHandle(gen uint32, cqe *nicsim.CQE) {
+	if !cqe.HasImm {
+		return
+	}
+	msgID, pktOff, frag := qp.ic.decode(cqe.Imm)
+	if int(msgID) >= len(qp.slots) {
+		qp.lateDiscarded.Add(1)
+		return
+	}
+	s := &qp.slots[msgID]
+	h := s.handle.Load()
+	// Stage-2 late protection: the slot must hold a live message of
+	// this worker's generation (§3.3.2).
+	if h == nil || s.gen.Load() != gen || h.gen != gen {
+		qp.lateDiscarded.Add(1)
+		return
+	}
+	if int(pktOff) >= h.npackets {
+		qp.lateDiscarded.Add(1)
+		return
+	}
+	qp.packetsReceived.Add(1)
+
+	if bits := qp.cfg.UserImmBits; bits > 0 {
+		frags := qp.cfg.immFragments()
+		fragIdx := int(pktOff) % frags
+		h.immVal.Or(uint32(frag) << uint(fragIdx*bits))
+		h.immSeen.Or(1 << uint(fragIdx))
+	}
+
+	newlySet, chunkDone := h.msg.MarkPacket(int(pktOff))
+	if !newlySet {
+		// Retransmission overlap or wire duplication.
+		qp.duplicates.Add(1)
+		return
+	}
+	if chunkDone {
+		// This worker delivered the final packet of a chunk: it owns
+		// the PCIe update of the host chunk bitmap (already performed
+		// inside MarkPacket, §3.4.2); account for it.
+		qp.ctx.pool.PCIeWrites.Add(1)
+	}
+}

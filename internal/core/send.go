@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SendStream is a streaming send context (Table 1: send_stream_*).
+// Chunks can be injected at arbitrary MTU-aligned offsets of the
+// matched remote buffer — the primitive reliability layers use for
+// retransmission (§3.1.2).
+type SendStream struct {
+	qp      *QP
+	seq     uint64
+	slot    int
+	gen     uint32
+	size    int // matched receive size from CTS
+	userImm uint32
+
+	mu       sync.Mutex
+	ended    bool
+	injected int // packets injected so far
+	rr       int // round-robin channel cursor
+}
+
+// SendStreamStart opens a streaming send for the next matched receive
+// (order-based matching, §3.1.3). It blocks until the peer's CTS for
+// this sequence number arrives and validates the announced size.
+func (qp *QP) SendStreamStart(size int, userImm uint32) (*SendStream, error) {
+	if !qp.connected.Load() {
+		return nil, ErrNotConnected
+	}
+	if size <= 0 || size > qp.cfg.MaxMsgBytes {
+		return nil, fmt.Errorf("%w: %d bytes (max %d)", ErrMsgTooLarge, size, qp.cfg.MaxMsgBytes)
+	}
+	qp.sendMu.Lock()
+	seq := qp.sendSeq
+	qp.sendSeq++
+	qp.sendMu.Unlock()
+
+	matched := qp.waitCTS(seq)
+	if uint64(size) > matched {
+		return nil, fmt.Errorf("%w: send %d B, receive posted %d B (seq %d)",
+			ErrSizeMismatch, size, matched, seq)
+	}
+	return &SendStream{
+		qp:      qp,
+		seq:     seq,
+		slot:    qp.slotFor(seq),
+		gen:     qp.genFor(seq),
+		size:    size,
+		userImm: userImm,
+	}, nil
+}
+
+// Seq returns the stream's message sequence number.
+func (s *SendStream) Seq() uint64 { return s.seq }
+
+// Continue injects data at byte offset within the remote buffer
+// (Table 1: send_stream_continue). offset must be MTU-aligned; the
+// same range may be sent again later (retransmission).
+func (s *SendStream) Continue(offset int, data []byte) error {
+	qp := s.qp
+	if offset%qp.cfg.MTU != 0 {
+		return fmt.Errorf("%w: offset %d, MTU %d", ErrOffsetUnaligned, offset, qp.cfg.MTU)
+	}
+	if offset+len(data) > s.size {
+		return fmt.Errorf("%w: [%d,%d) beyond announced size %d",
+			ErrSizeMismatch, offset, offset+len(data), s.size)
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return ErrStreamEnded
+	}
+	s.inject(offset, data)
+	s.mu.Unlock()
+	return nil
+}
+
+// inject fragments data into per-packet unreliable Writes with
+// immediate, round-robining across the generation's channels (§3.4.1).
+// Caller holds s.mu.
+func (s *SendStream) inject(offset int, data []byte) {
+	qp := s.qp
+	mtu := qp.cfg.MTU
+	frags := qp.cfg.immFragments()
+	chans := qp.chQPs[s.gen]
+	basePkt := offset / mtu
+	n := (len(data) + mtu - 1) / mtu
+	for i := 0; i < n; i++ {
+		lo := i * mtu
+		hi := lo + mtu
+		if hi > len(data) {
+			hi = len(data)
+		}
+		pktIdx := basePkt + i
+		var frag uint8
+		if frags > 0 {
+			fragIdx := pktIdx % frags
+			frag = uint8(s.userImm >> uint(fragIdx*qp.cfg.UserImmBits))
+		}
+		imm := qp.ic.encode(uint32(s.slot), uint32(pktIdx), frag)
+		remote := uint64(s.slot)*uint64(qp.cfg.MaxMsgBytes) + uint64(pktIdx)*uint64(mtu)
+		ch := chans[s.rr%len(chans)]
+		s.rr++
+		ch.WriteImm(qp.peer.RootKeys[s.gen], remote, data[lo:hi], imm, s.seq)
+		qp.packetsSent.Add(1)
+	}
+	s.injected += n
+}
+
+// End declares that no further chunks will be added (Table 1:
+// send_stream_end). The message context is destroyed on the sender.
+func (s *SendStream) End() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return ErrStreamEnded
+	}
+	s.ended = true
+	return nil
+}
+
+// Injected returns how many packets the stream has put on the wire
+// (including retransmissions).
+func (s *SendStream) Injected() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injected
+}
+
+// SendHandle tracks a one-shot send (Table 1: send_post/send_poll).
+type SendHandle struct {
+	seq     uint64
+	packets int
+}
+
+// Seq returns the message sequence number of the send.
+func (h *SendHandle) Seq() uint64 { return h.seq }
+
+// Poll reports whether injection finished (Table 1: send_poll). The
+// simulator injects synchronously, so a returned handle is always
+// complete; the API mirrors the asynchronous hardware contract.
+func (h *SendHandle) Poll() bool { return true }
+
+// Packets returns how many packets the send injected.
+func (h *SendHandle) Packets() int { return h.packets }
+
+// SendPost performs a one-shot send of data as the next matched
+// message (Table 1: send_post): efficient path for large contiguous
+// blocks (§3.1.2). Blocks until the matching receive is posted.
+func (qp *QP) SendPost(data []byte, userImm uint32) (*SendHandle, error) {
+	stream, err := qp.SendStreamStart(len(data), userImm)
+	if err != nil {
+		return nil, err
+	}
+	if err := stream.Continue(0, data); err != nil {
+		return nil, err
+	}
+	if err := stream.End(); err != nil {
+		return nil, err
+	}
+	return &SendHandle{seq: stream.seq, packets: stream.Injected()}, nil
+}

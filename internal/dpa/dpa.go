@@ -1,0 +1,108 @@
+// Package dpa emulates the BlueField-3 Data Path Accelerator used for
+// SDR backend offloading (§3.4): a pool of worker threads, each
+// polling one completion queue and running the packet-processing
+// handler (generation check, per-packet bitmap update, chunk
+// coalescing, PCIe write of the host-visible chunk bitmap).
+//
+// The emulation preserves the structural properties the paper relies
+// on: one worker per channel CQ, per-packet work independent of
+// payload size (workers touch completions, not payloads), and linear
+// scaling with the worker count until the memory system saturates.
+package dpa
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sdrrdma/internal/nicsim"
+)
+
+// Handler processes one completion. Implementations must be
+// thread-safe across workers (SDR's bitmap updates are atomic).
+type Handler func(cqe *nicsim.CQE)
+
+// batchSize is how many CQEs a worker drains per poll, mirroring the
+// DPA's batch completion processing.
+const batchSize = 256
+
+// Worker is one emulated DPA hardware thread bound to a CQ.
+type Worker struct {
+	cq      *nicsim.CQ
+	handler Handler
+	done    chan struct{}
+	// Processed counts completions handled by this worker.
+	Processed atomic.Uint64
+}
+
+func (w *Worker) run() {
+	defer close(w.done)
+	var batch [batchSize]nicsim.CQE
+	for {
+		n := w.cq.Poll(batch[:])
+		if n == 0 {
+			if !w.cq.Wait() {
+				return
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			w.handler(&batch[i])
+		}
+		w.Processed.Add(uint64(n))
+	}
+}
+
+// Pool manages a set of workers, the DPA thread group serving one SDR
+// context.
+type Pool struct {
+	mu      sync.Mutex
+	workers []*Worker
+	// PCIeWrites counts host-memory updates performed by handlers
+	// (chunk-bitmap writes over PCIe, §3.4.2); handlers increment it.
+	PCIeWrites atomic.Uint64
+}
+
+// NewPool creates an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Spawn starts a worker draining cq with handler and returns it.
+func (p *Pool) Spawn(cq *nicsim.CQ, handler Handler) *Worker {
+	w := &Worker{cq: cq, handler: handler, done: make(chan struct{})}
+	p.mu.Lock()
+	p.workers = append(p.workers, w)
+	p.mu.Unlock()
+	go w.run()
+	return w
+}
+
+// Workers returns the current worker count.
+func (p *Pool) Workers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
+
+// Processed sums completions handled across all workers.
+func (p *Pool) Processed() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total uint64
+	for _, w := range p.workers {
+		total += w.Processed.Load()
+	}
+	return total
+}
+
+// Stop closes every worker's CQ and waits for the workers to drain.
+func (p *Pool) Stop() {
+	p.mu.Lock()
+	workers := append([]*Worker(nil), p.workers...)
+	p.workers = nil
+	p.mu.Unlock()
+	for _, w := range workers {
+		w.cq.Close()
+	}
+	for _, w := range workers {
+		<-w.done
+	}
+}

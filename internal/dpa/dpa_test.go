@@ -1,0 +1,87 @@
+package dpa
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"sdrrdma/internal/nicsim"
+)
+
+func TestWorkerProcessesAll(t *testing.T) {
+	pool := NewPool()
+	cq := nicsim.NewCQ(1024, false)
+	var sum atomic.Uint64
+	w := pool.Spawn(cq, func(cqe *nicsim.CQE) { sum.Add(uint64(cqe.Imm)) })
+	var want uint64
+	for i := 1; i <= 500; i++ {
+		cq.Push(nicsim.CQE{Imm: uint32(i)})
+		want += uint64(i)
+	}
+	pool.Stop()
+	if got := sum.Load(); got != want {
+		t.Fatalf("handler sum = %d, want %d", got, want)
+	}
+	if w.Processed.Load() != 500 {
+		t.Fatalf("Processed = %d, want 500", w.Processed.Load())
+	}
+}
+
+func TestPoolCounters(t *testing.T) {
+	pool := NewPool()
+	cqs := make([]*nicsim.CQ, 4)
+	for i := range cqs {
+		cqs[i] = nicsim.NewCQ(256, false)
+		pool.Spawn(cqs[i], func(*nicsim.CQE) {})
+	}
+	if pool.Workers() != 4 {
+		t.Fatalf("Workers = %d", pool.Workers())
+	}
+	for i, cq := range cqs {
+		for j := 0; j <= i; j++ {
+			cq.Push(nicsim.CQE{})
+		}
+	}
+	pool.Stop()
+	if got := pool.Processed(); got != 0 {
+		// Stop clears the worker list; Processed sums live workers.
+		t.Fatalf("Processed after Stop = %d, want 0 (workers detached)", got)
+	}
+	if pool.Workers() != 0 {
+		t.Fatalf("Workers after Stop = %d", pool.Workers())
+	}
+}
+
+func TestProcessedBeforeStop(t *testing.T) {
+	pool := NewPool()
+	cq := nicsim.NewCQ(64, false)
+	done := make(chan struct{})
+	pool.Spawn(cq, func(*nicsim.CQE) {
+		select {
+		case <-done:
+		default:
+			close(done)
+		}
+	})
+	cq.Push(nicsim.CQE{})
+	<-done
+	// allow the counter increment after the handler returns
+	for i := 0; i < 1000 && pool.Processed() == 0; i++ {
+	}
+	if pool.Processed() == 0 {
+		t.Fatal("Processed not counted")
+	}
+	pool.Stop()
+}
+
+func TestStopIdempotentAndConcurrentPush(t *testing.T) {
+	pool := NewPool()
+	cq := nicsim.NewCQ(16, true) // overrun mode: pushes after close drop
+	pool.Spawn(cq, func(*nicsim.CQE) {})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			cq.Push(nicsim.CQE{})
+		}
+	}()
+	pool.Stop()
+	pool.Stop() // second stop is a no-op
+}

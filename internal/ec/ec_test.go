@@ -1,0 +1,352 @@
+package ec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func makeShards(rng *rand.Rand, n, size int) [][]byte {
+	shards := make([][]byte, n)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	return shards
+}
+
+func roundTrip(t *testing.T, c Code, lose []int, size int, wantErr bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	k, m := c.K(), c.M()
+	data := makeShards(rng, k, size)
+	parity := makeShards(rng, m, size)
+	orig := make([][]byte, k)
+	for i := range data {
+		orig[i] = append([]byte(nil), data[i]...)
+	}
+	if err := c.Encode(data, parity); err != nil {
+		t.Fatalf("%s Encode: %v", c.Name(), err)
+	}
+	shards := append(append([][]byte{}, data...), parity...)
+	present := make([]bool, k+m)
+	for i := range present {
+		present[i] = true
+	}
+	for _, l := range lose {
+		present[l] = false
+		for b := range shards[l] {
+			shards[l][b] = 0xEE // corrupt lost shards to catch stale reads
+		}
+	}
+	err := c.Reconstruct(shards, present)
+	if wantErr {
+		if err != ErrUnrecoverable {
+			t.Fatalf("%s lose=%v: err=%v, want ErrUnrecoverable", c.Name(), lose, err)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("%s Reconstruct(lose=%v): %v", c.Name(), lose, err)
+	}
+	for i := 0; i < k; i++ {
+		if !bytes.Equal(shards[i], orig[i]) {
+			t.Fatalf("%s lose=%v: data shard %d corrupted after reconstruct", c.Name(), lose, i)
+		}
+	}
+}
+
+func TestXORBasicRecovery(t *testing.T) {
+	c, err := NewXOR(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// one data block per group: recoverable
+	roundTrip(t, c, []int{0, 1, 2, 3}, 512, false)
+	// single loss
+	roundTrip(t, c, []int{5}, 512, false)
+	// parity-only losses: trivially fine
+	roundTrip(t, c, []int{8, 9, 10, 11}, 512, false)
+	// two data blocks in the same group (0 and 4 are both ≡0 mod 4)
+	roundTrip(t, c, []int{0, 4}, 512, true)
+	// data + its own parity in one group
+	roundTrip(t, c, []int{1, 9}, 512, true)
+	// no loss at all
+	roundTrip(t, c, nil, 64, false)
+}
+
+func TestXORRejectsBadGeometry(t *testing.T) {
+	if _, err := NewXOR(7, 3); err == nil {
+		t.Fatal("NewXOR(7,3) should fail: m does not divide k")
+	}
+	if _, err := NewXOR(0, 1); err == nil {
+		t.Fatal("NewXOR(0,1) should fail")
+	}
+}
+
+func TestRSBasicRecovery(t *testing.T) {
+	c, err := NewRS(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// any m losses are recoverable, regardless of position
+	roundTrip(t, c, []int{0, 1, 2, 3}, 512, false)
+	roundTrip(t, c, []int{0, 4, 8, 11}, 512, false)
+	roundTrip(t, c, []int{8, 9, 10, 11}, 512, false)
+	roundTrip(t, c, []int{7}, 64, false)
+	roundTrip(t, c, nil, 64, false)
+	// m+1 losses: unrecoverable
+	roundTrip(t, c, []int{0, 1, 2, 3, 4}, 512, true)
+}
+
+func TestRSPaperConfig(t *testing.T) {
+	// The paper's chosen balanced configuration EC(32, 8) (§5.2.1).
+	c, err := NewRS(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		nLose := rng.Intn(9) // 0..8 losses, all recoverable
+		lose := rng.Perm(40)[:nLose]
+		roundTrip(t, c, lose, 1024, false)
+	}
+	for trial := 0; trial < 10; trial++ {
+		nLose := 9 + rng.Intn(8)
+		lose := rng.Perm(40)[:nLose]
+		roundTrip(t, c, lose, 1024, true)
+	}
+}
+
+func TestRSRejectsBadGeometry(t *testing.T) {
+	if _, err := NewRS(200, 100); err == nil {
+		t.Fatal("NewRS(200,100) should fail: exceeds field size")
+	}
+	if _, err := NewRS(0, 4); err == nil {
+		t.Fatal("NewRS(0,4) should fail")
+	}
+}
+
+// Property: RS recovers from ANY loss pattern with ≤ m losses; XOR
+// recovers iff no modulo group loses 2+ blocks. CanRecover must agree
+// with Reconstruct success.
+func TestRecoveryProperty(t *testing.T) {
+	rsCode, _ := NewRS(6, 3)
+	xorCode, _ := NewXOR(6, 3)
+	check := func(seed int64, lossMask uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, c := range []Code{rsCode, xorCode} {
+			k, m := c.K(), c.M()
+			data := makeShards(rng, k, 32)
+			parity := makeShards(rng, m, 32)
+			orig := make([][]byte, k)
+			for i := range data {
+				orig[i] = append([]byte(nil), data[i]...)
+			}
+			if err := c.Encode(data, parity); err != nil {
+				return false
+			}
+			shards := append(append([][]byte{}, data...), parity...)
+			present := make([]bool, k+m)
+			for i := range present {
+				present[i] = lossMask&(1<<uint(i)) == 0
+			}
+			can := c.CanRecover(present)
+			err := c.Reconstruct(shards, append([]bool(nil), present...))
+			if can != (err == nil) {
+				return false
+			}
+			if err == nil {
+				for i := 0; i < k; i++ {
+					if present[i] && !bytes.Equal(shards[i], orig[i]) {
+						return false
+					}
+				}
+				// verify recovered ones too
+				for i := 0; i < k; i++ {
+					if !bytes.Equal(shards[i], orig[i]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeShardMismatch(t *testing.T) {
+	c, _ := NewRS(4, 2)
+	rng := rand.New(rand.NewSource(1))
+	data := makeShards(rng, 4, 64)
+	parity := makeShards(rng, 2, 64)
+	parity[1] = parity[1][:32]
+	if err := c.Encode(data, parity); err == nil {
+		t.Fatal("Encode accepted mismatched shard sizes")
+	}
+	if err := c.Encode(data[:3], parity); err == nil {
+		t.Fatal("Encode accepted wrong shard count")
+	}
+}
+
+func TestMDSSuccessProb(t *testing.T) {
+	// p=0 → always recoverable; p=1 → never (with k>0 data at risk)
+	if got := MDSSuccessProb(32, 8, 0); got != 1 {
+		t.Fatalf("P(k=32,m=8,p=0) = %g", got)
+	}
+	if got := MDSSuccessProb(32, 8, 1); got > 1e-12 {
+		t.Fatalf("P(k=32,m=8,p=1) = %g", got)
+	}
+	// monotonically decreasing in p
+	prev := 1.0
+	for _, p := range []float64{1e-6, 1e-4, 1e-3, 1e-2, 0.1, 0.3} {
+		got := MDSSuccessProb(32, 8, p)
+		if got > prev+1e-12 {
+			t.Fatalf("MDS success prob not monotone at p=%g", p)
+		}
+		prev = got
+	}
+	// cross-check against direct Monte Carlo at p=0.05
+	rng := rand.New(rand.NewSource(11))
+	const trials = 200000
+	ok := 0
+	for i := 0; i < trials; i++ {
+		losses := 0
+		for j := 0; j < 40; j++ {
+			if rng.Float64() < 0.05 {
+				losses++
+			}
+		}
+		if losses <= 8 {
+			ok++
+		}
+	}
+	mc := float64(ok) / trials
+	if got := MDSSuccessProb(32, 8, 0.05); math.Abs(got-mc) > 0.01 {
+		t.Fatalf("MDSSuccessProb = %g, Monte-Carlo = %g", got, mc)
+	}
+}
+
+func TestXORSuccessProb(t *testing.T) {
+	if got := XORSuccessProb(32, 8, 0); got != 1 {
+		t.Fatalf("P(p=0) = %g", got)
+	}
+	// Monte-Carlo cross-check at p=0.02, k=32 m=8 (n=5 per group)
+	rng := rand.New(rand.NewSource(13))
+	const trials = 200000
+	ok := 0
+	for i := 0; i < trials; i++ {
+		good := true
+		for g := 0; g < 8 && good; g++ {
+			losses := 0
+			for b := 0; b < 5; b++ { // 4 data + 1 parity per group
+				if rng.Float64() < 0.02 {
+					losses++
+				}
+			}
+			if losses > 1 {
+				good = false
+			}
+		}
+		if good {
+			ok++
+		}
+	}
+	mc := float64(ok) / trials
+	if got := XORSuccessProb(32, 8, 0.02); math.Abs(got-mc) > 0.01 {
+		t.Fatalf("XORSuccessProb = %g, Monte-Carlo = %g", got, mc)
+	}
+	// MDS must dominate XOR at equal (k, m): strictly stronger code.
+	for _, p := range []float64{1e-4, 1e-3, 1e-2, 0.05} {
+		if mds, xor := MDSSuccessProb(32, 8, p), XORSuccessProb(32, 8, p); mds < xor-1e-12 {
+			t.Fatalf("MDS (%g) weaker than XOR (%g) at p=%g", mds, xor, p)
+		}
+	}
+}
+
+// Fig 11's crossover: for a 128 MiB buffer (L = 64 submessages of
+// 32 × 64 KiB chunks), XOR's SR fallback becomes tail-relevant
+// (fallback probability above the 1e-3 that moves p99.9) around chunk
+// drop rate 1e-3, while MDS stays robust beyond 1e-2 and only becomes
+// ineffective at very high drop rates (§5.2.1–5.2.2).
+func TestFig11FallbackOnsetShape(t *testing.T) {
+	const L = 64
+	fallback := func(p float64, f func(int, int, float64) float64) float64 {
+		return 1 - math.Pow(f(32, 8, p), L)
+	}
+	xorOnset := fallback(1e-3, XORSuccessProb)
+	mdsOnset := fallback(1e-3, MDSSuccessProb)
+	if xorOnset < 1e-3 {
+		t.Fatalf("XOR fallback prob at p=1e-3 = %g, want tail-relevant (>1e-3)", xorOnset)
+	}
+	if mdsOnset > xorOnset/10 {
+		t.Fatalf("MDS fallback %g not ≪ XOR fallback %g at p=1e-3", mdsOnset, xorOnset)
+	}
+	if v := fallback(1e-2, MDSSuccessProb); v > 1e-3 {
+		t.Fatalf("MDS fallback prob at p=1e-2 = %g, want robust (<1e-3)", v)
+	}
+	if v := fallback(0.15, MDSSuccessProb); v < 0.5 {
+		t.Fatalf("MDS fallback prob at p=0.15 = %g, want ineffective (>0.5)", v)
+	}
+}
+
+func BenchmarkRSEncode32x8_64KiB(b *testing.B) {
+	benchEncode(b, mustRS(32, 8), 64<<10)
+}
+
+func BenchmarkXOREncode32x8_64KiB(b *testing.B) {
+	benchEncode(b, mustXOR(32, 8), 64<<10)
+}
+
+func mustRS(k, m int) Code  { c, _ := NewRS(k, m); return c }
+func mustXOR(k, m int) Code { c, _ := NewXOR(k, m); return c }
+
+func benchEncode(b *testing.B, c Code, chunk int) {
+	rng := rand.New(rand.NewSource(1))
+	data := makeShards(rng, c.K(), chunk)
+	parity := makeShards(rng, c.M(), chunk)
+	b.SetBytes(int64(c.K() * chunk))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(data, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRSReconstruct32x8_64KiB(b *testing.B) {
+	benchReconstruct(b, mustRS(32, 8))
+}
+
+func BenchmarkXORReconstruct32x8_64KiB(b *testing.B) {
+	benchReconstruct(b, mustXOR(32, 8))
+}
+
+func benchReconstruct(b *testing.B, c Code) {
+	rng := rand.New(rand.NewSource(1))
+	const chunk = 64 << 10
+	data := makeShards(rng, c.K(), chunk)
+	parity := makeShards(rng, c.M(), chunk)
+	if err := c.Encode(data, parity); err != nil {
+		b.Fatal(err)
+	}
+	shards := append(append([][]byte{}, data...), parity...)
+	b.SetBytes(int64(c.K() * chunk))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		present := make([]bool, c.K()+c.M())
+		for j := range present {
+			present[j] = true
+		}
+		present[3] = false // one loss per group at most: both codes recover
+		if err := c.Reconstruct(shards, present); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"sdrrdma/internal/core"
+)
+
+// quickOpts keeps experiment tests fast.
+var quickOpts = Options{Samples: 150, TailSamples: 600, Seed: 3, DurationSec: 0.1}
+
+func runFig(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := Run(id, quickOpts)
+	if err != nil {
+		t.Fatalf("figure %s: %v", id, err)
+	}
+	if len(res.Rows) == 0 || len(res.Header) == 0 {
+		t.Fatalf("figure %s produced an empty table", id)
+	}
+	for i, row := range res.Rows {
+		if len(row) != len(res.Header) {
+			t.Fatalf("figure %s row %d has %d cells, header has %d", id, i, len(row), len(res.Header))
+		}
+	}
+	if s := res.Format(); !strings.Contains(s, res.Name) {
+		t.Fatalf("figure %s Format missing name", id)
+	}
+	return res
+}
+
+func cell(t *testing.T, res *Result, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(strings.TrimSpace(res.Rows[row][col]), "x")
+	s = strings.TrimSuffix(s, " km")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s cell (%d,%d) %q not numeric: %v", res.Name, row, col, res.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestAllFiguresProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("functional figures are slow in -short mode")
+	}
+	for _, id := range List() {
+		id := id
+		t.Run("fig"+id, func(t *testing.T) { runFig(t, id) })
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+// Fig 3a shape assertions on the generated table itself.
+func TestFig3aTableShape(t *testing.T) {
+	res := runFig(t, "3a")
+	// SR column: rises then falls; EC column: monotone toward 1.25.
+	var srPeak float64
+	for i := range res.Rows {
+		if v := cell(t, res, i, 1); v > srPeak {
+			srPeak = v
+		}
+	}
+	if srPeak < 1.8 {
+		t.Fatalf("Fig 3a SR peak %.2f, want ≈2.5", srPeak)
+	}
+	first := cell(t, res, 0, 2)
+	last := cell(t, res, len(res.Rows)-1, 2)
+	if first > 1.1 || last < 1.2 || last > 1.3 {
+		t.Fatalf("Fig 3a EC column should run ≈1.0 → 1.25, got %.2f → %.2f", first, last)
+	}
+}
+
+// Fig 9 red region: EC wins (>1) at 128 MiB and mid drop rates; SR
+// wins (<1) for 8 GiB at 1e-6.
+func TestFig9RedRegion(t *testing.T) {
+	res := runFig(t, "9")
+	rowFor := func(label string) int {
+		for i, row := range res.Rows {
+			if row[0] == label {
+				return i
+			}
+		}
+		t.Fatalf("Fig 9 missing row %q", label)
+		return -1
+	}
+	r128 := rowFor("128 MiB")
+	// columns: 1=1e-6 ... 5=1e-2, 6=1e-1
+	if v := cell(t, res, r128, 4); v < 1.5 {
+		t.Fatalf("Fig 9 128 MiB @1e-3: EC speedup %.2f, want >1.5", v)
+	}
+	r8g := rowFor("8 GiB")
+	if v := cell(t, res, r8g, 1); v > 1.0 {
+		t.Fatalf("Fig 9 8 GiB @1e-6: SR should win, got EC speedup %.2f", v)
+	}
+}
+
+func TestFig11CoreCounts(t *testing.T) {
+	res := runFig(t, "11")
+	// XOR must encode faster per core than MDS (Fig 11: ~half the
+	// cores), hence need fewer cores.
+	mdsCores := cell(t, res, 0, 2)
+	xorCores := cell(t, res, 1, 2)
+	if xorCores >= mdsCores {
+		t.Fatalf("XOR needs %.1f cores vs MDS %.1f — expected XOR cheaper", xorCores, mdsCores)
+	}
+	// XOR falls back earlier than MDS.
+	mdsFB := cell(t, res, 0, 3)
+	xorFB := cell(t, res, 1, 3)
+	if xorFB <= mdsFB {
+		t.Fatalf("XOR fallback %.3g should exceed MDS %.3g at 1e-3", xorFB, mdsFB)
+	}
+}
+
+func TestFig13SpeedupsGrow(t *testing.T) {
+	res := runFig(t, "13")
+	// every row: speedup grows with drop rate (columns 1..3)
+	for i := range res.Rows {
+		lo := cell(t, res, i, 1)
+		hi := cell(t, res, i, 3)
+		if hi <= lo {
+			t.Fatalf("Fig 13 row %q: speedup not increasing (%.2f → %.2f)", res.Rows[i][0], lo, hi)
+		}
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512 B",
+		2 << 10:   "2 KiB",
+		128 << 20: "128 MiB",
+		8 << 30:   "8 GiB",
+		2 << 40:   "2 TiB",
+	}
+	for b, want := range cases {
+		if got := sizeLabel(b); got != want {
+			t.Fatalf("sizeLabel(%d) = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestThroughputHarnessSmall(t *testing.T) {
+	r, err := runThroughput(coreCfgForTest(), 64<<10, 32, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.msgs != 32 || r.bytes != 32*64<<10 {
+		t.Fatalf("throughput accounting wrong: %+v", r)
+	}
+	if r.packets == 0 || r.elapsed <= 0 {
+		t.Fatalf("suspicious result: %+v", r)
+	}
+}
+
+func coreCfgForTest() core.Config {
+	return core.Config{
+		MTU: 4096, ChunkBytes: 64 << 10, MaxMsgBytes: 1 << 20,
+		MsgIDBits: 10, PktOffsetBits: 18, UserImmBits: 4,
+		Generations: 1, Channels: 4, CQDepth: 1 << 12,
+	}
+}

@@ -1,0 +1,222 @@
+// Package fabric is the in-process wire connecting simulated NIC
+// devices. Each direction of a link applies a configurable impairment
+// pipeline — drop, duplication, latency, jitter-induced reordering —
+// before delivering packets to the peer device, standing in for the
+// long-haul ISP channel of §2.1. Test hooks can intercept individual
+// packets (drop the Nth, hold one and release it later) to exercise
+// SDR's late-packet protection (§3.3).
+package fabric
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdrrdma/internal/nicsim"
+)
+
+// Verdict is an interceptor's decision about one packet.
+type Verdict int
+
+const (
+	// Pass lets the packet continue through the impairment pipeline.
+	Pass Verdict = iota
+	// Drop discards the packet.
+	Drop
+	// Hold parks the packet until ReleaseHeld is called — the "late
+	// packet" generator.
+	Hold
+)
+
+// Interceptor inspects each packet before the statistical impairments.
+type Interceptor func(pkt *nicsim.Packet) Verdict
+
+// Config describes one direction of a link.
+type Config struct {
+	// Latency is the one-way propagation delay (0 = synchronous
+	// delivery in the caller's goroutine — the fast path used by the
+	// throughput experiments).
+	Latency time.Duration
+	// DropProb drops packets i.i.d.
+	DropProb float64
+	// DuplicateProb delivers a deep copy of the packet twice.
+	DuplicateProb float64
+	// ReorderProb delays a packet by ReorderExtra, letting later
+	// packets overtake it.
+	ReorderProb  float64
+	ReorderExtra time.Duration
+	// Seed makes the impairments reproducible.
+	Seed int64
+}
+
+// Direction is one half of a link; it implements nicsim.Wire.
+type Direction struct {
+	cfg  Config
+	dst  *nicsim.Device
+	rmu  sync.Mutex
+	rng  *rand.Rand
+	icpt atomic.Pointer[Interceptor]
+
+	heldMu sync.Mutex
+	held   []*nicsim.Packet
+
+	// Tx counts packets offered to the wire; Dropped, Duplicated and
+	// HeldCount are impairment statistics.
+	Tx         atomic.Uint64
+	Dropped    atomic.Uint64
+	Duplicated atomic.Uint64
+	HeldCount  atomic.Uint64
+}
+
+// NewDirection builds a standalone direction toward dst (links are
+// made of two).
+func NewDirection(dst *nicsim.Device, cfg Config) *Direction {
+	return &Direction{cfg: cfg, dst: dst, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetInterceptor installs (or clears, with nil) the packet hook.
+func (d *Direction) SetInterceptor(i Interceptor) {
+	if i == nil {
+		d.icpt.Store(nil)
+		return
+	}
+	d.icpt.Store(&i)
+}
+
+// Send implements nicsim.Wire.
+func (d *Direction) Send(pkt *nicsim.Packet) {
+	d.Tx.Add(1)
+	if ip := d.icpt.Load(); ip != nil {
+		switch (*ip)(pkt) {
+		case Drop:
+			d.Dropped.Add(1)
+			return
+		case Hold:
+			d.heldMu.Lock()
+			d.held = append(d.held, pkt.Clone())
+			d.heldMu.Unlock()
+			d.HeldCount.Add(1)
+			return
+		}
+	}
+	var dup bool
+	var extra time.Duration
+	if d.cfg.DropProb > 0 || d.cfg.DuplicateProb > 0 || d.cfg.ReorderProb > 0 {
+		d.rmu.Lock()
+		if d.cfg.DropProb > 0 && d.rng.Float64() < d.cfg.DropProb {
+			d.rmu.Unlock()
+			d.Dropped.Add(1)
+			return
+		}
+		dup = d.cfg.DuplicateProb > 0 && d.rng.Float64() < d.cfg.DuplicateProb
+		if d.cfg.ReorderProb > 0 && d.rng.Float64() < d.cfg.ReorderProb {
+			extra = d.cfg.ReorderExtra
+		}
+		d.rmu.Unlock()
+	}
+	d.deliver(pkt, d.cfg.Latency+extra)
+	if dup {
+		d.Duplicated.Add(1)
+		d.deliver(pkt.Clone(), d.cfg.Latency+extra)
+	}
+}
+
+func (d *Direction) deliver(pkt *nicsim.Packet, delay time.Duration) {
+	if delay <= 0 {
+		d.dst.Deliver(pkt)
+		return
+	}
+	time.AfterFunc(delay, func() { d.dst.Deliver(pkt) })
+}
+
+// ReleaseHeld delivers every held packet immediately (late arrival)
+// and returns how many were released.
+func (d *Direction) ReleaseHeld() int {
+	d.heldMu.Lock()
+	held := d.held
+	d.held = nil
+	d.heldMu.Unlock()
+	for _, pkt := range held {
+		d.dst.Deliver(pkt)
+	}
+	return len(held)
+}
+
+// Link is a full-duplex connection between two devices.
+type Link struct {
+	// AB carries packets from A's QPs to device B; BA the reverse.
+	AB, BA *Direction
+}
+
+// NewLink wires device a to device b with per-direction configs.
+func NewLink(a, b *nicsim.Device, ab, ba Config) *Link {
+	return &Link{AB: NewDirection(b, ab), BA: NewDirection(a, ba)}
+}
+
+// Symmetric builds a link with the same impairments both ways (the
+// reverse direction gets Seed+1 so the two loss streams differ).
+func Symmetric(a, b *nicsim.Device, cfg Config) *Link {
+	cfgBA := cfg
+	cfgBA.Seed = cfg.Seed + 1
+	return NewLink(a, b, cfg, cfgBA)
+}
+
+// OOB is the reliable, ordered out-of-band channel applications use
+// for bootstrap (QP info exchange, CTS): the role TCP plays for real
+// RDMA deployments. Delivery honours the link latency but never
+// drops.
+type OOB struct {
+	latency            time.Duration
+	mu                 sync.Mutex
+	aHandler, bHandler func([]byte)
+	// queues buffer messages that arrive before a handler registers.
+	toA, toB [][]byte
+}
+
+// NewOOB creates an out-of-band channel with the given one-way latency.
+func NewOOB(latency time.Duration) *OOB { return &OOB{latency: latency} }
+
+// HandleA registers the receive callback for endpoint A and flushes
+// any queued messages to it.
+func (o *OOB) HandleA(fn func([]byte)) { o.setHandler(&o.aHandler, &o.toA, fn) }
+
+// HandleB registers the receive callback for endpoint B.
+func (o *OOB) HandleB(fn func([]byte)) { o.setHandler(&o.bHandler, &o.toB, fn) }
+
+func (o *OOB) setHandler(slot *func([]byte), backlog *[][]byte, fn func([]byte)) {
+	o.mu.Lock()
+	*slot = fn
+	queued := *backlog
+	*backlog = nil
+	o.mu.Unlock()
+	for _, msg := range queued {
+		fn(msg)
+	}
+}
+
+// SendToB transmits from A to B reliably.
+func (o *OOB) SendToB(msg []byte) { o.send(&o.bHandler, &o.toB, msg) }
+
+// SendToA transmits from B to A reliably.
+func (o *OOB) SendToA(msg []byte) { o.send(&o.aHandler, &o.toA, msg) }
+
+func (o *OOB) send(slot *func([]byte), backlog *[][]byte, msg []byte) {
+	msg = append([]byte(nil), msg...)
+	dispatch := func() {
+		o.mu.Lock()
+		fn := *slot
+		if fn == nil {
+			*backlog = append(*backlog, msg)
+			o.mu.Unlock()
+			return
+		}
+		o.mu.Unlock()
+		fn(msg)
+	}
+	if o.latency <= 0 {
+		dispatch()
+		return
+	}
+	time.AfterFunc(o.latency, dispatch)
+}

@@ -1,0 +1,177 @@
+package fabric
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sdrrdma/internal/nicsim"
+)
+
+// countingQP records delivered packets.
+type countingQP struct {
+	delivered atomic.Uint64
+}
+
+func registerCounter(dev *nicsim.Device) (*countingQP, uint32) {
+	// Use a UD QP with posted buffers as a delivery counter.
+	cq := nicsim.NewCQ(1<<16, true)
+	ud := nicsim.NewUDQP(dev, 4096, cq)
+	c := &countingQP{}
+	go func() {
+		var buf [64]nicsim.CQE
+		for cq.Wait() {
+			n := cq.Poll(buf[:])
+			c.delivered.Add(uint64(n))
+		}
+	}()
+	// Post enough buffers up front: tests send well under this many.
+	buf := make([]byte, 64)
+	for i := 0; i < 1<<16; i++ {
+		ud.PostRecv(buf, uint64(i))
+	}
+	return c, ud.QPN()
+}
+
+func sendN(dir *Direction, dst uint32, n int) {
+	for i := 0; i < n; i++ {
+		dir.Send(&nicsim.Packet{Opcode: nicsim.OpSend, DstQPN: dst, Payload: []byte("x"),
+			First: true, Last: true})
+	}
+}
+
+func waitCount(t *testing.T, c *countingQP, want uint64, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for c.delivered.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d, want %d", c.delivered.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLosslessDirectionDeliversAll(t *testing.T) {
+	dev := nicsim.NewDevice("dst")
+	c, qpn := registerCounter(dev)
+	dir := NewDirection(dev, Config{})
+	sendN(dir, qpn, 1000)
+	waitCount(t, c, 1000, time.Second)
+	if dir.Tx.Load() != 1000 || dir.Dropped.Load() != 0 {
+		t.Fatalf("Tx=%d Dropped=%d", dir.Tx.Load(), dir.Dropped.Load())
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	dev := nicsim.NewDevice("dst")
+	_, qpn := registerCounter(dev)
+	dir := NewDirection(dev, Config{DropProb: 0.3, Seed: 1})
+	const n = 20000
+	sendN(dir, qpn, n)
+	rate := float64(dir.Dropped.Load()) / n
+	if rate < 0.27 || rate > 0.33 {
+		t.Fatalf("drop rate = %g, want ≈0.3", rate)
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	dev := nicsim.NewDevice("dst")
+	c, qpn := registerCounter(dev)
+	dir := NewDirection(dev, Config{DuplicateProb: 1.0, Seed: 2})
+	sendN(dir, qpn, 100)
+	waitCount(t, c, 200, time.Second)
+	if dir.Duplicated.Load() != 100 {
+		t.Fatalf("Duplicated = %d", dir.Duplicated.Load())
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	dev := nicsim.NewDevice("dst")
+	c, qpn := registerCounter(dev)
+	dir := NewDirection(dev, Config{Latency: 20 * time.Millisecond})
+	start := time.Now()
+	sendN(dir, qpn, 1)
+	waitCount(t, c, 1, time.Second)
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delivery after %v, want ≥20ms", elapsed)
+	}
+}
+
+func TestInterceptorDropAndHold(t *testing.T) {
+	dev := nicsim.NewDevice("dst")
+	c, qpn := registerCounter(dev)
+	dir := NewDirection(dev, Config{})
+	i := 0
+	dir.SetInterceptor(func(p *nicsim.Packet) Verdict {
+		i++
+		switch {
+		case i == 1:
+			return Drop
+		case i == 2:
+			return Hold
+		default:
+			return Pass
+		}
+	})
+	sendN(dir, qpn, 3)
+	waitCount(t, c, 1, time.Second) // only the third passed
+	if dir.Dropped.Load() != 1 || dir.HeldCount.Load() != 1 {
+		t.Fatalf("Dropped=%d Held=%d", dir.Dropped.Load(), dir.HeldCount.Load())
+	}
+	if n := dir.ReleaseHeld(); n != 1 {
+		t.Fatalf("ReleaseHeld = %d", n)
+	}
+	waitCount(t, c, 2, time.Second)
+	if n := dir.ReleaseHeld(); n != 0 {
+		t.Fatalf("second ReleaseHeld = %d", n)
+	}
+	dir.SetInterceptor(nil) // clearing must not panic
+	sendN(dir, qpn, 1)
+	waitCount(t, c, 3, time.Second)
+}
+
+func TestOOBReliableOrdered(t *testing.T) {
+	oob := NewOOB(0)
+	var got []byte
+	oob.HandleB(func(msg []byte) { got = append(got, msg...) })
+	oob.SendToB([]byte("a"))
+	oob.SendToB([]byte("b"))
+	oob.SendToB([]byte("c"))
+	if string(got) != "abc" {
+		t.Fatalf("OOB order = %q", got)
+	}
+}
+
+func TestOOBBacklogBeforeHandler(t *testing.T) {
+	oob := NewOOB(0)
+	oob.SendToA([]byte("early"))
+	var got string
+	oob.HandleA(func(msg []byte) { got = string(msg) })
+	if got != "early" {
+		t.Fatalf("backlogged OOB message = %q", got)
+	}
+}
+
+func TestOOBLatency(t *testing.T) {
+	oob := NewOOB(10 * time.Millisecond)
+	done := make(chan time.Time, 1)
+	oob.HandleB(func([]byte) { done <- time.Now() })
+	start := time.Now()
+	oob.SendToB([]byte("x"))
+	select {
+	case at := <-done:
+		if at.Sub(start) < 8*time.Millisecond {
+			t.Fatalf("OOB delivered after %v, want ≥10ms", at.Sub(start))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("OOB message never delivered")
+	}
+}
+
+func TestSymmetricLinkSeeds(t *testing.T) {
+	a, b := nicsim.NewDevice("a"), nicsim.NewDevice("b")
+	l := Symmetric(a, b, Config{DropProb: 0.5, Seed: 42})
+	if l.AB.cfg.Seed == l.BA.cfg.Seed {
+		t.Fatal("symmetric link directions share a seed")
+	}
+}

@@ -1,0 +1,243 @@
+package gf256
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldAxioms(t *testing.T) {
+	// associativity, commutativity, distributivity over random triples
+	check := func(a, b, c byte) bool {
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		if Mul(a, Add(b, c)) != Add(Mul(a, b), Mul(a, c)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulIdentityAndZero(t *testing.T) {
+	for x := 0; x < 256; x++ {
+		b := byte(x)
+		if Mul(b, 1) != b || Mul(1, b) != b {
+			t.Fatalf("1 is not identity for %d", x)
+		}
+		if Mul(b, 0) != 0 || Mul(0, b) != 0 {
+			t.Fatalf("0·%d != 0", x)
+		}
+		if Add(b, b) != 0 {
+			t.Fatalf("x+x != 0 for %d", x)
+		}
+	}
+}
+
+func TestInverses(t *testing.T) {
+	for x := 1; x < 256; x++ {
+		b := byte(x)
+		if Mul(b, Inv(b)) != 1 {
+			t.Fatalf("x·Inv(x) != 1 for %d", x)
+		}
+		if Div(b, b) != 1 {
+			t.Fatalf("x/x != 1 for %d", x)
+		}
+		if got := Div(Mul(b, 37), 37); got != b {
+			t.Fatalf("(x·37)/37 = %d, want %d", got, x)
+		}
+	}
+}
+
+func TestDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(5, 0)
+}
+
+func TestInvPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExpCyclic(t *testing.T) {
+	if Exp(0) != 1 {
+		t.Fatalf("α^0 = %d", Exp(0))
+	}
+	if Exp(255) != 1 {
+		t.Fatalf("α^255 = %d, want 1 (multiplicative order 255)", Exp(255))
+	}
+	seen := map[byte]bool{}
+	for i := 0; i < 255; i++ {
+		v := Exp(i)
+		if seen[v] {
+			t.Fatalf("α^%d = %d repeats — α is not primitive", i, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestVectorKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(100) + 1
+		c := byte(rng.Intn(256))
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		rng.Read(src)
+		rng.Read(dst)
+
+		wantMul := make([]byte, n)
+		wantMulAdd := make([]byte, n)
+		wantXOR := make([]byte, n)
+		for i := 0; i < n; i++ {
+			wantMul[i] = Mul(c, src[i])
+			wantMulAdd[i] = dst[i] ^ Mul(c, src[i])
+			wantXOR[i] = dst[i] ^ src[i]
+		}
+
+		got := append([]byte(nil), dst...)
+		MulSlice(c, got, src)
+		for i := range got {
+			if got[i] != wantMul[i] {
+				t.Fatalf("MulSlice(c=%d)[%d] = %d, want %d", c, i, got[i], wantMul[i])
+			}
+		}
+
+		got = append([]byte(nil), dst...)
+		MulAddSlice(c, got, src)
+		for i := range got {
+			if got[i] != wantMulAdd[i] {
+				t.Fatalf("MulAddSlice(c=%d)[%d] = %d, want %d", c, i, got[i], wantMulAdd[i])
+			}
+		}
+
+		got = append([]byte(nil), dst...)
+		XORSlice(got, src)
+		for i := range got {
+			if got[i] != wantXOR[i] {
+				t.Fatalf("XORSlice[%d] = %d, want %d", i, got[i], wantXOR[i])
+			}
+		}
+	}
+}
+
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { MulSlice(3, make([]byte, 4), make([]byte, 5)) },
+		func() { MulAddSlice(3, make([]byte, 4), make([]byte, 5)) },
+		func() { XORSlice(make([]byte, 4), make([]byte, 5)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on length mismatch")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(8) + 1
+		// random invertible matrix: retry until Invert succeeds
+		var m, inv *Matrix
+		for {
+			m = NewMatrix(n, n)
+			rng.Read(m.Data)
+			var err error
+			inv, err = m.Invert()
+			if err == nil {
+				break
+			}
+		}
+		prod := m.Mul(inv)
+		id := Identity(n)
+		for i := range prod.Data {
+			if prod.Data[i] != id.Data[i] {
+				t.Fatalf("M·M⁻¹ != I for n=%d", n)
+			}
+		}
+	}
+}
+
+func TestSingularMatrix(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 5) // duplicate row
+	if _, err := m.Invert(); err == nil {
+		t.Fatal("inverting a singular matrix succeeded")
+	}
+}
+
+func TestVandermondeSubmatricesInvertible(t *testing.T) {
+	// The MDS property relies on every k-row subset of the encoding
+	// matrix being invertible. Spot-check random subsets.
+	const k, m = 6, 4
+	v := Vandermonde(k+m, k)
+	top, err := v.SubMatrix(0, k, 0, k).Invert()
+	if err != nil {
+		t.Fatalf("top of Vandermonde not invertible: %v", err)
+	}
+	enc := v.Mul(top) // systematic form
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		rows := rng.Perm(k + m)[:k]
+		sub := NewMatrix(k, k)
+		for i, r := range rows {
+			copy(sub.Row(i), enc.Row(r))
+		}
+		if _, err := sub.Invert(); err != nil {
+			t.Fatalf("k-subset %v of systematic Vandermonde not invertible: %v", rows, err)
+		}
+	}
+}
+
+func TestMatrixShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func BenchmarkMulAddSlice64K(b *testing.B) {
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(src)
+	b.SetBytes(64 << 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x57, dst, src)
+	}
+}
+
+func BenchmarkXORSlice64K(b *testing.B) {
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(src)
+	b.SetBytes(64 << 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		XORSlice(dst, src)
+	}
+}

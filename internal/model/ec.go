@@ -1,0 +1,175 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sdrrdma/internal/ec"
+	"sdrrdma/internal/wan"
+)
+
+// EC models the erasure-coding reliability scheme of §4.1.2/§4.2.3.
+//
+// A message of M chunks is split into L = ⌈M/k⌉ data submessages of k
+// chunks; each is encoded with m parity chunks (parity ratio R = k/m),
+// so (M + ⌈M/R⌉) chunks enter the channel. The receiver recovers
+// in-place if every submessage decodes; otherwise it NACKs the failed
+// submessages at the fallback timeout FTO and the sender repairs them
+// with Selective Repeat.
+type EC struct {
+	Ch wan.Params
+	// K and M are the data and parity chunks per submessage.
+	K, M int
+	// Scheme selects the code: "mds" (Reed–Solomon-class, any m losses)
+	// or "xor" (modulo-group code, one loss per group).
+	Scheme string
+	// Beta is the FTO slack coefficient β in
+	// FTO = (M + ⌈M/R⌉)·T_INJ + β·RTT (§4.2.3). The paper halves the
+	// SR buffering coefficient: β = 0.5·α = 1 for α = 2.
+	Beta float64
+	// FallbackRTOFactor parameterizes the SR used to repair failed
+	// submessages (default 3, the SR RTO scenario).
+	FallbackRTOFactor float64
+	// EncodeBps, when non-zero, caps the parity-computation rate. If
+	// the encoder cannot keep up with the line rate the injection
+	// pipeline stalls behind it (Fig 11's "cores needed to hide
+	// encoding"). Zero means fully overlapped encoding (§4.2.3's
+	// assumption).
+	EncodeBps float64
+}
+
+// NewMDS returns the paper's balanced MDS EC(32, 8) configuration over
+// the channel (§5.2.1: tolerates drop rates above 1e-2 with ≤20%
+// bandwidth inflation).
+func NewMDS(chp wan.Params) EC {
+	return EC{Ch: chp.WithDefaults(), K: 32, M: 8, Scheme: "mds", Beta: 1, FallbackRTOFactor: 3}
+}
+
+// NewXOR returns the XOR-coded variant with the same (32, 8) split.
+func NewXOR(chp wan.Params) EC {
+	return EC{Ch: chp.WithDefaults(), K: 32, M: 8, Scheme: "xor", Beta: 1, FallbackRTOFactor: 3}
+}
+
+// Name implements Scheme.
+func (e EC) Name() string {
+	tag := "MDS"
+	if e.Scheme == "xor" {
+		tag = "XOR"
+	}
+	return fmt.Sprintf("%s EC(%d,%d)", tag, e.K, e.M)
+}
+
+// SubmessageSuccessProb returns P_EC(k, m): the probability one data
+// submessage is recoverable (Appendix B).
+func (e EC) SubmessageSuccessProb() float64 {
+	if e.Scheme == "xor" {
+		return ec.XORSuccessProb(e.K, e.M, e.Ch.PDrop)
+	}
+	return ec.MDSSuccessProb(e.K, e.M, e.Ch.PDrop)
+}
+
+// Submessages returns L = ⌈M_chunks/k⌉ for a message of msgBytes.
+func (e EC) Submessages(msgBytes int64) int64 {
+	m := int64(e.Ch.ChunksIn(msgBytes))
+	return (m + int64(e.K) - 1) / int64(e.K)
+}
+
+// FallbackProb returns P_fallback = 1 − P_EC^L, the probability that
+// at least one data submessage fails to decode (§4.2.3).
+func (e EC) FallbackProb(msgBytes int64) float64 {
+	l := e.Submessages(msgBytes)
+	pOK := e.SubmessageSuccessProb()
+	return 1 - math.Pow(pOK, float64(l))
+}
+
+// wireChunks returns the total chunks injected: data + parity.
+func (e EC) wireChunks(msgBytes int64) int64 {
+	m := int64(e.Ch.ChunksIn(msgBytes))
+	return m + e.Submessages(msgBytes)*int64(e.M)
+}
+
+// injectionTime returns the time to push data + parity into the
+// channel, stretched if the encoder cannot sustain line rate.
+func (e EC) injectionTime(msgBytes int64) float64 {
+	t := float64(e.wireChunks(msgBytes)) * e.Ch.ChunkInjectionTime()
+	if e.EncodeBps > 0 {
+		tEncode := float64(msgBytes) * 8 / e.EncodeBps
+		if tEncode > t {
+			t = tEncode
+		}
+	}
+	return t
+}
+
+// fallbackSR returns the SR instance used to repair failed
+// submessages.
+func (e EC) fallbackSR() SR {
+	f := e.FallbackRTOFactor
+	if f == 0 {
+		f = 3
+	}
+	return SR{Ch: e.Ch, RTOFactor: f}
+}
+
+// SampleCompletion implements Scheme: one stochastic draw of the EC
+// Write completion time.
+//
+// Success path: all L submessages decode; completion =
+// injection + RTT (first-chunk propagation + positive ACK return).
+// Failure path: the receiver NACKs at FTO; completion =
+// injection + (1+β)·RTT + T_SR(K_fail·k) where the SR term includes
+// its own final-ACK RTT — in expectation this matches the paper's
+// three-term lower bound with T_SR(0) = RTT.
+func (e EC) SampleCompletion(rng *rand.Rand, msgBytes int64) float64 {
+	l := e.Submessages(msgBytes)
+	pFail := 1 - e.SubmessageSuccessProb()
+	tInj := e.injectionTime(msgBytes)
+	failed := sampleBinomial(rng, l, pFail)
+	if failed == 0 {
+		return tInj + e.Ch.RTT()
+	}
+	beta := e.Beta
+	if beta == 0 {
+		beta = 1
+	}
+	srTime := e.fallbackSR().SampleCompletionChunks(rng, failed*int64(e.K))
+	return tInj + beta*e.Ch.RTT() + srTime
+}
+
+// MeanCompletionLowerBound returns the paper's analytical lower bound
+// on E[T_EC(M)] (§4.2.3), with the success-path acknowledgment RTT
+// included so that SR and EC are normalized identically:
+//
+//	E[T_EC] ≥ (M + ⌈M/R⌉)·T_INJ
+//	        + (1 − P_fb)·RTT
+//	        + P_fb·(β·RTT + E[T_SR(E[failures]·k)])
+func (e EC) MeanCompletionLowerBound(msgBytes int64) float64 {
+	l := e.Submessages(msgBytes)
+	pOK := e.SubmessageSuccessProb()
+	pFb := 1 - math.Pow(pOK, float64(l))
+	beta := e.Beta
+	if beta == 0 {
+		beta = 1
+	}
+	t := e.injectionTime(msgBytes)
+	t += (1 - pFb) * e.Ch.RTT()
+	if pFb > 0 {
+		expFail := float64(l) * (1 - pOK)
+		condFail := expFail / pFb // E[failures | at least one]
+		if condFail < 1 {
+			condFail = 1
+		}
+		srMean := e.fallbackSR().MeanCompletionChunks(int64(condFail * float64(e.K)))
+		t += pFb * (beta*e.Ch.RTT() + srMean)
+	}
+	return t
+}
+
+// BandwidthInflation returns the parity overhead factor
+// (M + ⌈M/R⌉)/M ≈ 1 + m/k, the EC scheme's cost on "large" messages
+// (§5.2.2: 20% for (32, 8)).
+func (e EC) BandwidthInflation(msgBytes int64) float64 {
+	m := float64(e.Ch.ChunksIn(msgBytes))
+	return float64(e.wireChunks(msgBytes)) / m
+}

@@ -1,0 +1,121 @@
+package nicsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// CQ is a completion queue: a bounded MPSC ring of CQEs. Producers are
+// the NIC's receive path (possibly several channels); the consumer is
+// one poller — a DPA worker thread in the offloaded configuration
+// (§3.4.1 maps each channel's CQ to its own worker).
+type CQ struct {
+	mu      sync.Mutex
+	nonFull *sync.Cond
+	buf     []CQE
+	head    int
+	count   int
+	closed  bool
+	// Dropped counts completions discarded because the CQ overflowed
+	// with Overrun semantics.
+	Dropped atomic.Uint64
+	// overrun selects behaviour on a full queue: true drops the new
+	// CQE (real CQ overrun), false blocks the producer.
+	overrun bool
+	hasData chan struct{} // 1-buffered wakeup signal for the poller
+}
+
+// NewCQ creates a completion queue with the given capacity. If overrun
+// is true, completions that arrive while the queue is full are counted
+// in Dropped and discarded, mimicking a real CQ overrun; otherwise the
+// producer blocks (convenient for lossless perf harnesses).
+func NewCQ(capacity int, overrun bool) *CQ {
+	if capacity <= 0 {
+		panic("nicsim: CQ capacity must be positive")
+	}
+	cq := &CQ{buf: make([]CQE, capacity), overrun: overrun,
+		hasData: make(chan struct{}, 1)}
+	cq.nonFull = sync.NewCond(&cq.mu)
+	return cq
+}
+
+// Push appends a completion.
+func (q *CQ) Push(e CQE) {
+	q.mu.Lock()
+	for q.count == len(q.buf) && !q.closed {
+		if q.overrun {
+			q.mu.Unlock()
+			q.Dropped.Add(1)
+			return
+		}
+		q.nonFull.Wait()
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = e
+	q.count++
+	q.mu.Unlock()
+	select {
+	case q.hasData <- struct{}{}:
+	default:
+	}
+}
+
+// Poll pops up to len(dst) completions without blocking and returns
+// how many it wrote — the ibv_poll_cq analogue.
+func (q *CQ) Poll(dst []CQE) int {
+	q.mu.Lock()
+	n := q.count
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = q.buf[q.head]
+		q.head = (q.head + 1) % len(q.buf)
+	}
+	q.count -= n
+	if n > 0 {
+		q.nonFull.Broadcast()
+	}
+	q.mu.Unlock()
+	return n
+}
+
+// Wait blocks until the queue is non-empty or closed; it returns false
+// once the queue is closed and drained.
+func (q *CQ) Wait() bool {
+	for {
+		q.mu.Lock()
+		if q.count > 0 {
+			q.mu.Unlock()
+			return true
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return false
+		}
+		q.mu.Unlock()
+		<-q.hasData
+	}
+}
+
+// Close wakes all waiters; subsequent Pushes are dropped. The wakeup
+// channel is deliberately never closed: producers may still race
+// against Close (late packets in flight), and sending a token to an
+// open channel is always safe.
+func (q *CQ) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.nonFull.Broadcast()
+	q.mu.Unlock()
+	select {
+	case q.hasData <- struct{}{}:
+	default:
+	}
+}

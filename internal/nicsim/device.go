@@ -1,0 +1,109 @@
+package nicsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Wire is the transmit side of a connection: the fabric implements it
+// with loss/delay/reorder injection.
+type Wire interface {
+	// Send hands a packet to the wire. Delivery is asynchronous and
+	// unreliable unless the wire says otherwise.
+	Send(pkt *Packet)
+}
+
+// packetSink is implemented by each QP's receive path.
+type packetSink interface {
+	recvPacket(pkt *Packet)
+}
+
+// Device is one simulated NIC.
+type Device struct {
+	name    string
+	mem     *memTable
+	mu      sync.RWMutex
+	qps     map[uint32]packetSink
+	nextQPN uint32
+	// RxPackets counts packets delivered to this device.
+	RxPackets atomic.Uint64
+	// RxDropNoQP counts packets addressed to unknown QPs.
+	RxDropNoQP atomic.Uint64
+}
+
+// NewDevice creates a NIC simulator instance.
+func NewDevice(name string) *Device {
+	return &Device{name: name, mem: newMemTable(), qps: make(map[uint32]packetSink), nextQPN: 1}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// RegMR registers buf and returns the memory region handle.
+func (d *Device) RegMR(buf []byte) *MR {
+	mr := &MR{buf: buf}
+	mr.key = d.mem.register(mr)
+	return mr
+}
+
+// AllocNullMR allocates a payload-discarding region (§3.3.2).
+func (d *Device) AllocNullMR() *NullMR {
+	n := &NullMR{}
+	n.key = d.mem.register(n)
+	return n
+}
+
+// AllocIndirectMR allocates a zero-based indirect (root) memory key
+// with entries slots of entryBytes each (§3.2.2).
+func (d *Device) AllocIndirectMR(entries int, entryBytes uint64) *IndirectMR {
+	if entries <= 0 || entryBytes == 0 {
+		panic("nicsim: invalid indirect MR geometry")
+	}
+	ix := &IndirectMR{entryBytes: entryBytes,
+		entries: make([]atomic.Pointer[indirectEntry], entries)}
+	ix.key = d.mem.register(ix)
+	return ix
+}
+
+// DeregMR removes a memory registration by key.
+func (d *Device) DeregMR(key uint32) { d.mem.deregister(key) }
+
+// dmaWrite resolves key and writes data — the RDMA engine's receive
+// data path.
+func (d *Device) dmaWrite(key uint32, offset uint64, data []byte) error {
+	target, ok := d.mem.lookup(key)
+	if !ok {
+		return fmt.Errorf("%w: unknown rkey %d on %s", ErrMkeyViolation, key, d.name)
+	}
+	return target.DMAWrite(offset, data)
+}
+
+func (d *Device) addQP(sink packetSink) uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	qpn := d.nextQPN
+	d.nextQPN++
+	d.qps[qpn] = sink
+	return qpn
+}
+
+// DestroyQP removes a queue pair; packets addressed to it are dropped.
+func (d *Device) DestroyQP(qpn uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.qps, qpn)
+}
+
+// Deliver injects an inbound packet — called by the fabric.
+func (d *Device) Deliver(pkt *Packet) {
+	d.RxPackets.Add(1)
+	d.mu.RLock()
+	sink, ok := d.qps[pkt.DstQPN]
+	d.mu.RUnlock()
+	if !ok {
+		d.RxDropNoQP.Add(1)
+		return
+	}
+	sink.recvPacket(pkt)
+}

@@ -1,0 +1,157 @@
+package nicsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrMkeyViolation is returned when a DMA write misses its target:
+// unknown key, out-of-bounds offset, or an unpopulated indirect entry.
+var ErrMkeyViolation = errors.New("nicsim: memory key violation")
+
+// MemoryTarget is anything a remote Write can land in.
+type MemoryTarget interface {
+	// DMAWrite stores data at offset. Implementations must be safe for
+	// concurrent writes to disjoint ranges (the NIC writes packets from
+	// multiple channels in parallel).
+	DMAWrite(offset uint64, data []byte) error
+	// Span returns the addressable byte range.
+	Span() uint64
+}
+
+// MR is a registered memory region backed by a user buffer.
+type MR struct {
+	key uint32
+	buf []byte
+}
+
+// Key returns the region's rkey/lkey (the simulator does not
+// distinguish them).
+func (m *MR) Key() uint32 { return m.key }
+
+// Bytes exposes the underlying buffer (the application owns it; this
+// is the zero-copy property).
+func (m *MR) Bytes() []byte { return m.buf }
+
+// Span implements MemoryTarget.
+func (m *MR) Span() uint64 { return uint64(len(m.buf)) }
+
+// DMAWrite implements MemoryTarget.
+func (m *MR) DMAWrite(offset uint64, data []byte) error {
+	if offset+uint64(len(data)) > uint64(len(m.buf)) {
+		return fmt.Errorf("%w: write [%d,%d) beyond MR of %d bytes",
+			ErrMkeyViolation, offset, offset+uint64(len(data)), len(m.buf))
+	}
+	copy(m.buf[offset:], data)
+	return nil
+}
+
+// NullMR discards payloads while still letting the NIC generate
+// completions — the simulator's ibv_alloc_null_mr() (§3.3.2 stage 1).
+type NullMR struct {
+	key uint32
+	// Discarded counts bytes dropped, for observability in tests.
+	Discarded atomic.Uint64
+}
+
+// Key returns the null region's key.
+func (n *NullMR) Key() uint32 { return n.key }
+
+// Span implements MemoryTarget: the null key accepts any offset.
+func (n *NullMR) Span() uint64 { return ^uint64(0) }
+
+// DMAWrite implements MemoryTarget by discarding the payload.
+func (n *NullMR) DMAWrite(_ uint64, data []byte) error {
+	n.Discarded.Add(uint64(len(data)))
+	return nil
+}
+
+// IndirectMR is the zero-based root memory key of §3.2.2: a table of
+// entries, each spanning entryBytes, that forwards writes to other
+// memory targets. Message i of an SDR QP occupies the offset range
+// [i·M, i·M + M).
+type IndirectMR struct {
+	key        uint32
+	entryBytes uint64
+	entries    []atomic.Pointer[indirectEntry]
+}
+
+type indirectEntry struct {
+	target MemoryTarget
+	// base is added to the within-entry offset before forwarding,
+	// allowing a message to land at an offset inside the user MR.
+	base uint64
+}
+
+// Key returns the root key.
+func (ix *IndirectMR) Key() uint32 { return ix.key }
+
+// Span implements MemoryTarget.
+func (ix *IndirectMR) Span() uint64 { return ix.entryBytes * uint64(len(ix.entries)) }
+
+// SetEntry points slot i at target (with a base offset inside it).
+// Passing nil clears the slot, making writes fail loudly — SDR instead
+// points retired slots at the NULL key so late packets are absorbed.
+func (ix *IndirectMR) SetEntry(i int, target MemoryTarget, base uint64) {
+	if i < 0 || i >= len(ix.entries) {
+		panic(fmt.Sprintf("nicsim: indirect entry %d out of range [0,%d)", i, len(ix.entries)))
+	}
+	if target == nil {
+		ix.entries[i].Store(nil)
+		return
+	}
+	ix.entries[i].Store(&indirectEntry{target: target, base: base})
+}
+
+// DMAWrite implements MemoryTarget with offset translation.
+func (ix *IndirectMR) DMAWrite(offset uint64, data []byte) error {
+	idx := offset / ix.entryBytes
+	inner := offset % ix.entryBytes
+	if idx >= uint64(len(ix.entries)) {
+		return fmt.Errorf("%w: indirect offset %d beyond %d entries",
+			ErrMkeyViolation, offset, len(ix.entries))
+	}
+	if inner+uint64(len(data)) > ix.entryBytes {
+		return fmt.Errorf("%w: write crosses indirect entry boundary", ErrMkeyViolation)
+	}
+	e := ix.entries[idx].Load()
+	if e == nil {
+		return fmt.Errorf("%w: indirect entry %d not populated", ErrMkeyViolation, idx)
+	}
+	return e.target.DMAWrite(e.base+inner, data)
+}
+
+// memTable is a device's key → target registry.
+type memTable struct {
+	mu      sync.RWMutex
+	nextKey uint32
+	regions map[uint32]MemoryTarget
+}
+
+func newMemTable() *memTable {
+	return &memTable{nextKey: 1, regions: make(map[uint32]MemoryTarget)}
+}
+
+func (t *memTable) register(target MemoryTarget) uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := t.nextKey
+	t.nextKey++
+	t.regions[key] = target
+	return key
+}
+
+func (t *memTable) deregister(key uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.regions, key)
+}
+
+func (t *memTable) lookup(key uint32) (MemoryTarget, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	target, ok := t.regions[key]
+	return target, ok
+}

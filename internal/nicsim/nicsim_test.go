@@ -1,0 +1,308 @@
+package nicsim
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// directWire delivers synchronously with optional per-packet filtering
+// and buffering for manual reordering.
+type directWire struct {
+	dst    *Device
+	filter func(*Packet) bool // false = drop
+	mu     sync.Mutex
+	buffer []*Packet
+	hold   bool
+}
+
+func (w *directWire) Send(pkt *Packet) {
+	if w.filter != nil && !w.filter(pkt) {
+		return
+	}
+	w.mu.Lock()
+	if w.hold {
+		w.buffer = append(w.buffer, pkt)
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	w.dst.Deliver(pkt)
+}
+
+// flush delivers buffered packets in the given order (nil = stored order).
+func (w *directWire) flush(order []int) {
+	w.mu.Lock()
+	buf := w.buffer
+	w.buffer = nil
+	w.hold = false
+	w.mu.Unlock()
+	if order == nil {
+		for _, p := range buf {
+			w.dst.Deliver(p)
+		}
+		return
+	}
+	for _, i := range order {
+		w.dst.Deliver(buf[i])
+	}
+}
+
+func drainCQ(cq *CQ) []CQE {
+	var out []CQE
+	var buf [64]CQE
+	for {
+		n := cq.Poll(buf[:])
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+func TestMRDMAWriteBounds(t *testing.T) {
+	dev := NewDevice("d")
+	mr := dev.RegMR(make([]byte, 100))
+	if err := mr.DMAWrite(90, make([]byte, 10)); err != nil {
+		t.Fatalf("in-bounds write failed: %v", err)
+	}
+	if err := mr.DMAWrite(91, make([]byte, 10)); err == nil {
+		t.Fatal("out-of-bounds write succeeded")
+	}
+}
+
+func TestNullMRDiscards(t *testing.T) {
+	dev := NewDevice("d")
+	null := dev.AllocNullMR()
+	if err := null.DMAWrite(1<<40, make([]byte, 4096)); err != nil {
+		t.Fatalf("null write failed: %v", err)
+	}
+	if got := null.Discarded.Load(); got != 4096 {
+		t.Fatalf("Discarded = %d, want 4096", got)
+	}
+}
+
+func TestIndirectMRTranslation(t *testing.T) {
+	dev := NewDevice("d")
+	bufA := make([]byte, 64)
+	bufB := make([]byte, 64)
+	mrA, mrB := dev.RegMR(bufA), dev.RegMR(bufB)
+	ix := dev.AllocIndirectMR(4, 64)
+
+	ix.SetEntry(0, mrA, 0)
+	ix.SetEntry(2, mrB, 16) // message 2 lands 16 bytes into bufB
+
+	if err := ix.DMAWrite(10, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA[10:15], []byte("hello")) {
+		t.Fatal("entry-0 write landed wrong")
+	}
+	if err := ix.DMAWrite(2*64+4, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufB[20:25], []byte("world")) {
+		t.Fatal("entry-2 write missed base offset")
+	}
+	// unpopulated entry
+	if err := ix.DMAWrite(1*64, []byte("x")); err == nil {
+		t.Fatal("write to unpopulated indirect entry succeeded")
+	}
+	// out of table
+	if err := ix.DMAWrite(4*64, []byte("x")); err == nil {
+		t.Fatal("write beyond indirect table succeeded")
+	}
+	// crossing an entry boundary
+	if err := ix.DMAWrite(60, []byte("12345678")); err == nil {
+		t.Fatal("write crossing entry boundary succeeded")
+	}
+}
+
+func ucPair(t *testing.T, mtu int) (*Device, *Device, *UCQP, *UCQP, *CQ, *directWire, *directWire) {
+	t.Helper()
+	devA, devB := NewDevice("a"), NewDevice("b")
+	cqB := NewCQ(1024, false)
+	cqA := NewCQ(1024, false)
+	qpA := NewUCQP(devA, mtu, cqA, nil)
+	qpB := NewUCQP(devB, mtu, cqB, nil)
+	wAB := &directWire{dst: devB}
+	wBA := &directWire{dst: devA}
+	qpA.Connect(wAB, qpB.QPN())
+	qpB.Connect(wBA, qpA.QPN())
+	return devA, devB, qpA, qpB, cqB, wAB, wBA
+}
+
+func TestUCWriteImmDelivers(t *testing.T) {
+	_, devB, qpA, _, cqB, _, _ := ucPair(t, 16)
+	buf := make([]byte, 100)
+	mr := devB.RegMR(buf)
+
+	payload := []byte("0123456789abcdefBITS")
+	n := qpA.WriteImm(mr.Key(), 5, payload, 0xCAFE, 1)
+	if n != 2 {
+		t.Fatalf("packets = %d, want 2 (20 B at MTU 16)", n)
+	}
+	if !bytes.Equal(buf[5:25], payload) {
+		t.Fatal("payload not written")
+	}
+	cqes := drainCQ(cqB)
+	if len(cqes) != 1 {
+		t.Fatalf("CQEs = %d, want 1", len(cqes))
+	}
+	if cqes[0].Imm != 0xCAFE || !cqes[0].HasImm || cqes[0].ByteLen != 20 {
+		t.Fatalf("bad CQE: %+v", cqes[0])
+	}
+}
+
+// §2.3: a multi-packet UC message with one dropped fragment is lost
+// wholesale — no CQE, later fragments discarded.
+func TestUCMultiPacketLossKillsMessage(t *testing.T) {
+	_, devB, qpA, qpB, cqB, wAB, _ := ucPair(t, 4)
+	mr := devB.RegMR(make([]byte, 64))
+
+	drop := 1 // drop second fragment
+	i := 0
+	wAB.filter = func(p *Packet) bool {
+		keep := i != drop
+		i++
+		return keep
+	}
+	qpA.WriteImm(mr.Key(), 0, []byte("aaaabbbbccccdddd"), 7, 1)
+	if got := len(drainCQ(cqB)); got != 0 {
+		t.Fatalf("CQEs after mid-message drop = %d, want 0", got)
+	}
+	if qpB.MsgsKilled.Load() == 0 {
+		t.Fatal("MsgsKilled not incremented")
+	}
+	// The next complete message resynchronizes and delivers.
+	wAB.filter = nil
+	qpA.WriteImm(mr.Key(), 0, []byte("eeeeffffgggghhhh"), 8, 2)
+	cqes := drainCQ(cqB)
+	if len(cqes) != 1 || cqes[0].Imm != 8 {
+		t.Fatalf("resync message not delivered: %v", cqes)
+	}
+}
+
+// §2.3/§3.2.1: reordering two multi-packet messages kills them, but
+// single-packet messages (SDR's per-packet writes) all survive.
+func TestUCReorderMultiVsSinglePacket(t *testing.T) {
+	_, devB, qpA, _, cqB, wAB, _ := ucPair(t, 4)
+	mr := devB.RegMR(make([]byte, 64))
+
+	// Multi-packet: hold, deliver interleaved (A1 B1 A2 B2).
+	wAB.hold = true
+	qpA.WriteImm(mr.Key(), 0, []byte("aaaabbbb"), 1, 1)  // pkts 0,1
+	qpA.WriteImm(mr.Key(), 16, []byte("ccccdddd"), 2, 2) // pkts 2,3
+	wAB.flush([]int{0, 2, 1, 3})
+	if got := len(drainCQ(cqB)); got != 0 {
+		t.Fatalf("interleaved multi-packet messages delivered %d CQEs, want 0", got)
+	}
+
+	// Single-packet writes in fully reversed order: all delivered.
+	wAB.hold = true
+	for i := 0; i < 8; i++ {
+		qpA.WriteImm(mr.Key(), uint64(4*i), []byte("xxxx"), uint32(100+i), uint64(10+i))
+	}
+	wAB.flush([]int{7, 6, 5, 4, 3, 2, 1, 0})
+	cqes := drainCQ(cqB)
+	if len(cqes) != 8 {
+		t.Fatalf("reordered single-packet writes delivered %d CQEs, want 8", len(cqes))
+	}
+}
+
+func TestUCZeroLengthWrite(t *testing.T) {
+	_, devB, qpA, _, cqB, _, _ := ucPair(t, 4)
+	mr := devB.RegMR(make([]byte, 8))
+	n := qpA.WriteImm(mr.Key(), 0, nil, 42, 1)
+	if n != 1 {
+		t.Fatalf("zero-length write used %d packets, want 1", n)
+	}
+	cqes := drainCQ(cqB)
+	if len(cqes) != 1 || cqes[0].Imm != 42 || cqes[0].ByteLen != 0 {
+		t.Fatalf("zero-length CQE wrong: %v", cqes)
+	}
+}
+
+func TestUCDMAErrorAborts(t *testing.T) {
+	_, devB, qpA, qpB, cqB, _, _ := ucPair(t, 4)
+	mr := devB.RegMR(make([]byte, 4))
+	qpA.WriteImm(mr.Key(), 0, []byte("aaaabbbb"), 1, 1) // 8 B into 4 B MR
+	if got := len(drainCQ(cqB)); got != 0 {
+		t.Fatalf("oversized write delivered CQE")
+	}
+	if qpB.DMAErrors.Load() == 0 {
+		t.Fatal("DMAErrors not counted")
+	}
+}
+
+func TestUDSendRecv(t *testing.T) {
+	devA, devB := NewDevice("a"), NewDevice("b")
+	cqB := NewCQ(64, false)
+	udA := NewUDQP(devA, 4096, NewCQ(64, false))
+	udB := NewUDQP(devB, 4096, cqB)
+	udA.Attach(&directWire{dst: devB})
+
+	// no recv posted: RNR drop
+	if err := udA.Send(udB.QPN(), []byte("lost"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if udB.RNRDrops.Load() != 1 {
+		t.Fatalf("RNRDrops = %d, want 1", udB.RNRDrops.Load())
+	}
+
+	buf := make([]byte, 16)
+	udB.PostRecv(buf, 77)
+	if err := udA.Send(udB.QPN(), []byte("ping"), 5, true); err != nil {
+		t.Fatal(err)
+	}
+	cqes := drainCQ(cqB)
+	if len(cqes) != 1 || cqes[0].WRID != 77 || cqes[0].Imm != 5 || cqes[0].ByteLen != 4 {
+		t.Fatalf("UD CQE wrong: %v", cqes)
+	}
+	if !bytes.Equal(buf[:4], []byte("ping")) {
+		t.Fatal("UD payload not copied")
+	}
+
+	// oversized payload rejected
+	if err := udA.Send(udB.QPN(), make([]byte, 5000), 0, false); err == nil {
+		t.Fatal("oversized UD send accepted")
+	}
+}
+
+func TestDeviceUnknownQP(t *testing.T) {
+	dev := NewDevice("d")
+	dev.Deliver(&Packet{DstQPN: 999})
+	if dev.RxDropNoQP.Load() != 1 {
+		t.Fatal("unknown-QP packet not counted")
+	}
+}
+
+func TestCQOverrunSemantics(t *testing.T) {
+	cq := NewCQ(2, true)
+	for i := 0; i < 5; i++ {
+		cq.Push(CQE{Imm: uint32(i)})
+	}
+	if got := cq.Dropped.Load(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	var buf [8]CQE
+	if n := cq.Poll(buf[:]); n != 2 {
+		t.Fatalf("Poll = %d, want 2", n)
+	}
+}
+
+func TestCQWaitClose(t *testing.T) {
+	cq := NewCQ(4, false)
+	done := make(chan bool)
+	go func() { done <- cq.Wait() }()
+	cq.Push(CQE{})
+	if !<-done {
+		t.Fatal("Wait returned false with pending CQE")
+	}
+	drainCQ(cq)
+	go func() { done <- cq.Wait() }()
+	cq.Close()
+	if <-done {
+		t.Fatal("Wait returned true after close+drain")
+	}
+}

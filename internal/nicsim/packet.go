@@ -1,0 +1,103 @@
+// Package nicsim simulates the commodity RDMA NIC features the SDR
+// stack depends on (§2.3, §3.2): memory regions addressed by keys —
+// including the zero-based indirect "root" memory key and the
+// payload-discarding NULL key (§3.2.2, §3.3) — Unreliable Connected
+// (UC) queue pairs with real ePSN semantics, Unreliable Datagram (UD)
+// queue pairs for control traffic, a Reliable Connection (RC)
+// Go-Back-N baseline, and completion queues delivering CQEs with
+// 32-bit immediates.
+//
+// The simulator moves real bytes: an RDMA Write lands its payload in
+// the registered target buffer exactly as the DMA engine would.
+package nicsim
+
+import "fmt"
+
+// Opcode enumerates wire packet types.
+type Opcode uint8
+
+const (
+	// OpWrite is an RDMA Write fragment without immediate.
+	OpWrite Opcode = iota
+	// OpWriteImm is an RDMA Write fragment; the immediate is delivered
+	// with the CQE of the last fragment.
+	OpWriteImm
+	// OpSend is a two-sided UD send.
+	OpSend
+	// OpAck is an RC acknowledgment (cumulative PSN).
+	OpAck
+	// OpNak is an RC negative acknowledgment requesting Go-Back-N.
+	OpNak
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpWrite:
+		return "WRITE"
+	case OpWriteImm:
+		return "WRITE_IMM"
+	case OpSend:
+		return "SEND"
+	case OpAck:
+		return "ACK"
+	case OpNak:
+		return "NAK"
+	default:
+		return fmt.Sprintf("OP(%d)", uint8(o))
+	}
+}
+
+// Packet is one wire packet (at most one MTU of payload).
+type Packet struct {
+	Opcode Opcode
+	// SrcQPN and DstQPN address queue pairs on the two devices.
+	SrcQPN, DstQPN uint32
+	// PSN is the packet sequence number within the connection.
+	PSN uint32
+	// First and Last frame the packet's position within a multi-packet
+	// message.
+	First, Last bool
+	// RKey and RemoteOffset address the write target (Write opcodes).
+	RKey         uint32
+	RemoteOffset uint64
+	// Imm is the 32-bit immediate (valid when HasImm).
+	Imm    uint32
+	HasImm bool
+	// Payload is the data carried by this packet.
+	Payload []byte
+}
+
+// Clone deep-copies a packet (used by duplication fault injection).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Payload = append([]byte(nil), p.Payload...)
+	return &q
+}
+
+// CQE is a completion queue entry.
+type CQE struct {
+	// QPN is the local queue pair that produced the completion.
+	QPN uint32
+	// Opcode describes the completed operation from the local
+	// perspective.
+	Opcode CQEOpcode
+	// Imm carries the transport immediate (HasImm set).
+	Imm    uint32
+	HasImm bool
+	// ByteLen is the payload length for receive completions.
+	ByteLen uint32
+	// WRID echoes the work-request identifier for send completions.
+	WRID uint64
+}
+
+// CQEOpcode enumerates completion types.
+type CQEOpcode uint8
+
+const (
+	// CQERecvWriteImm signals an inbound RDMA Write-with-immediate.
+	CQERecvWriteImm CQEOpcode = iota
+	// CQERecv signals an inbound UD send landed in a posted buffer.
+	CQERecv
+	// CQESend signals a locally posted operation finished injecting.
+	CQESend
+)

@@ -1,0 +1,268 @@
+package nicsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RCQP is a Reliable Connection queue pair implementing the
+// retransmission-based reliability commodity NIC ASICs ship (§2.2):
+// in-order delivery with cumulative ACKs, NAK-triggered Go-Back-N,
+// and timeout-driven retransmission. It is the baseline SDR is
+// compared against (Fig 14) and a reference point for why ASIC-fixed
+// reliability is a poor fit for long-haul links.
+type RCQP struct {
+	dev  *Device
+	qpn  uint32
+	mtu  int
+	wire Wire
+	peer uint32
+
+	mu       sync.Mutex
+	sendPSN  uint32
+	unacked  []*Packet // retransmission queue, ordered by PSN
+	wrs      []rcWR    // in-flight work requests, ordered by lastPSN
+	rto      time.Duration
+	timer    *time.Timer
+	closed   bool
+	ackEvery int
+
+	// receive state
+	rxMu      sync.Mutex
+	ePSN      uint32
+	inMsg     bool
+	msgImm    uint32
+	msgHasImm bool
+	msgLen    uint32
+	sinceAck  int
+
+	recvCQ *CQ
+	sendCQ *CQ
+
+	// Retransmits counts Go-Back-N resends (timeout + NAK driven).
+	Retransmits atomic.Uint64
+	// NaksSent counts receiver-side NAKs.
+	NaksSent atomic.Uint64
+}
+
+type rcWR struct {
+	wrid    uint64
+	lastPSN uint32
+}
+
+// NewRCQP creates an RC queue pair. rto is the retransmission timeout;
+// ackEvery coalesces receiver ACKs (1 acks every packet).
+func NewRCQP(dev *Device, mtu int, recvCQ, sendCQ *CQ, rto time.Duration, ackEvery int) *RCQP {
+	if recvCQ == nil {
+		panic("nicsim: RC QP requires a receive CQ")
+	}
+	if ackEvery <= 0 {
+		ackEvery = 1
+	}
+	qp := &RCQP{dev: dev, mtu: mtu, recvCQ: recvCQ, sendCQ: sendCQ, rto: rto, ackEvery: ackEvery}
+	qp.qpn = dev.addQP(qp)
+	return qp
+}
+
+// QPN returns the queue pair number.
+func (qp *RCQP) QPN() uint32 { return qp.qpn }
+
+// Connect attaches the QP to its wire and peer.
+func (qp *RCQP) Connect(wire Wire, peerQPN uint32) {
+	qp.wire = wire
+	qp.peer = peerQPN
+}
+
+// Close stops the retransmission machinery.
+func (qp *RCQP) Close() {
+	qp.mu.Lock()
+	qp.closed = true
+	if qp.timer != nil {
+		qp.timer.Stop()
+	}
+	qp.mu.Unlock()
+}
+
+// WriteImm posts a reliable Write-with-immediate; the send completion
+// fires only once every fragment is acknowledged.
+func (qp *RCQP) WriteImm(rkey uint32, offset uint64, payload []byte, imm uint32, wrid uint64) int {
+	if qp.wire == nil {
+		panic(fmt.Sprintf("nicsim: RC QP %d not connected", qp.qpn))
+	}
+	n := (len(payload) + qp.mtu - 1) / qp.mtu
+	if n == 0 {
+		n = 1
+	}
+	qp.mu.Lock()
+	pkts := make([]*Packet, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * qp.mtu
+		hi := lo + qp.mtu
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		pkt := &Packet{
+			Opcode:       OpWriteImm,
+			SrcQPN:       qp.qpn,
+			DstQPN:       qp.peer,
+			PSN:          qp.sendPSN,
+			First:        i == 0,
+			Last:         i == n-1,
+			RKey:         rkey,
+			RemoteOffset: offset + uint64(lo),
+			Payload:      payload[lo:hi],
+		}
+		if pkt.Last {
+			pkt.Imm, pkt.HasImm = imm, true
+		}
+		qp.sendPSN++
+		pkts = append(pkts, pkt)
+		qp.unacked = append(qp.unacked, pkt)
+	}
+	qp.wrs = append(qp.wrs, rcWR{wrid: wrid, lastPSN: pkts[len(pkts)-1].PSN})
+	qp.armTimerLocked()
+	qp.mu.Unlock()
+
+	for _, pkt := range pkts {
+		qp.wire.Send(pkt)
+	}
+	return n
+}
+
+func (qp *RCQP) armTimerLocked() {
+	if qp.closed || len(qp.unacked) == 0 {
+		return
+	}
+	if qp.timer == nil {
+		qp.timer = time.AfterFunc(qp.rto, qp.onTimeout)
+	} else {
+		qp.timer.Reset(qp.rto)
+	}
+}
+
+// onTimeout retransmits the whole unacked window (Go-Back-N).
+func (qp *RCQP) onTimeout() {
+	qp.mu.Lock()
+	if qp.closed {
+		qp.mu.Unlock()
+		return
+	}
+	resend := append([]*Packet(nil), qp.unacked...)
+	qp.armTimerLocked()
+	qp.mu.Unlock()
+	for _, pkt := range resend {
+		qp.Retransmits.Add(1)
+		qp.wire.Send(pkt)
+	}
+}
+
+// recvPacket handles data, ACK and NAK packets.
+func (qp *RCQP) recvPacket(pkt *Packet) {
+	switch pkt.Opcode {
+	case OpAck:
+		qp.handleAck(pkt.PSN)
+	case OpNak:
+		qp.handleNak(pkt.PSN)
+	case OpWriteImm, OpWrite:
+		qp.handleData(pkt)
+	}
+}
+
+func (qp *RCQP) handleAck(cum uint32) {
+	var completed []uint64
+	qp.mu.Lock()
+	i := 0
+	for i < len(qp.unacked) && qp.unacked[i].PSN < cum {
+		i++
+	}
+	qp.unacked = qp.unacked[i:]
+	j := 0
+	for j < len(qp.wrs) && qp.wrs[j].lastPSN < cum {
+		completed = append(completed, qp.wrs[j].wrid)
+		j++
+	}
+	qp.wrs = qp.wrs[j:]
+	if len(qp.unacked) == 0 && qp.timer != nil {
+		qp.timer.Stop()
+	} else {
+		qp.armTimerLocked()
+	}
+	qp.mu.Unlock()
+	if qp.sendCQ != nil {
+		for _, wrid := range completed {
+			qp.sendCQ.Push(CQE{QPN: qp.qpn, Opcode: CQESend, WRID: wrid})
+		}
+	}
+}
+
+func (qp *RCQP) handleNak(from uint32) {
+	qp.mu.Lock()
+	var resend []*Packet
+	for _, pkt := range qp.unacked {
+		if pkt.PSN >= from {
+			resend = append(resend, pkt)
+		}
+	}
+	qp.armTimerLocked()
+	qp.mu.Unlock()
+	for _, pkt := range resend {
+		qp.Retransmits.Add(1)
+		qp.wire.Send(pkt)
+	}
+}
+
+func (qp *RCQP) handleData(pkt *Packet) {
+	qp.rxMu.Lock()
+	switch {
+	case pkt.PSN == qp.ePSN:
+		// in-order: accept
+		qp.ePSN++
+		if pkt.First {
+			qp.inMsg = true
+			qp.msgLen = 0
+			qp.msgHasImm = false
+		}
+		if err := qp.dev.dmaWrite(pkt.RKey, pkt.RemoteOffset, pkt.Payload); err == nil {
+			qp.msgLen += uint32(len(pkt.Payload))
+		}
+		if pkt.HasImm {
+			qp.msgImm, qp.msgHasImm = pkt.Imm, true
+		}
+		qp.sinceAck++
+		last := pkt.Last
+		ackNow := last || qp.sinceAck >= qp.ackEvery
+		if ackNow {
+			qp.sinceAck = 0
+		}
+		ePSN := qp.ePSN
+		var cqe *CQE
+		if last && qp.inMsg {
+			qp.inMsg = false
+			if pkt.Opcode == OpWriteImm {
+				cqe = &CQE{QPN: qp.qpn, Opcode: CQERecvWriteImm,
+					Imm: qp.msgImm, HasImm: qp.msgHasImm, ByteLen: qp.msgLen}
+			}
+		}
+		qp.rxMu.Unlock()
+		if cqe != nil {
+			qp.recvCQ.Push(*cqe)
+		}
+		if ackNow {
+			qp.wire.Send(&Packet{Opcode: OpAck, SrcQPN: qp.qpn, DstQPN: pkt.SrcQPN, PSN: ePSN})
+		}
+	case pkt.PSN > qp.ePSN:
+		// gap: drop and NAK the expected PSN
+		ePSN := qp.ePSN
+		qp.rxMu.Unlock()
+		qp.NaksSent.Add(1)
+		qp.wire.Send(&Packet{Opcode: OpNak, SrcQPN: qp.qpn, DstQPN: pkt.SrcQPN, PSN: ePSN})
+	default:
+		// duplicate from a Go-Back-N resend: re-ack so the sender
+		// advances
+		ePSN := qp.ePSN
+		qp.rxMu.Unlock()
+		qp.wire.Send(&Packet{Opcode: OpAck, SrcQPN: qp.qpn, DstQPN: pkt.SrcQPN, PSN: ePSN})
+	}
+}

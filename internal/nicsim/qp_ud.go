@@ -1,0 +1,111 @@
+package nicsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// UDQP is an Unreliable Datagram queue pair: two-sided, per-packet
+// service (§2.3). SDR's example reliability layers use a UD control
+// path for ACK/NACK exchange (§4.1) — control packets can be lost just
+// like data. Payloads are limited to one MTU.
+type UDQP struct {
+	dev  *Device
+	qpn  uint32
+	mtu  int
+	wire Wire
+
+	sendMu  sync.Mutex
+	sendPSN uint32
+
+	recvMu   sync.Mutex
+	recvRing []udRecvWR
+
+	recvCQ *CQ
+
+	// RNRDrops counts datagrams dropped because no receive buffer was
+	// posted (receiver-not-ready).
+	RNRDrops atomic.Uint64
+}
+
+type udRecvWR struct {
+	buf  []byte
+	wrid uint64
+}
+
+// NewUDQP creates a UD queue pair delivering receives to recvCQ.
+func NewUDQP(dev *Device, mtu int, recvCQ *CQ) *UDQP {
+	if recvCQ == nil {
+		panic("nicsim: UD QP requires a receive CQ")
+	}
+	qp := &UDQP{dev: dev, mtu: mtu, recvCQ: recvCQ}
+	qp.qpn = dev.addQP(qp)
+	return qp
+}
+
+// QPN returns the queue pair number.
+func (qp *UDQP) QPN() uint32 { return qp.qpn }
+
+// Attach binds the QP to its wire (UD has no fixed peer; the
+// destination QPN travels with each send).
+func (qp *UDQP) Attach(wire Wire) { qp.wire = wire }
+
+// PostRecv queues a receive buffer. Buffers are consumed in FIFO order.
+func (qp *UDQP) PostRecv(buf []byte, wrid uint64) {
+	qp.recvMu.Lock()
+	qp.recvRing = append(qp.recvRing, udRecvWR{buf: buf, wrid: wrid})
+	qp.recvMu.Unlock()
+}
+
+// Send transmits one datagram (≤ MTU) to the remote QP.
+func (qp *UDQP) Send(dstQPN uint32, payload []byte, imm uint32, hasImm bool) error {
+	if qp.wire == nil {
+		return fmt.Errorf("nicsim: UD QP %d not attached", qp.qpn)
+	}
+	if len(payload) > qp.mtu {
+		return fmt.Errorf("nicsim: UD payload %d exceeds MTU %d", len(payload), qp.mtu)
+	}
+	qp.sendMu.Lock()
+	psn := qp.sendPSN
+	qp.sendPSN++
+	qp.sendMu.Unlock()
+	qp.wire.Send(&Packet{
+		Opcode:  OpSend,
+		SrcQPN:  qp.qpn,
+		DstQPN:  dstQPN,
+		PSN:     psn,
+		First:   true,
+		Last:    true,
+		Imm:     imm,
+		HasImm:  hasImm,
+		Payload: payload,
+	})
+	return nil
+}
+
+// recvPacket lands a datagram in the next posted buffer.
+func (qp *UDQP) recvPacket(pkt *Packet) {
+	if pkt.Opcode != OpSend {
+		return
+	}
+	qp.recvMu.Lock()
+	if len(qp.recvRing) == 0 {
+		qp.recvMu.Unlock()
+		qp.RNRDrops.Add(1)
+		return
+	}
+	wr := qp.recvRing[0]
+	qp.recvRing = qp.recvRing[1:]
+	qp.recvMu.Unlock()
+
+	n := copy(wr.buf, pkt.Payload)
+	qp.recvCQ.Push(CQE{
+		QPN:     qp.qpn,
+		Opcode:  CQERecv,
+		Imm:     pkt.Imm,
+		HasImm:  pkt.HasImm,
+		ByteLen: uint32(n),
+		WRID:    wr.wrid,
+	})
+}

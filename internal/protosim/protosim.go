@@ -1,0 +1,436 @@
+// Package protosim is a chunk-level discrete-event simulator for the
+// reliability protocols of §4, complementing the closed-form model in
+// internal/model (the paper's contribution #4: "a framework to
+// simulate and analyze the performance of SDR-based reliability
+// algorithms").
+//
+// Unlike the closed-form model, the simulator captures effects the
+// Appendix A analysis idealizes away: retransmissions serialize with
+// new traffic on the shared link, ACKs can be lost and carry delay,
+// and Go-Back-N's window restart amplifies a single loss. It runs in
+// virtual time on internal/simnet, so a 25 ms-RTT cross-continent
+// transfer simulates in microseconds.
+//
+// Supported schemes: "sr" (per-chunk RTO), "sr-nack" (receiver-driven
+// 1-RTT recovery), "gbn" (classic Go-Back-N, the commodity-ASIC
+// baseline of §2.2), and "ec" (erasure coding with SR fallback).
+package protosim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sdrrdma/internal/simnet"
+	"sdrrdma/internal/wan"
+)
+
+// Config parameterizes one protocol simulation.
+type Config struct {
+	// Ch supplies bandwidth, RTT and the per-chunk drop probability.
+	Ch wan.Params
+	// Scheme is "sr", "sr-nack", "gbn" or "ec".
+	Scheme string
+	// RTOFactor sets RTO = RTOFactor·RTT (default 3; sr-nack uses the
+	// NACK path for recovery and keeps RTO as a backstop).
+	RTOFactor float64
+	// AckLossProb drops acknowledgments (and NACKs) independently —
+	// the control path rides the same lossy channel (§4.1).
+	AckLossProb float64
+	// K, M and Code configure the erasure code for "ec"
+	// (default 32, 8, "mds").
+	K, M int
+	Code string
+	// Beta is the EC fallback-timeout slack (§4.2.3; default 1).
+	Beta float64
+}
+
+// WithDefaults fills zero fields.
+func (c Config) WithDefaults() Config {
+	c.Ch = c.Ch.WithDefaults()
+	if c.Scheme == "" {
+		c.Scheme = "sr"
+	}
+	if c.RTOFactor == 0 {
+		c.RTOFactor = 3
+	}
+	if c.K == 0 {
+		c.K = 32
+	}
+	if c.M == 0 {
+		c.M = 8
+	}
+	if c.Code == "" {
+		c.Code = "mds"
+	}
+	if c.Beta == 0 {
+		c.Beta = 1
+	}
+	return c
+}
+
+// Simulate returns one sample of the sender-side completion time for a
+// message of msgBytes, in seconds of virtual time.
+func Simulate(cfg Config, rng *rand.Rand, msgBytes int64) (float64, error) {
+	cfg = cfg.WithDefaults()
+	nchunks := cfg.Ch.ChunksIn(msgBytes)
+	switch cfg.Scheme {
+	case "sr":
+		return simulateSR(cfg, rng, nchunks, false), nil
+	case "sr-nack":
+		return simulateSR(cfg, rng, nchunks, true), nil
+	case "gbn":
+		return simulateGBN(cfg, rng, nchunks), nil
+	case "ec":
+		return simulateEC(cfg, rng, nchunks)
+	default:
+		return 0, fmt.Errorf("protosim: unknown scheme %q", cfg.Scheme)
+	}
+}
+
+// Sample draws n completion times with a deterministic seed.
+func Sample(cfg Config, msgBytes int64, n int, seed int64) ([]float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		v, err := Simulate(cfg, rng, msgBytes)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// link serializes transmissions onto the shared sender uplink: a chunk
+// occupies the wire for tinj starting no earlier than the link is
+// free. Retransmissions therefore compete with first transmissions —
+// the effect the Appendix A "case 2" caveat describes.
+type link struct {
+	eng    *simnet.Engine
+	tinj   float64
+	freeAt float64
+}
+
+// transmit schedules fn at the instant the chunk finishes serializing
+// and returns that time.
+func (l *link) transmit(fn func(txDone float64)) float64 {
+	start := l.eng.Now()
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	done := start + l.tinj
+	l.freeAt = done
+	l.eng.At(done, func() { fn(done) })
+	return done
+}
+
+// simulateSR runs Selective Repeat. Receiver ACKs each delivered chunk
+// (selectively); in NACK mode a delivery whose chunk index exceeds the
+// receive frontier NACKs the gap immediately, giving ~1-RTT recovery.
+func simulateSR(cfg Config, rng *rand.Rand, nchunks int, nack bool) float64 {
+	eng := simnet.New()
+	l := &link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
+	half := cfg.Ch.RTT() / 2
+	rto := cfg.RTOFactor * cfg.Ch.RTT()
+
+	acked := make([]bool, nchunks)
+	delivered := make([]bool, nchunks)
+	ackedCount := 0
+	var doneAt float64
+	// receiver state for NACK mode: highest delivered chunk index
+	maxDelivered := -1
+	nacked := make([]bool, nchunks)
+
+	var send func(i int)
+	armRTO := func(i int, at float64) {
+		eng.At(at+rto, func() {
+			if !acked[i] {
+				send(i)
+			}
+		})
+	}
+	deliverAck := func(i int) {
+		if rng.Float64() < cfg.AckLossProb {
+			return
+		}
+		eng.After(half, func() {
+			if !acked[i] {
+				acked[i] = true
+				ackedCount++
+				if ackedCount == nchunks {
+					doneAt = eng.Now()
+				}
+			}
+		})
+	}
+	sendNack := func(gapEnd int) {
+		// receiver requests every undelivered chunk below gapEnd
+		if rng.Float64() < cfg.AckLossProb {
+			return
+		}
+		var missing []int
+		for j := 0; j < gapEnd; j++ {
+			if !delivered[j] && !nacked[j] {
+				nacked[j] = true
+				missing = append(missing, j)
+			}
+		}
+		if len(missing) == 0 {
+			return
+		}
+		eng.After(half, func() {
+			for _, j := range missing {
+				nacked[j] = false
+				if !acked[j] {
+					send(j)
+				}
+			}
+		})
+	}
+	send = func(i int) {
+		l.transmit(func(txDone float64) {
+			armRTO(i, txDone)
+			if rng.Float64() < cfg.Ch.PDrop {
+				return // chunk lost in transit
+			}
+			eng.After(half, func() {
+				if !delivered[i] {
+					delivered[i] = true
+					if i > maxDelivered {
+						maxDelivered = i
+					}
+				}
+				deliverAck(i)
+				if nack && i > 0 {
+					sendNack(i)
+				}
+			})
+		})
+	}
+	for i := 0; i < nchunks; i++ {
+		send(i)
+	}
+	eng.Run()
+	return doneAt
+}
+
+// simulateGBN runs classic Go-Back-N: the receiver only accepts the
+// next in-order chunk and cumulative-ACKs; on timeout of the oldest
+// unacked chunk the sender resends the whole outstanding window. This
+// is the commodity-NIC baseline SDR's SR is provably no worse than
+// (§4, [7]).
+func simulateGBN(cfg Config, rng *rand.Rand, nchunks int) float64 {
+	eng := simnet.New()
+	l := &link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
+	half := cfg.Ch.RTT() / 2
+	rto := cfg.RTOFactor * cfg.Ch.RTT()
+
+	expected := 0 // receiver's next in-order chunk
+	base := 0     // sender's first unacked chunk
+	sent := 0     // next never-sent chunk
+	var doneAt float64
+	var timer simnet.Timer
+	timerArmed := false
+
+	var pump func()
+	var onTimeout func()
+	armTimer := func() {
+		if timerArmed {
+			timer.Cancel()
+		}
+		timerArmed = true
+		timer = eng.After(rto, onTimeout)
+	}
+	handleAck := func(cum int) {
+		if cum > base {
+			base = cum
+			if base >= nchunks {
+				if doneAt == 0 {
+					doneAt = eng.Now()
+				}
+				if timerArmed {
+					timer.Cancel()
+				}
+				return
+			}
+			armTimer()
+			pump()
+		}
+	}
+	sendChunk := func(i int) {
+		l.transmit(func(float64) {
+			if rng.Float64() < cfg.Ch.PDrop {
+				return
+			}
+			eng.After(half, func() {
+				if i == expected {
+					expected++
+				}
+				cum := expected
+				if rng.Float64() >= cfg.AckLossProb {
+					eng.After(half, func() { handleAck(cum) })
+				}
+			})
+		})
+	}
+	// window: allow a full BDP of chunks outstanding (plus slack) so
+	// the pipe stays full, like a tuned RC QP.
+	window := int(cfg.Ch.BDPBytes()/float64(cfg.Ch.ChunkBytes))*2 + 16
+	pump = func() {
+		for sent < nchunks && sent-base < window {
+			sendChunk(sent)
+			sent++
+		}
+	}
+	onTimeout = func() {
+		timerArmed = false
+		if base >= nchunks {
+			return
+		}
+		// go back N: resend everything outstanding
+		for i := base; i < sent; i++ {
+			sendChunk(i)
+		}
+		armTimer()
+	}
+	pump()
+	armTimer()
+	eng.Run()
+	return doneAt
+}
+
+// simulateEC runs the erasure-coded scheme: data and parity chunks are
+// injected back to back; the receiver decodes submessages in place and
+// positively ACKs when everything is recoverable, or NACKs the missing
+// chunks of failed submessages at the fallback timeout (§4.1.2).
+func simulateEC(cfg Config, rng *rand.Rand, nchunks int) (float64, error) {
+	if cfg.Code != "mds" && cfg.Code != "xor" {
+		return 0, fmt.Errorf("protosim: unknown code %q", cfg.Code)
+	}
+
+	eng := simnet.New()
+	l := &link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
+	half := cfg.Ch.RTT() / 2
+	rto := cfg.RTOFactor * cfg.Ch.RTT()
+
+	k, m := cfg.K, cfg.M
+	L := (nchunks + k - 1) / k
+	// delivery state per submessage: data chunks + parity count
+	dataOK := make([][]bool, L)
+	parityOK := make([]int, L)
+	recovered := make([]bool, L)
+	realChunks := make([]int, L)
+	for i := 0; i < L; i++ {
+		real := nchunks - i*k
+		if real > k {
+			real = k
+		}
+		realChunks[i] = real
+		dataOK[i] = make([]bool, real)
+	}
+
+	canRecover := func(i int) bool {
+		if recovered[i] {
+			return true
+		}
+		missing := 0
+		for _, ok := range dataOK[i] {
+			if !ok {
+				missing++
+			}
+		}
+		if missing == 0 {
+			return true
+		}
+		if cfg.Code == "mds" {
+			return missing <= parityOK[i]
+		}
+		// XOR: group-level recoverability is approximated by the
+		// uniform-assignment condition: each parity repairs one loss
+		// in its modulo group. Missing data chunk j belongs to group
+		// j mod m; count per group.
+		groupLoss := make([]int, m)
+		for j, ok := range dataOK[i] {
+			if !ok {
+				groupLoss[j%m]++
+			}
+		}
+		// parityOK[i] counts delivered parity chunks; assume the
+		// delivered ones are the groups' own parity with uniform
+		// probability — conservatively require all groups with loss
+		// to have ≤1 loss and enough parity overall.
+		need := 0
+		for _, g := range groupLoss {
+			if g > 1 {
+				return false
+			}
+			if g == 1 {
+				need++
+			}
+		}
+		return parityOK[i] >= need
+	}
+
+	var doneAt float64
+	finishIfDone := func() {
+		if doneAt != 0 {
+			return
+		}
+		for i := 0; i < L; i++ {
+			if !canRecover(i) {
+				return
+			}
+			recovered[i] = true
+		}
+		// positive ACK back to the sender
+		if rng.Float64() < cfg.AckLossProb {
+			return // a later poll re-sends; approximate with NACK timer
+		}
+		at := eng.Now() + half
+		eng.At(at, func() {
+			if doneAt == 0 {
+				doneAt = eng.Now()
+			}
+		})
+	}
+
+	var sendData func(sub, j int)
+	sendData = func(sub, j int) {
+		l.transmit(func(txDone float64) {
+			// SR-fallback backstop on each outstanding data chunk
+			eng.At(txDone+rto, func() {
+				if doneAt == 0 && !recovered[sub] && !dataOK[sub][j] && !canRecover(sub) {
+					sendData(sub, j)
+				}
+			})
+			if rng.Float64() < cfg.Ch.PDrop {
+				return
+			}
+			eng.After(half, func() {
+				dataOK[sub][j] = true
+				finishIfDone()
+			})
+		})
+	}
+	sendParity := func(sub int) {
+		l.transmit(func(float64) {
+			if rng.Float64() < cfg.Ch.PDrop {
+				return
+			}
+			eng.After(half, func() {
+				parityOK[sub]++
+				finishIfDone()
+			})
+		})
+	}
+	for i := 0; i < L; i++ {
+		for j := 0; j < realChunks[i]; j++ {
+			sendData(i, j)
+		}
+		for j := 0; j < m; j++ {
+			sendParity(i)
+		}
+	}
+	eng.Run()
+	return doneAt, nil
+}

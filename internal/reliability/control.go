@@ -1,0 +1,239 @@
+package reliability
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"sdrrdma/internal/nicsim"
+)
+
+// control message types on the lossy UD control path (§4.1).
+const (
+	msgSRAck  = 1 // receiver → sender: cumulative + selective ACK
+	msgECAck  = 2 // receiver → sender: all data submessages recovered
+	msgECNack = 3 // receiver → sender: failed submessages + missing chunks
+)
+
+// ctrlMsg is a decoded control packet.
+type ctrlMsg struct {
+	typ  byte
+	opID uint64
+	// SR ACK fields
+	cumAck uint32
+	sack   []byte // chunk bitmap starting at chunk 0 (snapshot)
+	// EC NACK fields: per failed submessage, its index and missing
+	// data-chunk list.
+	nackSubmsgs []ecNackEntry
+}
+
+type ecNackEntry struct {
+	submsg  uint32
+	missing []uint32 // missing data-chunk indices within the submessage
+}
+
+// ControlPlane is one side's control endpoint: a UD QP plus a
+// dispatcher routing inbound messages to per-operation channels.
+type ControlPlane struct {
+	ud   *nicsim.UDQP
+	cq   *nicsim.CQ
+	peer uint32
+	mtu  int
+
+	mu       sync.Mutex
+	handlers map[uint64]chan ctrlMsg
+	bufs     [][]byte
+	stopped  bool
+}
+
+// NewControlPlane creates the control endpoint on dev transmitting via
+// wire. Call ConnectCtrl with the peer's QPN before use.
+func NewControlPlane(dev *nicsim.Device, wire nicsim.Wire, mtu int) *ControlPlane {
+	cq := nicsim.NewCQ(4096, false)
+	cp := &ControlPlane{
+		ud:       nicsim.NewUDQP(dev, mtu, cq),
+		cq:       cq,
+		mtu:      mtu,
+		handlers: make(map[uint64]chan ctrlMsg),
+	}
+	cp.ud.Attach(wire)
+	// Keep a pool of receive buffers posted.
+	for i := 0; i < 1024; i++ {
+		buf := make([]byte, mtu)
+		cp.bufs = append(cp.bufs, buf)
+		cp.ud.PostRecv(buf, uint64(i))
+	}
+	go cp.dispatch()
+	return cp
+}
+
+// QPN returns the control UD QP number for the peer's ConnectCtrl.
+func (cp *ControlPlane) QPN() uint32 { return cp.ud.QPN() }
+
+// ConnectCtrl sets the peer control QPN.
+func (cp *ControlPlane) ConnectCtrl(peerQPN uint32) { cp.peer = peerQPN }
+
+// Close stops the dispatcher.
+func (cp *ControlPlane) Close() {
+	cp.mu.Lock()
+	cp.stopped = true
+	cp.mu.Unlock()
+	cp.cq.Close()
+}
+
+// register claims the control stream for operation opID.
+func (cp *ControlPlane) register(opID uint64) chan ctrlMsg {
+	ch := make(chan ctrlMsg, 64)
+	cp.mu.Lock()
+	cp.handlers[opID] = ch
+	cp.mu.Unlock()
+	return ch
+}
+
+func (cp *ControlPlane) unregister(opID uint64) {
+	cp.mu.Lock()
+	delete(cp.handlers, opID)
+	cp.mu.Unlock()
+}
+
+func (cp *ControlPlane) dispatch() {
+	var batch [64]nicsim.CQE
+	for cp.cq.Wait() {
+		n := cp.cq.Poll(batch[:])
+		for i := 0; i < n; i++ {
+			cqe := &batch[i]
+			buf := cp.bufs[cqe.WRID%uint64(len(cp.bufs))]
+			msg, err := decodeCtrl(buf[:cqe.ByteLen])
+			// Repost the buffer immediately (UD consumes one per
+			// datagram).
+			cp.ud.PostRecv(buf, cqe.WRID)
+			if err != nil {
+				continue // malformed control packets are dropped
+			}
+			cp.mu.Lock()
+			ch := cp.handlers[msg.opID]
+			cp.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- msg:
+				default: // slow consumer: control is best-effort anyway
+				}
+			}
+		}
+	}
+}
+
+// send transmits a control message (unreliably).
+func (cp *ControlPlane) send(m ctrlMsg) error {
+	payload, err := encodeCtrl(m, cp.mtu)
+	if err != nil {
+		return err
+	}
+	return cp.ud.Send(cp.peer, payload, 0, false)
+}
+
+// --- wire format -----------------------------------------------------------
+//
+// byte 0:    type
+// bytes 1-8: opID (LE)
+// SR ACK:    cumAck u32, sackLen u16, sack bytes
+// EC ACK:    (nothing)
+// EC NACK:   count u16, then per entry: submsg u32, nMissing u16,
+//            missing u32 each
+
+func encodeCtrl(m ctrlMsg, mtu int) ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, m.typ)
+	buf = binary.LittleEndian.AppendUint64(buf, m.opID)
+	switch m.typ {
+	case msgSRAck:
+		buf = binary.LittleEndian.AppendUint32(buf, m.cumAck)
+		sack := m.sack
+		if max := mtu - len(buf) - 2; len(sack) > max {
+			sack = sack[:max] // as much of the bitmap as fits (§4.1.1)
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sack)))
+		buf = append(buf, sack...)
+	case msgECAck:
+	case msgECNack:
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.nackSubmsgs)))
+		for _, e := range m.nackSubmsgs {
+			need := 4 + 2 + 4*len(e.missing)
+			if len(buf)+need > mtu {
+				// truncate: remaining failures reported in a later NACK
+				binary.LittleEndian.PutUint16(buf[9:], uint16(countEncoded(buf)))
+				break
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, e.submsg)
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.missing)))
+			for _, c := range e.missing {
+				buf = binary.LittleEndian.AppendUint32(buf, c)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("reliability: unknown control type %d", m.typ)
+	}
+	return buf, nil
+}
+
+// countEncoded recounts how many NACK entries actually fit (used when
+// truncating).
+func countEncoded(buf []byte) int {
+	n := 0
+	off := 11
+	for off < len(buf) {
+		if off+6 > len(buf) {
+			break
+		}
+		miss := int(binary.LittleEndian.Uint16(buf[off+4:]))
+		off += 6 + 4*miss
+		n++
+	}
+	return n
+}
+
+func decodeCtrl(buf []byte) (ctrlMsg, error) {
+	if len(buf) < 9 {
+		return ctrlMsg{}, fmt.Errorf("reliability: short control packet (%d B)", len(buf))
+	}
+	m := ctrlMsg{typ: buf[0], opID: binary.LittleEndian.Uint64(buf[1:9])}
+	rest := buf[9:]
+	switch m.typ {
+	case msgSRAck:
+		if len(rest) < 6 {
+			return ctrlMsg{}, fmt.Errorf("reliability: short SR ACK")
+		}
+		m.cumAck = binary.LittleEndian.Uint32(rest[0:])
+		sackLen := int(binary.LittleEndian.Uint16(rest[4:]))
+		if len(rest) < 6+sackLen {
+			return ctrlMsg{}, fmt.Errorf("reliability: SR ACK sack truncated")
+		}
+		m.sack = append([]byte(nil), rest[6:6+sackLen]...)
+	case msgECAck:
+	case msgECNack:
+		if len(rest) < 2 {
+			return ctrlMsg{}, fmt.Errorf("reliability: short EC NACK")
+		}
+		count := int(binary.LittleEndian.Uint16(rest[0:]))
+		off := 2
+		for i := 0; i < count; i++ {
+			if off+6 > len(rest) {
+				return ctrlMsg{}, fmt.Errorf("reliability: EC NACK truncated")
+			}
+			e := ecNackEntry{submsg: binary.LittleEndian.Uint32(rest[off:])}
+			nMiss := int(binary.LittleEndian.Uint16(rest[off+4:]))
+			off += 6
+			if off+4*nMiss > len(rest) {
+				return ctrlMsg{}, fmt.Errorf("reliability: EC NACK missing-list truncated")
+			}
+			for j := 0; j < nMiss; j++ {
+				e.missing = append(e.missing, binary.LittleEndian.Uint32(rest[off:]))
+				off += 4
+			}
+			m.nackSubmsgs = append(m.nackSubmsgs, e)
+		}
+	default:
+		return ctrlMsg{}, fmt.Errorf("reliability: unknown control type %d", m.typ)
+	}
+	return m, nil
+}

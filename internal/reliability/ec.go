@@ -1,0 +1,361 @@
+package reliability
+
+import (
+	"fmt"
+	"time"
+
+	"sdrrdma/internal/core"
+	"sdrrdma/internal/nicsim"
+)
+
+// ecGeometry captures how a message decomposes into erasure-coded
+// submessages (§4.1.2): L data submessages of k chunks (the tail
+// submessage may have fewer real chunks and is padded with virtual
+// zero chunks so the (k, m) code applies uniformly), each paired with
+// a parity submessage of m chunks.
+type ecGeometry struct {
+	chunkBytes int
+	k, m       int
+	nchunks    int // real data chunks
+	L          int // submessages
+}
+
+func newECGeometry(size, chunkBytes, k, m int) ecGeometry {
+	nchunks := (size + chunkBytes - 1) / chunkBytes
+	l := (nchunks + k - 1) / k
+	if l == 0 {
+		l = 1
+	}
+	return ecGeometry{chunkBytes: chunkBytes, k: k, m: m, nchunks: nchunks, L: l}
+}
+
+// realChunks returns how many real data chunks submessage i holds.
+func (g ecGeometry) realChunks(i int) int {
+	r := g.nchunks - i*g.k
+	if r > g.k {
+		r = g.k
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// subBytes returns the real byte size of data submessage i within a
+// message of size total bytes.
+func (g ecGeometry) subBytes(i, total int) int {
+	lo := i * g.k * g.chunkBytes
+	hi := lo + g.k*g.chunkBytes
+	if hi > total {
+		hi = total
+	}
+	return hi - lo
+}
+
+// parityBytes is the wire size of each parity submessage.
+func (g ecGeometry) parityBytes() int { return g.m * g.chunkBytes }
+
+// WriteEC reliably writes data using the erasure-coding scheme of
+// §4.1.2: each data submessage goes out as a streaming SDR send (kept
+// open for fallback retransmission), its parity as a one-shot send.
+// The sender finishes on the receiver's positive ACK; an EC NACK
+// triggers Selective-Repeat-style retransmission of the listed missing
+// chunks through the open streams.
+func (e *Endpoint) WriteEC(data []byte) error {
+	e.opMu.Lock()
+	defer e.opMu.Unlock()
+	cfg := e.Cfg
+	code, err := cfg.NewCode()
+	if err != nil {
+		return err
+	}
+	chunkBytes := e.QP.Config().ChunkBytes
+	g := newECGeometry(len(data), chunkBytes, cfg.K, cfg.M)
+
+	streams := make([]*core.SendStream, g.L)
+	parity := make([][]byte, g.L)
+
+	// Encode all parity up front (§4.1.2 notes encoding can overlap
+	// injection on spare cores; the simulator encodes inline — Fig 11
+	// measures the cost separately).
+	dataShards := make([][]byte, g.k)
+	scratchTail := make([]byte, chunkBytes)
+	for i := 0; i < g.L; i++ {
+		real := g.realChunks(i)
+		for j := 0; j < g.k; j++ {
+			if j >= real {
+				dataShards[j] = make([]byte, chunkBytes) // virtual zero chunk
+				continue
+			}
+			lo := (i*g.k + j) * chunkBytes
+			hi := lo + chunkBytes
+			if hi > len(data) {
+				// partial tail chunk: zero-pad into scratch
+				for b := range scratchTail {
+					scratchTail[b] = 0
+				}
+				copy(scratchTail, data[lo:])
+				dataShards[j] = scratchTail
+				continue
+			}
+			dataShards[j] = data[lo:hi]
+		}
+		parityShards := make([][]byte, g.m)
+		parityBuf := make([]byte, g.parityBytes())
+		for j := range parityShards {
+			parityShards[j] = parityBuf[j*chunkBytes : (j+1)*chunkBytes]
+		}
+		if err := code.Encode(dataShards, parityShards); err != nil {
+			return fmt.Errorf("reliability: EC encode submessage %d: %w", i, err)
+		}
+		parity[i] = parityBuf
+	}
+
+	// Interleaved injection: data_i (streaming) then parity_i
+	// (one-shot), matching the receiver's posting order.
+	var opID uint64
+	for i := 0; i < g.L; i++ {
+		sb := g.subBytes(i, len(data))
+		st, err := e.QP.SendStreamStart(sb, 0)
+		if err != nil {
+			return fmt.Errorf("reliability: EC data stream %d: %w", i, err)
+		}
+		if i == 0 {
+			opID = st.Seq()
+		}
+		streams[i] = st
+		lo := i * g.k * chunkBytes
+		if err := st.Continue(0, data[lo:lo+sb]); err != nil {
+			return err
+		}
+		if _, err := e.QP.SendPost(parity[i], 0); err != nil {
+			return fmt.Errorf("reliability: EC parity send %d: %w", i, err)
+		}
+	}
+
+	acks := e.CP.register(opID)
+	defer e.CP.unregister(opID)
+
+	deadline := time.Now().Add(cfg.GlobalTimeout)
+	ticker := time.NewTicker(cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case m := <-acks:
+			switch m.typ {
+			case msgECAck:
+				for _, st := range streams {
+					st.End()
+				}
+				return nil
+			case msgECNack:
+				// Fallback: selective repeat of the reported missing
+				// chunks through the still-open streams (§4.1.2).
+				for _, entry := range m.nackSubmsgs {
+					i := int(entry.submsg)
+					if i >= g.L {
+						continue
+					}
+					sb := g.subBytes(i, len(data))
+					base := i * g.k * chunkBytes
+					for _, cIdx := range entry.missing {
+						lo := int(cIdx) * chunkBytes
+						hi := lo + chunkBytes
+						if hi > sb {
+							hi = sb
+						}
+						if lo >= sb {
+							continue
+						}
+						if err := streams[i].Continue(lo, data[base+lo:base+hi]); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		case <-ticker.C:
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%w: EC write %d B", ErrGlobalTimeout, len(data))
+			}
+		}
+	}
+}
+
+// ecRecvState tracks one submessage on the receiver.
+type ecRecvState struct {
+	dataH     *core.RecvHandle
+	parityH   *core.RecvHandle
+	recovered bool
+}
+
+// ReceiveEC receives one erasure-coded Write into
+// mr[offset:offset+size], using scratch for parity submessages
+// (scratch must hold L·m·chunk bytes). The receiver polls the
+// bitmaps, decodes submessages in place as soon as they are
+// recoverable, and on fallback-timeout expiry NACKs the missing
+// chunks of unrecoverable submessages (§4.1.2).
+func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *nicsim.MR) error {
+	e.opMu.Lock()
+	defer e.opMu.Unlock()
+	cfg := e.Cfg
+	code, err := cfg.NewCode()
+	if err != nil {
+		return err
+	}
+	chunkBytes := e.QP.Config().ChunkBytes
+	g := newECGeometry(size, chunkBytes, cfg.K, cfg.M)
+	if need := uint64(g.L * g.parityBytes()); scratch.Span() < need {
+		return fmt.Errorf("reliability: parity scratch %d B, need %d", scratch.Span(), need)
+	}
+
+	subs := make([]ecRecvState, g.L)
+	for i := 0; i < g.L; i++ {
+		dataH, err := e.QP.RecvPost(mr, offset+uint64(i*g.k*chunkBytes), g.subBytes(i, size))
+		if err != nil {
+			return fmt.Errorf("reliability: EC data recv %d: %w", i, err)
+		}
+		parityH, err := e.QP.RecvPost(scratch, uint64(i*g.parityBytes()), g.parityBytes())
+		if err != nil {
+			return fmt.Errorf("reliability: EC parity recv %d: %w", i, err)
+		}
+		subs[i] = ecRecvState{dataH: dataH, parityH: parityH}
+	}
+	opID := subs[0].dataH.Seq()
+
+	buf := mr.Bytes()
+	scratchBuf := scratch.Bytes()
+	present := make([]bool, g.k+g.m)
+	shards := make([][]byte, g.k+g.m)
+
+	// tryRecover decodes submessage i in place if possible.
+	tryRecover := func(i int) bool {
+		s := &subs[i]
+		if s.recovered {
+			return true
+		}
+		real := g.realChunks(i)
+		dataBM := s.dataH.Bitmap()
+		allData := true
+		for j := 0; j < real; j++ {
+			present[j] = dataBM.Test(j)
+			if !present[j] {
+				allData = false
+			}
+		}
+		if allData {
+			s.recovered = true
+			return true
+		}
+		for j := real; j < g.k; j++ {
+			present[j] = true // virtual zero chunks never travel
+		}
+		parityBM := s.parityH.Bitmap()
+		for j := 0; j < g.m; j++ {
+			present[g.k+j] = parityBM.Test(j)
+		}
+		if !code.CanRecover(present) {
+			return false
+		}
+		// Build shards over the real buffers; padded temporaries for
+		// the partial tail chunk and virtual chunks.
+		subBase := int(offset) + i*g.k*chunkBytes
+		sb := g.subBytes(i, size)
+		var tailShard []byte
+		tailChunk := -1
+		for j := 0; j < g.k; j++ {
+			if j >= real {
+				shards[j] = make([]byte, chunkBytes)
+				continue
+			}
+			lo := j * chunkBytes
+			hi := lo + chunkBytes
+			if hi > sb {
+				tailShard = make([]byte, chunkBytes)
+				copy(tailShard, buf[subBase+lo:subBase+sb])
+				shards[j] = tailShard
+				tailChunk = j
+				continue
+			}
+			shards[j] = buf[subBase+lo : subBase+hi]
+		}
+		for j := 0; j < g.m; j++ {
+			lo := i*g.parityBytes() + j*chunkBytes
+			shards[g.k+j] = scratchBuf[lo : lo+chunkBytes]
+		}
+		presentCopy := append([]bool(nil), present...)
+		if err := code.Reconstruct(shards, presentCopy); err != nil {
+			return false
+		}
+		if tailShard != nil && !present[tailChunk] {
+			// write back only the real bytes of the recovered tail
+			lo := tailChunk * chunkBytes
+			copy(buf[subBase+lo:subBase+sb], tailShard[:sb-lo])
+		}
+		s.recovered = true
+		return true
+	}
+
+	sendNack := func() {
+		var entries []ecNackEntry
+		for i := range subs {
+			if subs[i].recovered {
+				continue
+			}
+			bm := subs[i].dataH.Bitmap()
+			var missing []uint32
+			for _, c := range bm.Missing(nil, 0, bm.Len()) {
+				missing = append(missing, uint32(c))
+			}
+			entries = append(entries, ecNackEntry{submsg: uint32(i), missing: missing})
+		}
+		if len(entries) > 0 {
+			e.CP.send(ctrlMsg{typ: msgECNack, opID: opID, nackSubmsgs: entries})
+		}
+	}
+
+	complete := func() error {
+		// Positive ACK with linger against control loss, then retire
+		// every slot.
+		lingerEnd := time.Now().Add(cfg.Linger)
+		for time.Now().Before(lingerEnd) {
+			e.CP.send(ctrlMsg{typ: msgECAck, opID: opID})
+			time.Sleep(cfg.AckInterval)
+		}
+		for i := range subs {
+			subs[i].dataH.Complete()
+			subs[i].parityH.Complete()
+		}
+		return nil
+	}
+
+	fto := cfg.FTO()
+	ftoAt := time.Now().Add(fto) // FTO armed at posting (§4.1.2)
+	nextNack := ftoAt
+	deadline := time.Now().Add(cfg.GlobalTimeout)
+	ticker := time.NewTicker(cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		<-ticker.C
+		allOK := true
+		for i := range subs {
+			if !tryRecover(i) {
+				allOK = false
+			}
+		}
+		if allOK {
+			return complete()
+		}
+		now := time.Now()
+		if now.After(deadline) {
+			for i := range subs {
+				subs[i].dataH.Complete()
+				subs[i].parityH.Complete()
+			}
+			return fmt.Errorf("%w: EC receive %d B", ErrGlobalTimeout, size)
+		}
+		if now.After(nextNack) {
+			sendNack()
+			nextNack = now.Add(cfg.RTO())
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package reliability
+
+import (
+	"time"
+
+	"sdrrdma/internal/core"
+	"sdrrdma/internal/fabric"
+)
+
+// Session wires two reliable endpoints across one (impaired) fabric
+// link: the SDR data path and the UD control path share the wire, so
+// ACKs and NACKs are just as lossy as data (§4.1).
+type Session struct {
+	Pair *core.Pair
+	A, B *Endpoint
+}
+
+// NewSession builds a connected client/server reliability deployment.
+func NewSession(coreCfg core.Config, relCfg Config, ab, ba fabric.Config, oobLatency time.Duration) (*Session, error) {
+	pair, err := core.NewPair(coreCfg, ab, ba, oobLatency)
+	if err != nil {
+		return nil, err
+	}
+	mtu := pair.A.Ctx.Config().MTU
+	cpA := NewControlPlane(pair.A.Dev, pair.Link.AB, mtu)
+	cpB := NewControlPlane(pair.B.Dev, pair.Link.BA, mtu)
+	cpA.ConnectCtrl(cpB.QPN())
+	cpB.ConnectCtrl(cpA.QPN())
+	return &Session{
+		Pair: pair,
+		A:    NewEndpoint(pair.A.QP, cpA, relCfg),
+		B:    NewEndpoint(pair.B.QP, cpB, relCfg),
+	}, nil
+}
+
+// Close tears the session down.
+func (s *Session) Close() {
+	s.A.CP.Close()
+	s.B.CP.Close()
+	s.Pair.Close()
+}

@@ -1,0 +1,194 @@
+package reliability
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sdrrdma/internal/core"
+	"sdrrdma/internal/nicsim"
+)
+
+// ErrGlobalTimeout is returned when an operation exceeds
+// Config.GlobalTimeout (§4.1.2's deadlock guard).
+var ErrGlobalTimeout = errors.New("reliability: global timeout exceeded")
+
+// Endpoint is one side of a reliable connection: the SDR data path
+// plus the lossy control path. Operations on a single endpoint are
+// serialized (matching the paper's sequential per-connection stages);
+// distinct endpoint pairs run concurrently.
+type Endpoint struct {
+	QP   *core.QP
+	CP   *ControlPlane
+	Cfg  Config
+	opMu sync.Mutex
+}
+
+// NewEndpoint bundles a connected SDR QP and control plane.
+func NewEndpoint(qp *core.QP, cp *ControlPlane, cfg Config) *Endpoint {
+	return &Endpoint{QP: qp, CP: cp, Cfg: cfg.WithDefaults()}
+}
+
+// chunkState tracks one chunk on the SR sender.
+type chunkState struct {
+	acked    bool
+	lastSent time.Time
+}
+
+// WriteSR reliably writes data using Selective Repeat (§4.1.1):
+// streaming SDR send for the initial injection, per-chunk RTO
+// retransmission, cumulative+selective ACKs from the receiver, and —
+// in NACK mode — fast retransmission of holes behind the ACK frontier
+// after ~1 RTT.
+func (e *Endpoint) WriteSR(data []byte) error {
+	e.opMu.Lock()
+	defer e.opMu.Unlock()
+	cfg := e.Cfg
+
+	stream, err := e.QP.SendStreamStart(len(data), 0)
+	if err != nil {
+		return fmt.Errorf("reliability: SR stream start: %w", err)
+	}
+	opID := stream.Seq()
+	acks := e.CP.register(opID)
+	defer e.CP.unregister(opID)
+
+	chunkBytes := e.QP.Config().ChunkBytes
+	nchunks := (len(data) + chunkBytes - 1) / chunkBytes
+	chunks := make([]chunkState, nchunks)
+
+	// Initial injection of the whole message.
+	if err := stream.Continue(0, data); err != nil {
+		return err
+	}
+	now := time.Now()
+	for i := range chunks {
+		chunks[i].lastSent = now
+	}
+
+	resend := func(chunk int) error {
+		lo := chunk * chunkBytes
+		hi := lo + chunkBytes
+		if hi > len(data) {
+			hi = len(data)
+		}
+		chunks[chunk].lastSent = time.Now()
+		return stream.Continue(lo, data[lo:hi])
+	}
+
+	ackedCount := 0
+	applyAck := func(m ctrlMsg) {
+		for i := 0; i < int(m.cumAck) && i < nchunks; i++ {
+			if !chunks[i].acked {
+				chunks[i].acked = true
+				ackedCount++
+			}
+		}
+		// Selective portion: bitmap over all chunks (§4.1.1 sends it
+		// from the cumulative frontier; we snapshot from zero, which
+		// carries the same information).
+		for i := 0; i < nchunks && i/8 < len(m.sack); i++ {
+			if m.sack[i/8]&(1<<uint(i%8)) != 0 && !chunks[i].acked {
+				chunks[i].acked = true
+				ackedCount++
+			}
+		}
+	}
+
+	rto := cfg.RTO()
+	nackDelay := cfg.RTT // NACK-mode hole resend delay (§5.1.1: 1 RTT)
+	ticker := time.NewTicker(cfg.PollInterval)
+	defer ticker.Stop()
+	deadline := time.Now().Add(cfg.GlobalTimeout)
+
+	for ackedCount < nchunks {
+		select {
+		case m := <-acks:
+			if m.typ != msgSRAck {
+				continue
+			}
+			applyAck(m)
+			if cfg.NACK && ackedCount < nchunks {
+				// Fast retransmit: a hole is an unacked chunk below the
+				// highest acked chunk — the receiver has seen past it,
+				// so it was dropped, not merely in flight.
+				frontier := -1
+				for i := nchunks - 1; i >= 0; i-- {
+					if chunks[i].acked {
+						frontier = i
+						break
+					}
+				}
+				for i := 0; i < frontier; i++ {
+					if !chunks[i].acked && time.Since(chunks[i].lastSent) >= nackDelay {
+						if err := resend(i); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		case <-ticker.C:
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%w: SR write %d B, %d/%d chunks acked",
+					ErrGlobalTimeout, len(data), ackedCount, nchunks)
+			}
+			for i := range chunks {
+				if !chunks[i].acked && time.Since(chunks[i].lastSent) >= rto {
+					if err := resend(i); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return stream.End()
+}
+
+// ReceiveSR receives one reliable SR Write into mr[offset:offset+size].
+// It polls the SDR chunk bitmap (§3.1.1) and reports progress through
+// cumulative+selective ACKs until the message completes, then lingers
+// re-ACKing before retiring the slot (ACKs ride the lossy control
+// path).
+func (e *Endpoint) ReceiveSR(mr *nicsim.MR, offset uint64, size int) error {
+	e.opMu.Lock()
+	defer e.opMu.Unlock()
+	cfg := e.Cfg
+
+	h, err := e.QP.RecvPost(mr, offset, size)
+	if err != nil {
+		return fmt.Errorf("reliability: SR recv post: %w", err)
+	}
+	opID := h.Seq()
+
+	sendAck := func() {
+		bm := h.Bitmap()
+		e.CP.send(ctrlMsg{
+			typ:    msgSRAck,
+			opID:   opID,
+			cumAck: uint32(bm.CumulativeCount()),
+			sack:   bm.Snapshot(nil),
+		})
+	}
+
+	deadline := time.Now().Add(cfg.GlobalTimeout)
+	ticker := time.NewTicker(cfg.AckInterval)
+	defer ticker.Stop()
+	for !h.Done() {
+		<-ticker.C
+		if time.Now().After(deadline) {
+			h.Complete()
+			return fmt.Errorf("%w: SR receive %d B, %d/%d chunks",
+				ErrGlobalTimeout, size, h.Bitmap().Count(), h.NumChunks())
+		}
+		sendAck()
+	}
+	// Completion: keep re-sending the final ACK during the linger
+	// window so a lost ACK cannot strand the sender.
+	lingerEnd := time.Now().Add(cfg.Linger)
+	for time.Now().Before(lingerEnd) {
+		sendAck()
+		time.Sleep(cfg.AckInterval)
+	}
+	return h.Complete()
+}

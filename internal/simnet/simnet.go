@@ -1,0 +1,135 @@
+// Package simnet provides a minimal discrete-event simulation core with
+// a virtual clock. It backs the packet-level protocol simulator in
+// internal/model (used to cross-validate the paper's closed-form
+// completion-time model) and the inter-datacenter allreduce simulator.
+//
+// Time is a float64 in seconds. Events scheduled for the same instant
+// fire in scheduling order (stable), which keeps simulations
+// deterministic for a fixed seed.
+package simnet
+
+import "container/heap"
+
+// Event is a callback scheduled on the virtual timeline.
+type Event func()
+
+type item struct {
+	at   float64
+	seq  uint64 // tie-breaker for deterministic ordering
+	fn   Event
+	dead bool
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a single-threaded discrete-event scheduler.
+type Engine struct {
+	now    float64
+	nextID uint64
+	events eventHeap
+}
+
+// New creates an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Timer identifies a scheduled event so it can be cancelled (e.g. an
+// RTO timer disarmed by an ACK).
+type Timer struct{ it *item }
+
+// Cancel disarms the timer. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t Timer) Cancel() {
+	if t.it != nil {
+		t.it.dead = true
+	}
+}
+
+// At schedules fn at absolute virtual time at. Scheduling in the past
+// panics: it would silently corrupt causality.
+func (e *Engine) At(at float64, fn Event) Timer {
+	if at < e.now {
+		panic("simnet: scheduling event in the past")
+	}
+	it := &item{at: at, seq: e.nextID, fn: fn}
+	e.nextID++
+	heap.Push(&e.events, it)
+	return Timer{it}
+}
+
+// After schedules fn delay seconds from now.
+func (e *Engine) After(delay float64, fn Event) Timer {
+	return e.At(e.now+delay, fn)
+}
+
+// Step fires the next pending event and returns true, or returns false
+// if the queue is empty.
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		it := heap.Pop(&e.events).(*item)
+		if it.dead {
+			continue
+		}
+		e.now = it.at
+		it.fn()
+		return true
+	}
+	return false
+}
+
+// Run drains the event queue completely.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline, advancing the
+// clock to exactly deadline afterwards.
+func (e *Engine) RunUntil(deadline float64) {
+	for e.events.Len() > 0 {
+		// peek
+		next := e.events[0]
+		if next.dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of live scheduled events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, it := range e.events {
+		if !it.dead {
+			n++
+		}
+	}
+	return n
+}

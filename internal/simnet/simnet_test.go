@@ -1,0 +1,131 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderingAndClock(t *testing.T) {
+	e := New()
+	var order []int
+	e.After(3, func() { order = append(order, 3) })
+	e.After(1, func() { order = append(order, 1) })
+	e.After(2, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %g, want 3", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.After(1, func() { fired = true })
+	tm.Cancel()
+	tm.Cancel() // double-cancel is a no-op
+	e.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run", e.Pending())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var times []float64
+	e.After(1, func() {
+		times = append(times, e.Now())
+		e.After(1, func() {
+			times = append(times, e.Now())
+			e.After(1, func() { times = append(times, e.Now()) })
+		})
+	})
+	e.Run()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v", times)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func() { count++ })
+	}
+	e.RunUntil(5.5)
+	if count != 5 {
+		t.Fatalf("events fired by 5.5 = %d, want 5", count)
+	}
+	if e.Now() != 5.5 {
+		t.Fatalf("clock = %g, want 5.5", e.Now())
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("total events = %d", count)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.After(2, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+// Property: events always fire in non-decreasing time order regardless
+// of insertion order.
+func TestMonotoneFiringProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var fired []float64
+		n := rng.Intn(200) + 1
+		delays := make([]float64, n)
+		for i := range delays {
+			delays[i] = rng.Float64() * 100
+			d := delays[i]
+			e.At(d, func() { fired = append(fired, d) })
+		}
+		e.Run()
+		if len(fired) != n {
+			return false
+		}
+		if !sort.Float64sAreSorted(fired) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	want := math.Sqrt(2.5) // sample stddev of 1..5
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std = %g, want %g", s.Std, want)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 99.9); got != 7 {
+		t.Fatalf("single-sample percentile = %g", got)
+	}
+}
+
+func TestP999NeedsTail(t *testing.T) {
+	// 10000 samples: 9980 ones and 20 hundreds; the p99.9 rank
+	// (9989.0 with linear interpolation) falls inside the outlier
+	// block.
+	samples := make([]float64, 10000)
+	for i := range samples {
+		samples[i] = 1
+	}
+	for i := 0; i < 20; i++ {
+		samples[len(samples)-1-i] = 100
+	}
+	s := Summarize(samples)
+	if s.P999 < 50 {
+		t.Fatalf("p99.9 = %g, should catch the 0.1%% tail", s.P999)
+	}
+	if s.P99 != 1 {
+		t.Fatalf("p99 = %g, want 1", s.P99)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	check := func(seed int64, n8 uint8) bool {
+		n := int(n8)%100 + 1
+		rng := rand.New(rand.NewSource(seed))
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 100
+		}
+		sort.Float64s(samples)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(samples, p)
+			if v < prev-1e-9 || v < samples[0]-1e-9 || v > samples[n-1]+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 42} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.under != 1 || h.over != 2 {
+		t.Fatalf("under=%d over=%d", h.under, h.over)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if got := h.Fraction(0); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("Fraction(0) = %g", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram accepted")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean = %g, want 4", got)
+	}
+	// zeros and negatives skipped
+	if got := GeoMean([]float64{0, -3, 2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean with junk = %g, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Fatalf("GeoMean(nil) = %g", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}

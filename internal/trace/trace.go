@@ -1,0 +1,94 @@
+// Package trace generates the synthetic communication workloads used
+// by the experiment harnesses and examples: distributed-training
+// traffic patterns (gradient-bucket Allreduce payloads, as motivated
+// in §1 and §5.3) and parameter sweeps over message sizes and drop
+// rates.
+package trace
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Workload is a stream of message sizes (bytes).
+type Workload interface {
+	// Next returns the next message size.
+	Next(rng *rand.Rand) int64
+	// Name identifies the workload.
+	Name() string
+}
+
+// Fixed always returns the same size.
+type Fixed struct{ Bytes int64 }
+
+func (f Fixed) Next(*rand.Rand) int64 { return f.Bytes }
+func (f Fixed) Name() string          { return "fixed" }
+
+// TrainingBuckets models data-parallel training traffic: gradients are
+// flushed in near-constant buckets (PyTorch DDP defaults to 25 MiB) with
+// a smaller tail bucket per step. Sizes cycle deterministically per
+// step with mild jitter.
+type TrainingBuckets struct {
+	// BucketBytes is the full bucket size (default 25 MiB).
+	BucketBytes int64
+	// BucketsPerStep is the number of full buckets per training step.
+	BucketsPerStep int
+	// TailBytes is the final partial bucket (default BucketBytes/4).
+	TailBytes int64
+
+	pos int
+}
+
+// NewTrainingBuckets returns the default DDP-style workload.
+func NewTrainingBuckets() *TrainingBuckets {
+	return &TrainingBuckets{BucketBytes: 25 << 20, BucketsPerStep: 8, TailBytes: 6 << 20}
+}
+
+func (t *TrainingBuckets) Name() string { return "training-buckets" }
+
+func (t *TrainingBuckets) Next(rng *rand.Rand) int64 {
+	full := t.BucketsPerStep
+	if full <= 0 {
+		full = 8
+	}
+	bucket := t.BucketBytes
+	if bucket <= 0 {
+		bucket = 25 << 20
+	}
+	tail := t.TailBytes
+	if tail <= 0 {
+		tail = bucket / 4
+	}
+	i := t.pos
+	t.pos = (t.pos + 1) % (full + 1)
+	if i == full {
+		return tail
+	}
+	// ±3% jitter models variable gradient compression/padding
+	j := 1 + (rng.Float64()-0.5)*0.06
+	return int64(float64(bucket) * j)
+}
+
+// LogUniform samples sizes log-uniformly in [Min, Max] — the sweep
+// distribution behind the Fig 9 heatmap axes.
+type LogUniform struct {
+	Min, Max int64
+}
+
+func (l LogUniform) Name() string { return "log-uniform" }
+
+func (l LogUniform) Next(rng *rand.Rand) int64 {
+	lo, hi := math.Log(float64(l.Min)), math.Log(float64(l.Max))
+	return int64(math.Exp(lo + rng.Float64()*(hi-lo)))
+}
+
+// DropRateSweep enumerates the paper's drop-rate grid.
+func DropRateSweep() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+}
+
+// SizeSweep enumerates the paper's message-size grid (Fig 3a's x-axis
+// subset).
+func SizeSweep() []int64 {
+	return []int64{128 << 10, 2 << 20, 32 << 20, 128 << 20, 512 << 20, 2 << 30, 8 << 30}
+}

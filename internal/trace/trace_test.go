@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFixed(t *testing.T) {
+	w := Fixed{Bytes: 4096}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5; i++ {
+		if got := w.Next(rng); got != 4096 {
+			t.Fatalf("Fixed.Next = %d", got)
+		}
+	}
+	if w.Name() != "fixed" {
+		t.Fatal("name")
+	}
+}
+
+func TestTrainingBucketsCycle(t *testing.T) {
+	w := NewTrainingBuckets()
+	rng := rand.New(rand.NewSource(2))
+	fulls, tails := 0, 0
+	for i := 0; i < 9*10; i++ { // 10 full steps of 8 buckets + tail
+		sz := w.Next(rng)
+		switch {
+		case sz == w.TailBytes:
+			tails++
+		case float64(sz) > float64(w.BucketBytes)*0.9 && float64(sz) < float64(w.BucketBytes)*1.1:
+			fulls++
+		default:
+			t.Fatalf("bucket size %d outside ±10%% of %d", sz, w.BucketBytes)
+		}
+	}
+	if tails != 10 || fulls != 80 {
+		t.Fatalf("fulls=%d tails=%d, want 80/10", fulls, tails)
+	}
+}
+
+func TestTrainingBucketsZeroValues(t *testing.T) {
+	w := &TrainingBuckets{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		if w.Next(rng) <= 0 {
+			t.Fatal("zero-value workload produced non-positive size")
+		}
+	}
+}
+
+func TestLogUniformRange(t *testing.T) {
+	w := LogUniform{Min: 1 << 10, Max: 1 << 30}
+	rng := rand.New(rand.NewSource(4))
+	sawSmall, sawLarge := false, false
+	for i := 0; i < 5000; i++ {
+		sz := w.Next(rng)
+		if sz < w.Min || sz > w.Max+1 {
+			t.Fatalf("LogUniform out of range: %d", sz)
+		}
+		if sz < 1<<15 {
+			sawSmall = true
+		}
+		if sz > 1<<25 {
+			sawLarge = true
+		}
+	}
+	if !sawSmall || !sawLarge {
+		t.Fatal("log-uniform did not cover both ends of the range")
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	if len(DropRateSweep()) < 5 {
+		t.Fatal("drop sweep too small")
+	}
+	prev := int64(0)
+	for _, s := range SizeSweep() {
+		if s <= prev {
+			t.Fatal("size sweep not increasing")
+		}
+		prev = s
+	}
+}

@@ -1,0 +1,59 @@
+package wan
+
+import (
+	"math/rand"
+)
+
+// Burst-loss analysis for the bitmap chunk-size choice (§3.1.1): "the
+// bitmap resolution can be chosen to mask drop bursts within the same
+// chunk; with a chunk size of 16 packets, dropping 7 packets inside a
+// chunk would appear to the upper layer as a single chunk drop."
+//
+// Under i.i.d. loss, P_chunk = 1-(1-p)^N grows almost linearly with
+// the chunk size N. Under bursty loss at the same average rate,
+// consecutive drops cluster inside few chunks, so the effective
+// chunk-drop probability — and with it the number of retransmitted
+// chunks — grows much more slowly. MeasureChunkLoss quantifies this.
+
+// ChunkLossStats summarizes a burst-loss measurement over a packet
+// stream partitioned into chunks.
+type ChunkLossStats struct {
+	// PacketLossRate is the measured per-packet drop fraction.
+	PacketLossRate float64
+	// ChunkLossRate is the fraction of chunks with >=1 dropped packet
+	// — what the SDR bitmap reports to the reliability layer.
+	ChunkLossRate float64
+	// MeanDropsPerLostChunk is the burst-masking factor: how many
+	// packet drops the average lost chunk absorbs.
+	MeanDropsPerLostChunk float64
+}
+
+// MeasureChunkLoss streams packets chunks×pktsPerChunk packets through
+// the loss model and returns the chunk-level view.
+func MeasureChunkLoss(model LossModel, rng *rand.Rand, chunks, pktsPerChunk int) ChunkLossStats {
+	totalPkts := chunks * pktsPerChunk
+	droppedPkts := 0
+	lostChunks := 0
+	dropsInLost := 0
+	for c := 0; c < chunks; c++ {
+		drops := 0
+		for i := 0; i < pktsPerChunk; i++ {
+			if model.Drop(rng) {
+				drops++
+			}
+		}
+		droppedPkts += drops
+		if drops > 0 {
+			lostChunks++
+			dropsInLost += drops
+		}
+	}
+	st := ChunkLossStats{
+		PacketLossRate: float64(droppedPkts) / float64(totalPkts),
+		ChunkLossRate:  float64(lostChunks) / float64(chunks),
+	}
+	if lostChunks > 0 {
+		st.MeanDropsPerLostChunk = float64(dropsInLost) / float64(lostChunks)
+	}
+	return st
+}

@@ -1,0 +1,67 @@
+package wan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// §3.1.1's burst-masking claim, quantified: at equal average packet
+// loss, bursty drops produce far fewer lost chunks than i.i.d. drops,
+// because a 16-packet chunk absorbs a whole burst as one bitmap bit.
+func TestBurstMaskingByChunks(t *testing.T) {
+	const (
+		pAvg         = 0.01
+		pktsPerChunk = 16
+		chunks       = 200000
+	)
+	rng := rand.New(rand.NewSource(1))
+	iid := MeasureChunkLoss(IIDLoss{P: pAvg}, rng, chunks, pktsPerChunk)
+	ge := MeasureChunkLoss(NewGilbertElliott(pAvg, 8), rng, chunks, pktsPerChunk)
+
+	// both hit the configured average packet loss
+	if math.Abs(iid.PacketLossRate-pAvg) > 0.002 {
+		t.Fatalf("iid packet loss %g, want %g", iid.PacketLossRate, pAvg)
+	}
+	if math.Abs(ge.PacketLossRate-pAvg) > 0.004 {
+		t.Fatalf("GE packet loss %g, want ≈%g", ge.PacketLossRate, pAvg)
+	}
+	// i.i.d. chunk loss matches the closed form 1-(1-p)^N
+	want := ChunkDropProb(pAvg, pktsPerChunk)
+	if math.Abs(iid.ChunkLossRate-want) > 0.005 {
+		t.Fatalf("iid chunk loss %g, want %g", iid.ChunkLossRate, want)
+	}
+	// bursty loss is masked: materially fewer lost chunks, each
+	// absorbing several drops
+	if ge.ChunkLossRate > iid.ChunkLossRate*0.65 {
+		t.Fatalf("burst masking absent: GE chunk loss %g vs iid %g",
+			ge.ChunkLossRate, iid.ChunkLossRate)
+	}
+	if ge.MeanDropsPerLostChunk < 2 {
+		t.Fatalf("GE lost chunks absorb only %.2f drops, want >=2",
+			ge.MeanDropsPerLostChunk)
+	}
+	if iid.MeanDropsPerLostChunk > 1.2 {
+		t.Fatalf("iid lost chunks absorb %.2f drops, want ≈1",
+			iid.MeanDropsPerLostChunk)
+	}
+}
+
+// Masking grows with chunk size for bursty channels.
+func TestBurstMaskingGrowsWithChunkSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prevRatio := 0.0
+	for _, ppc := range []int{1, 4, 16, 64} {
+		ge := MeasureChunkLoss(NewGilbertElliott(0.01, 8), rng, 100000, ppc)
+		iidChunk := ChunkDropProb(0.01, ppc)
+		ratio := iidChunk / math.Max(ge.ChunkLossRate, 1e-9)
+		if ppc > 1 && ratio < prevRatio*0.8 {
+			t.Fatalf("masking ratio shrank at %d pkts/chunk: %.2f after %.2f",
+				ppc, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio < 2 {
+		t.Fatalf("64-packet chunks mask bursts only %.2fx, want >2x", prevRatio)
+	}
+}
