@@ -1,0 +1,31 @@
+GO ?= go
+
+# Packages whose concurrent hot paths must stay race-clean.
+RACE_PKGS = ./internal/bitmap/ ./internal/gf256/ ./internal/ec/
+
+.PHONY: ci vet build test race bench bench-kernels
+
+ci: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+test:
+	$(GO) test ./...
+
+# Kernel micro-benchmarks: gf256 word kernels, EC serial-vs-parallel
+# encode, bitmap polling — the hot paths tracked by the bench trajectory.
+bench-kernels:
+	$(GO) test -run xxx -bench 'BenchmarkXORSlice|BenchmarkMulAddSlice' ./internal/gf256/
+	$(GO) test -run xxx -bench 'Encode|Reconstruct' ./internal/ec/
+	$(GO) test -run xxx -bench 'BenchmarkBitmap|BenchmarkFirstZero|BenchmarkMarkPacket' ./internal/bitmap/
+
+# Full benchmark sweep including figure regeneration.
+bench: bench-kernels
+	$(GO) test -run xxx -bench . -benchtime 0.2x .

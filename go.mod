@@ -1,0 +1,3 @@
+module sdrrdma
+
+go 1.24

@@ -12,14 +12,28 @@
 package bitmap
 
 import (
+	"encoding/binary"
 	"math/bits"
 	"sync/atomic"
 )
 
 // Bitmap is a fixed-size atomic bitset.
+//
+// Completion queries are taken off the per-poll critical path: Full
+// and Count are O(1) via an atomic remaining-bits counter, and
+// FirstZero/CumulativeCount carry a monotonic word hint so repeated
+// polls resume where the previous scan stopped instead of rescanning
+// from word 0. The hint assumes the write side only *sets* bits while
+// scanners run (the SDR delivery pattern); Clear lowers it again, but
+// a Clear racing a FirstZero scan needs external synchronization.
 type Bitmap struct {
 	words []atomic.Uint64
 	nbits int
+	// remaining counts still-clear bits; 0 means full.
+	remaining atomic.Int64
+	// scanHint is a lower bound on the first word that may hold a
+	// clear bit: every word below it has been observed all-ones.
+	scanHint atomic.Uint64
 }
 
 // New creates a bitmap holding nbits bits, all clear.
@@ -27,10 +41,12 @@ func New(nbits int) *Bitmap {
 	if nbits < 0 {
 		panic("bitmap: negative size")
 	}
-	return &Bitmap{
+	b := &Bitmap{
 		words: make([]atomic.Uint64, (nbits+63)/64),
 		nbits: nbits,
 	}
+	b.remaining.Store(int64(nbits))
+	return b
 }
 
 // Len returns the number of bits in the bitmap.
@@ -44,7 +60,11 @@ func (b *Bitmap) Set(i int) bool {
 	}
 	mask := uint64(1) << (uint(i) % 64)
 	old := b.words[i/64].Or(mask)
-	return old&mask == 0
+	if old&mask != 0 {
+		return false
+	}
+	b.remaining.Add(-1)
+	return true
 }
 
 // Test reports whether bit i is set.
@@ -60,7 +80,22 @@ func (b *Bitmap) Clear(i int) {
 	if i < 0 || i >= b.nbits {
 		panic("bitmap: Clear out of range")
 	}
-	b.words[i/64].And(^(uint64(1) << (uint(i) % 64)))
+	mask := uint64(1) << (uint(i) % 64)
+	w := &b.words[i/64]
+	// CAS loop instead of And(^mask): go1.24.0 miscompiles the
+	// value-returning atomic And on amd64 (golang/go#71600, fixed in
+	// 1.24.1), and we need the old value to keep `remaining` exact.
+	for {
+		old := w.Load()
+		if old&mask == 0 {
+			break // already clear
+		}
+		if w.CompareAndSwap(old, old&^mask) {
+			b.remaining.Add(1)
+			break
+		}
+	}
+	b.lowerHint(i / 64)
 }
 
 // Reset clears every bit. Not atomic with respect to concurrent setters;
@@ -70,33 +105,69 @@ func (b *Bitmap) Reset() {
 	for i := range b.words {
 		b.words[i].Store(0)
 	}
+	b.remaining.Store(int64(b.nbits))
+	b.scanHint.Store(0)
 }
 
-// Count returns the number of set bits.
+// Count returns the number of set bits. O(1): derived from the
+// remaining-bits counter the setters maintain.
 func (b *Bitmap) Count() int {
-	n := 0
-	for i := range b.words {
-		n += bits.OnesCount64(b.words[i].Load())
-	}
-	return n
+	return b.nbits - int(b.remaining.Load())
 }
 
-// Full reports whether every bit is set.
-func (b *Bitmap) Full() bool { return b.Count() == b.nbits }
+// Full reports whether every bit is set. O(1) — this is the query the
+// reliability layer issues on every poll tick (§3.1.1), so it must not
+// scan the words.
+func (b *Bitmap) Full() bool { return b.remaining.Load() == 0 }
+
+// lowerHint drops the scan hint to at most w after a bit in word w was
+// cleared.
+func (b *Bitmap) lowerHint(w int) {
+	for {
+		cur := b.scanHint.Load()
+		if cur <= uint64(w) || b.scanHint.CompareAndSwap(cur, uint64(w)) {
+			return
+		}
+	}
+}
+
+// raiseHint records that every word below w has been observed all-ones.
+func (b *Bitmap) raiseHint(w int) {
+	for {
+		cur := b.scanHint.Load()
+		if cur >= uint64(w) || b.scanHint.CompareAndSwap(cur, uint64(w)) {
+			return
+		}
+	}
+}
 
 // FirstZero returns the index of the lowest clear bit, or -1 if the
 // bitmap is full. Reliability layers use this to locate the first
-// missing chunk (the cumulative-ACK point).
+// missing chunk (the cumulative-ACK point). The scan starts at the
+// monotonic word hint and advances it past words it saw full, so a
+// poll loop over a message delivered mostly in order does O(1) work
+// per poll instead of rescanning the whole prefix.
 func (b *Bitmap) FirstZero() int {
-	for w := range b.words {
+	nw := len(b.words)
+	start := int(b.scanHint.Load())
+	if start > nw {
+		start = nw
+	}
+	for w := start; w < nw; w++ {
 		v := b.words[w].Load()
 		if v != ^uint64(0) {
+			if w > start {
+				b.raiseHint(w)
+			}
 			i := w*64 + bits.TrailingZeros64(^v)
 			if i < b.nbits {
 				return i
 			}
 			return -1 // only padding bits beyond nbits are clear
 		}
+	}
+	if nw > start {
+		b.raiseHint(nw)
 	}
 	return -1
 }
@@ -114,7 +185,8 @@ func (b *Bitmap) CumulativeCount() int {
 
 // Missing appends the indices of clear bits in [from, to) to dst and
 // returns it. Reliability layers use this to build retransmission lists
-// and NACKs.
+// and NACKs. It walks whole words, skipping all-ones words with a
+// single load instead of testing 64 bits one atomic read at a time.
 func (b *Bitmap) Missing(dst []int, from, to int) []int {
 	if from < 0 {
 		from = 0
@@ -122,8 +194,25 @@ func (b *Bitmap) Missing(dst []int, from, to int) []int {
 	if to > b.nbits {
 		to = b.nbits
 	}
-	for i := from; i < to; i++ {
-		if !b.Test(i) {
+	if from >= to {
+		return dst
+	}
+	wFrom := from / 64
+	wTo := (to + 63) / 64
+	for w := wFrom; w < wTo; w++ {
+		inv := ^b.words[w].Load()
+		if w == wFrom {
+			inv &^= (uint64(1) << (uint(from) % 64)) - 1
+		}
+		if inv == 0 {
+			continue // fully delivered word
+		}
+		base := w * 64
+		for ; inv != 0; inv &= inv - 1 {
+			i := base + bits.TrailingZeros64(inv)
+			if i >= to {
+				return dst
+			}
 			dst = append(dst, i)
 		}
 	}
@@ -139,31 +228,34 @@ func (b *Bitmap) Snapshot(dst []byte) []byte {
 		dst = make([]byte, need)
 	}
 	dst = dst[:need]
-	for i := range dst {
-		dst[i] = 0
+	w := 0
+	for ; (w+1)*8 <= need; w++ {
+		binary.LittleEndian.PutUint64(dst[w*8:], b.words[w].Load())
 	}
-	for w := range b.words {
+	if w*8 < need {
 		v := b.words[w].Load()
-		for byteIdx := 0; byteIdx < 8; byteIdx++ {
-			off := w*8 + byteIdx
-			if off >= need {
-				break
-			}
-			dst[off] = byte(v >> (8 * uint(byteIdx)))
+		for off := w * 8; off < need; off++ {
+			dst[off] = byte(v >> (8 * uint(off-w*8)))
 		}
 	}
 	return dst
 }
 
 // LoadFrom overwrites the bitmap from a Snapshot byte-view. Extra bytes
-// are ignored; missing bytes leave high bits clear.
+// are ignored; missing bytes leave high bits clear. Like Reset, it is
+// not atomic with respect to concurrent setters.
 func (b *Bitmap) LoadFrom(src []byte) {
+	set := 0
 	for w := range b.words {
 		var v uint64
-		for byteIdx := 0; byteIdx < 8; byteIdx++ {
-			off := w*8 + byteIdx
-			if off < len(src) {
-				v |= uint64(src[off]) << (8 * uint(byteIdx))
+		if (w+1)*8 <= len(src) {
+			v = binary.LittleEndian.Uint64(src[w*8:])
+		} else {
+			for byteIdx := 0; byteIdx < 8; byteIdx++ {
+				off := w*8 + byteIdx
+				if off < len(src) {
+					v |= uint64(src[off]) << (8 * uint(byteIdx))
+				}
 			}
 		}
 		// mask padding bits beyond nbits
@@ -173,8 +265,11 @@ func (b *Bitmap) LoadFrom(src []byte) {
 				v &= (uint64(1) << valid) - 1
 			}
 		}
+		set += bits.OnesCount64(v)
 		b.words[w].Store(v)
 	}
+	b.remaining.Store(int64(b.nbits - set))
+	b.scanHint.Store(0)
 }
 
 // Message is the two-level (packet, chunk) completion structure for one

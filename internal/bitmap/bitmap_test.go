@@ -314,6 +314,280 @@ func TestPanics(t *testing.T) {
 	}
 }
 
+// TestCounterConsistency drives random Set/Clear/duplicate traffic and
+// cross-checks the O(1) Full/Count and the hinted FirstZero against a
+// brute-force reference after every operation.
+func TestCounterConsistency(t *testing.T) {
+	check := func(seed int64, nbitsRaw uint16) bool {
+		nbits := int(nbitsRaw)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		b := New(nbits)
+		ref := make([]bool, nbits)
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(nbits)
+			if rng.Intn(3) == 0 {
+				b.Clear(i)
+				ref[i] = false
+			} else {
+				if b.Set(i) == ref[i] {
+					return false // newly-set report disagrees with reference
+				}
+				ref[i] = true
+			}
+			count, firstZero := 0, -1
+			for j, set := range ref {
+				if set {
+					count++
+				} else if firstZero < 0 {
+					firstZero = j
+				}
+			}
+			if b.Count() != count || b.Full() != (count == nbits) {
+				return false
+			}
+			if b.FirstZero() != firstZero {
+				return false
+			}
+			cum := firstZero
+			if cum < 0 {
+				cum = nbits
+			}
+			if b.CumulativeCount() != cum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFirstZeroHintAdvancesAndLowers exercises the monotonic word hint
+// directly: repeated polls of an in-order delivery, then a Clear below
+// the frontier, which must lower the hint so the new hole is found.
+func TestFirstZeroHintAdvancesAndLowers(t *testing.T) {
+	b := New(300)
+	for i := 0; i < 192; i++ {
+		b.Set(i)
+		want := i + 1
+		for poll := 0; poll < 3; poll++ { // repeated polls hit the hint path
+			if got := b.FirstZero(); got != want {
+				t.Fatalf("after Set(%d) poll %d: FirstZero = %d, want %d", i, poll, got, want)
+			}
+		}
+	}
+	if got := b.scanHint.Load(); got == 0 {
+		t.Fatal("hint never advanced past word 0 during in-order delivery")
+	}
+	b.Clear(5) // hole far below the hinted frontier
+	if got := b.FirstZero(); got != 5 {
+		t.Fatalf("FirstZero after Clear(5) = %d, want 5", got)
+	}
+	b.Set(5)
+	if got := b.FirstZero(); got != 192 {
+		t.Fatalf("FirstZero after re-Set(5) = %d, want 192", got)
+	}
+	for i := 192; i < 300; i++ {
+		b.Set(i)
+	}
+	if got := b.FirstZero(); got != -1 {
+		t.Fatalf("FirstZero on full bitmap = %d, want -1", got)
+	}
+	if !b.Full() {
+		t.Fatal("Full() false after setting every bit")
+	}
+}
+
+// TestMissingWordSkipping covers the all-ones fast path and holes that
+// straddle word boundaries.
+func TestMissingWordSkipping(t *testing.T) {
+	b := New(64 * 6)
+	holes := map[int]bool{0: true, 63: true, 64: true, 191: true, 320: true}
+	for i := 0; i < b.Len(); i++ {
+		if !holes[i] {
+			b.Set(i)
+		}
+	}
+	got := b.Missing(nil, 0, b.Len())
+	want := []int{0, 63, 64, 191, 320}
+	if len(got) != len(want) {
+		t.Fatalf("Missing = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Missing = %v, want %v", got, want)
+		}
+	}
+	// sub-word from/to clamping across the skip path
+	if got := b.Missing(nil, 1, 191); len(got) != 2 || got[0] != 63 || got[1] != 64 {
+		t.Fatalf("Missing[1,191) = %v, want [63 64]", got)
+	}
+}
+
+// TestSnapshotLoadFromRestoresCounters locks in that LoadFrom rebuilds
+// the O(1) counters at non-multiple-of-64 sizes — a Full()/FirstZero
+// after a round trip must agree with a brute-force scan.
+func TestSnapshotLoadFromRestoresCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, nbits := range []int{1, 63, 64, 65, 127, 130, 300, 1000 + 17} {
+		b := New(nbits)
+		for i := 0; i < nbits; i++ {
+			if rng.Intn(4) != 0 {
+				b.Set(i)
+			}
+		}
+		// load into a previously-full bitmap to catch stale counters
+		b2 := New(nbits)
+		for i := 0; i < nbits; i++ {
+			b2.Set(i)
+		}
+		b2.LoadFrom(b.Snapshot(nil))
+		if b2.Count() != b.Count() || b2.Full() != b.Full() {
+			t.Fatalf("nbits=%d: counters diverge after round trip (count %d vs %d)",
+				nbits, b2.Count(), b.Count())
+		}
+		if b2.FirstZero() != b.FirstZero() {
+			t.Fatalf("nbits=%d: FirstZero %d vs %d after round trip",
+				nbits, b2.FirstZero(), b.FirstZero())
+		}
+		gotMissing := b2.Missing(nil, 0, nbits)
+		wantMissing := b.Missing(nil, 0, nbits)
+		if len(gotMissing) != len(wantMissing) {
+			t.Fatalf("nbits=%d: Missing lengths diverge after round trip", nbits)
+		}
+	}
+}
+
+// TestMessageConcurrentMarkWithDuplicates floods MarkPacket from many
+// goroutines — every packet delivered by every goroutine plus extra
+// random duplicates — while a poller concurrently reads the completion
+// surface. Duplicate deliveries must be absorbed exactly like the DPA
+// dedup contract promises: one newlySet and one chunkCompleted each.
+func TestMessageConcurrentMarkWithDuplicates(t *testing.T) {
+	const pkts = 2048 + 13 // odd tail chunk
+	const workers = 8
+	m := NewMessage(pkts, 16)
+	var wg sync.WaitGroup
+	newly := make([]int, workers)
+	completed := make([]int, workers)
+	stop := make(chan struct{})
+	var pollerWg sync.WaitGroup
+	pollerWg.Add(1)
+	go func() { // reliability-layer poll loop against the same message
+		defer pollerWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cum := m.Packets.CumulativeCount()
+			if cum < 0 || cum > pkts {
+				t.Errorf("CumulativeCount out of range: %d", cum)
+				return
+			}
+			m.Chunks.Full()
+			m.Packets.Missing(nil, 0, pkts)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			mark := func(p int) {
+				fresh, done := m.MarkPacket(p)
+				if fresh {
+					newly[w]++
+				}
+				if done {
+					completed[w]++
+				}
+			}
+			for _, p := range rng.Perm(pkts) {
+				mark(p)
+				if rng.Intn(4) == 0 {
+					mark(rng.Intn(pkts)) // wire-level duplicate
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	pollerWg.Wait()
+	totalNew, totalDone := 0, 0
+	for w := 0; w < workers; w++ {
+		totalNew += newly[w]
+		totalDone += completed[w]
+	}
+	if totalNew != pkts {
+		t.Fatalf("newlySet total = %d, want %d", totalNew, pkts)
+	}
+	if totalDone != m.NumChunks() {
+		t.Fatalf("chunkCompleted total = %d, want %d", totalDone, m.NumChunks())
+	}
+	if !m.Complete() || !m.Packets.Full() {
+		t.Fatal("message incomplete after concurrent duplicate-heavy delivery")
+	}
+	if got := m.Packets.FirstZero(); got != -1 {
+		t.Fatalf("FirstZero = %d on complete message", got)
+	}
+}
+
+// BenchmarkBitmapMissing measures the NACK-construction scan on a
+// mostly-full bitmap (the common reliability-layer case: few holes).
+func BenchmarkBitmapMissing(b *testing.B) {
+	const nbits = 1 << 16
+	bm := New(nbits)
+	for i := 0; i < nbits; i++ {
+		if i%2048 != 7 { // 32 holes
+			bm.Set(i)
+		}
+	}
+	var dst []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = bm.Missing(dst[:0], 0, nbits)
+	}
+	if len(dst) != nbits/2048 {
+		b.Fatalf("missing %d holes, want %d", len(dst), nbits/2048)
+	}
+}
+
+// BenchmarkBitmapFullPoll is the per-tick completion check the
+// reliability layer spins on — O(1) since the remaining counter.
+func BenchmarkBitmapFullPoll(b *testing.B) {
+	const nbits = 1 << 20
+	bm := New(nbits)
+	for i := 0; i < nbits-1; i++ {
+		bm.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bm.Full() {
+			b.Fatal("bitmap should have one hole")
+		}
+	}
+}
+
+// BenchmarkFirstZeroHinted measures the repeated-poll pattern: the
+// frontier sits deep in the bitmap and polls must not rescan from 0.
+func BenchmarkFirstZeroHinted(b *testing.B) {
+	const nbits = 1 << 20
+	bm := New(nbits)
+	for i := 0; i < nbits/2; i++ {
+		bm.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if bm.FirstZero() != nbits/2 {
+			b.Fatal("wrong frontier")
+		}
+	}
+}
+
 func BenchmarkMarkPacket(b *testing.B) {
 	m := NewMessage(1<<16, 16)
 	b.ReportAllocs()

@@ -198,3 +198,45 @@ func TestStreamOffsetValidation(t *testing.T) {
 	}
 	st.End()
 }
+
+// Regression for the uint64-wrap hole in the MR range check: an offset
+// near 2^64 made offset+size wrap past zero and admit an out-of-bounds
+// receive targeting memory before the MR.
+func TestRecvPostOffsetOverflowRejected(t *testing.T) {
+	p := newTestPair(t, smallCfg(), fabric.Config{}, fabric.Config{})
+	mr := p.B.Ctx.RegMR(make([]byte, 64<<10))
+	for _, offset := range []uint64{^uint64(0), ^uint64(0) - 1000, ^uint64(0) - 4095} {
+		if _, err := p.B.QP.RecvPost(mr, offset, 4096); err == nil {
+			t.Fatalf("RecvPost(offset=%d) accepted a wrapped out-of-bounds range", offset)
+		}
+	}
+	// Legitimate tail-of-MR posting still works.
+	if _, err := p.B.QP.RecvPost(mr, 60<<10, 4096); err != nil {
+		t.Fatalf("RecvPost at MR tail rejected: %v", err)
+	}
+}
+
+// Regression for the int-wrap hole in SendStream.Continue: negative
+// (yet MTU-aligned) offsets and offsets near MaxInt must be rejected,
+// not wrapped into the announced size.
+func TestStreamContinueOffsetOverflowRejected(t *testing.T) {
+	p := newTestPair(t, smallCfg(), fabric.Config{}, fabric.Config{})
+	mr := p.B.Ctx.RegMR(make([]byte, 64<<10))
+	if _, err := p.B.QP.RecvPost(mr, 0, 16<<10); err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.A.QP.SendStreamStart(16<<10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.End()
+	huge := (int(^uint(0)>>1) - 1023) / 1024 * 1024 // MTU-aligned, near MaxInt
+	for _, offset := range []int{-1024, -1 << 40, huge} {
+		if err := st.Continue(offset, make([]byte, 2048)); err == nil {
+			t.Fatalf("Continue(offset=%d) accepted an out-of-range offset", offset)
+		}
+	}
+	if err := st.Continue(0, make([]byte, 16<<10)); err != nil {
+		t.Fatalf("valid Continue rejected: %v", err)
+	}
+}

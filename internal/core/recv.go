@@ -48,9 +48,11 @@ func (qp *QP) RecvPost(mr *nicsim.MR, offset uint64, size int) (*RecvHandle, err
 	if size <= 0 || size > qp.cfg.MaxMsgBytes {
 		return nil, fmt.Errorf("%w: %d bytes (max %d)", ErrMsgTooLarge, size, qp.cfg.MaxMsgBytes)
 	}
-	if offset+uint64(size) > mr.Span() {
-		return nil, fmt.Errorf("sdr: receive [%d,%d) outside MR of %d bytes",
-			offset, offset+uint64(size), mr.Span())
+	// Overflow-safe range check: offset+size can wrap uint64 for
+	// offsets near 2^64 and falsely admit an out-of-bounds receive.
+	if span := mr.Span(); offset > span || uint64(size) > span-offset {
+		return nil, fmt.Errorf("sdr: receive [%d,+%d) outside MR of %d bytes",
+			offset, size, span)
 	}
 
 	qp.recvMu.Lock()

@@ -64,9 +64,11 @@ func (s *SendStream) Continue(offset int, data []byte) error {
 	if offset%qp.cfg.MTU != 0 {
 		return fmt.Errorf("%w: offset %d, MTU %d", ErrOffsetUnaligned, offset, qp.cfg.MTU)
 	}
-	if offset+len(data) > s.size {
-		return fmt.Errorf("%w: [%d,%d) beyond announced size %d",
-			ErrSizeMismatch, offset, offset+len(data), s.size)
+	// Overflow-safe: a negative offset is MTU-aligned too, and
+	// offset+len(data) can wrap int for offsets near MaxInt.
+	if offset < 0 || offset > s.size || len(data) > s.size-offset {
+		return fmt.Errorf("%w: [%d,+%d) beyond announced size %d",
+			ErrSizeMismatch, offset, len(data), s.size)
 	}
 	s.mu.Lock()
 	if s.ended {

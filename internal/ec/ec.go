@@ -87,22 +87,28 @@ func (c *XORCode) K() int       { return c.k }
 func (c *XORCode) M() int       { return c.m }
 func (c *XORCode) Name() string { return "xor" }
 
-// Encode computes parity[i] = XOR of data[j] for j mod m == i.
+// Encode computes parity[i] = XOR of data[j] for j mod m == i. Above
+// the parallel threshold the m parity rows and their byte ranges are
+// sharded across the package worker pool; the output is identical to
+// the serial path.
 func (c *XORCode) Encode(data, parity [][]byte) error {
 	size, err := checkShardGeometry(data, parity, c.k, c.m)
 	if err != nil {
 		return err
 	}
-	for i := 0; i < c.m; i++ {
-		p := parity[i][:size]
-		for b := range p {
-			p[b] = 0
-		}
-		for j := i; j < c.k; j += c.m {
-			gf256.XORSlice(p, data[j])
-		}
-	}
+	forEachRowRange(seqRows(c.m), size, func(i, lo, hi int) {
+		c.encodeRow(data, parity, i, lo, hi)
+	})
 	return nil
+}
+
+// encodeRow computes bytes [lo,hi) of parity row i.
+func (c *XORCode) encodeRow(data, parity [][]byte, i, lo, hi int) {
+	p := parity[i][lo:hi]
+	copy(p, data[i][lo:hi])
+	for j := i + c.m; j < c.k; j += c.m {
+		gf256.XORSlice(p, data[j][lo:hi])
+	}
 }
 
 // groupLoss counts missing blocks per modulo group; group g holds data
@@ -136,6 +142,8 @@ func (c *XORCode) CanRecover(present []bool) bool {
 }
 
 // Reconstruct repairs at most one missing data block per modulo group.
+// Groups (and byte ranges within them) decode independently, so large
+// shards are repaired across the worker pool.
 func (c *XORCode) Reconstruct(shards [][]byte, present []bool) error {
 	if len(shards) != c.k+c.m || len(present) != c.k+c.m {
 		return fmt.Errorf("ec: XOR Reconstruct wants %d shards", c.k+c.m)
@@ -143,27 +151,39 @@ func (c *XORCode) Reconstruct(shards [][]byte, present []bool) error {
 	if !c.CanRecover(present) {
 		return ErrUnrecoverable
 	}
+	var repairs []int // data block to repair, one per damaged group
 	for g := 0; g < c.m; g++ {
-		missing := -1
 		for j := g; j < c.k; j += c.m {
 			if !present[j] {
-				missing = j
+				repairs = append(repairs, j)
 				break
 			}
 		}
-		if missing < 0 {
-			continue // no data loss in this group (maybe only parity lost)
-		}
-		out := shards[missing]
-		copy(out, shards[c.k+g]) // start from parity
-		for j := g; j < c.k; j += c.m {
-			if j != missing {
-				gf256.XORSlice(out, shards[j])
-			}
-		}
+	}
+	if len(repairs) == 0 {
+		return nil // no data loss (maybe only parity lost)
+	}
+	size := len(shards[repairs[0]])
+	forEachRowRange(repairs, size, func(missing, lo, hi int) {
+		c.repairBlock(shards, missing, lo, hi)
+	})
+	for _, missing := range repairs {
 		present[missing] = true
 	}
 	return nil
+}
+
+// repairBlock rebuilds bytes [lo,hi) of the missing data block from
+// its group's parity and surviving data blocks.
+func (c *XORCode) repairBlock(shards [][]byte, missing, lo, hi int) {
+	g := missing % c.m
+	out := shards[missing][lo:hi]
+	copy(out, shards[c.k+g][lo:hi]) // start from parity
+	for j := g; j < c.k; j += c.m {
+		if j != missing {
+			gf256.XORSlice(out, shards[j][lo:hi])
+		}
+	}
 }
 
 // --- Reed–Solomon (MDS) code ---------------------------------------------
@@ -194,23 +214,29 @@ func (c *RSCode) K() int       { return c.k }
 func (c *RSCode) M() int       { return c.m }
 func (c *RSCode) Name() string { return "mds" }
 
-// Encode computes the m parity shards.
+// Encode computes the m parity shards. Above the parallel threshold
+// the m parity rows and their byte ranges are sharded across the
+// package worker pool; the output is identical to the serial path.
 func (c *RSCode) Encode(data, parity [][]byte) error {
 	size, err := checkShardGeometry(data, parity, c.k, c.m)
 	if err != nil {
 		return err
 	}
-	for i := 0; i < c.m; i++ {
-		row := c.enc.Row(c.k + i)
-		p := parity[i][:size]
-		for b := range p {
-			p[b] = 0
-		}
-		for j := 0; j < c.k; j++ {
-			gf256.MulAddSlice(row[j], p, data[j])
-		}
-	}
+	forEachRowRange(seqRows(c.m), size, func(i, lo, hi int) {
+		c.encodeRow(data, parity, i, lo, hi)
+	})
 	return nil
+}
+
+// encodeRow computes bytes [lo,hi) of parity row i as the GF(2^8) dot
+// product of the encoding row with the data columns.
+func (c *RSCode) encodeRow(data, parity [][]byte, i, lo, hi int) {
+	row := c.enc.Row(c.k + i)
+	p := parity[i][lo:hi]
+	gf256.MulSlice(row[0], p, data[0][lo:hi])
+	for j := 1; j < c.k; j++ {
+		gf256.MulAddSlice(row[j], p, data[j][lo:hi])
+	}
 }
 
 // CanRecover reports true iff at least k of the k+m shards are present.
@@ -262,21 +288,30 @@ func (c *RSCode) Reconstruct(shards [][]byte, present []bool) error {
 		// Cannot happen for an MDS matrix; report rather than panic.
 		return fmt.Errorf("ec: decode matrix singular: %w", err)
 	}
+	var missing []int
 	for j := 0; j < c.k; j++ {
-		if present[j] {
-			continue
+		if !present[j] {
+			missing = append(missing, j)
 		}
-		out := shards[j]
-		for b := range out {
-			out[b] = 0
-		}
-		row := dec.Row(j)
-		for i := 0; i < c.k; i++ {
-			gf256.MulAddSlice(row[i], out, avail[i])
-		}
+	}
+	size := len(shards[missing[0]])
+	forEachRowRange(missing, size, func(j, lo, hi int) {
+		decodeShard(dec.Row(j), shards[j], avail, lo, hi)
+	})
+	for _, j := range missing {
 		present[j] = true
 	}
 	return nil
+}
+
+// decodeShard recomputes bytes [lo,hi) of a lost data shard as the dot
+// product of its decode-matrix row with the k surviving shards.
+func decodeShard(row []byte, out []byte, avail [][]byte, lo, hi int) {
+	o := out[lo:hi]
+	gf256.MulSlice(row[0], o, avail[0][lo:hi])
+	for i := 1; i < len(avail); i++ {
+		gf256.MulAddSlice(row[i], o, avail[i][lo:hi])
+	}
 }
 
 // --- Appendix B success probabilities ------------------------------------

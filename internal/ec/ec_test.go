@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -294,6 +295,154 @@ func TestFig11FallbackOnsetShape(t *testing.T) {
 	}
 }
 
+// withParallelism runs fn with the dispatch decision forced to n
+// workers, restoring the default afterwards. It lets single-core CI
+// exercise (and race-test) the sharded path.
+func withParallelism(n int, fn func()) {
+	defer ForceParallelism(n)()
+	fn()
+}
+
+// TestParallelEncodeMatchesSerial locks in the acceptance criterion
+// that the sharded encoder produces byte-identical parity to the
+// serial path, for both codes, at sizes above the parallel threshold
+// (including a non-segment-aligned one).
+func TestParallelEncodeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range []Code{mustRS(32, 8), mustXOR(32, 8), mustRS(8, 4), mustXOR(8, 2)} {
+		for _, size := range []int{64 << 10, 64<<10 + 24, 192 << 10} {
+			data := makeShards(rng, c.K(), size)
+			serial := makeShards(rng, c.M(), size)
+			parallel := makeShards(rng, c.M(), size)
+			withParallelism(1, func() {
+				if err := c.Encode(data, serial); err != nil {
+					t.Fatalf("%s serial encode: %v", c.Name(), err)
+				}
+			})
+			withParallelism(8, func() {
+				if err := c.Encode(data, parallel); err != nil {
+					t.Fatalf("%s parallel encode: %v", c.Name(), err)
+				}
+			})
+			for i := range serial {
+				if !bytes.Equal(serial[i], parallel[i]) {
+					t.Fatalf("%s size=%d: parity row %d differs between serial and parallel encode",
+						c.Name(), size, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelReconstructMatchesSerial does the same for the decoder:
+// repair the same loss pattern on serial and sharded paths and compare
+// every recovered byte.
+func TestParallelReconstructMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const size = 96<<10 + 8
+	for _, tc := range []struct {
+		code Code
+		lose []int
+	}{
+		{mustRS(32, 8), []int{0, 5, 17, 31, 33}},
+		{mustXOR(32, 8), []int{3, 12, 21, 38}},
+	} {
+		c := tc.code
+		k, m := c.K(), c.M()
+		data := makeShards(rng, k, size)
+		parity := makeShards(rng, m, size)
+		withParallelism(1, func() {
+			if err := c.Encode(data, parity); err != nil {
+				t.Fatal(err)
+			}
+		})
+		run := func(workers int) [][]byte {
+			shards := make([][]byte, k+m)
+			present := make([]bool, k+m)
+			for i := range shards {
+				var src []byte
+				if i < k {
+					src = data[i]
+				} else {
+					src = parity[i-k]
+				}
+				shards[i] = append([]byte(nil), src...)
+				present[i] = true
+			}
+			for _, l := range tc.lose {
+				present[l] = false
+				for b := range shards[l] {
+					shards[l][b] = 0xEE
+				}
+			}
+			withParallelism(workers, func() {
+				if err := c.Reconstruct(shards, present); err != nil {
+					t.Fatalf("%s workers=%d: %v", c.Name(), workers, err)
+				}
+			})
+			return shards
+		}
+		serial := run(1)
+		parallel := run(8)
+		for i := range serial {
+			if !bytes.Equal(serial[i], parallel[i]) {
+				t.Fatalf("%s: shard %d differs between serial and parallel reconstruct", c.Name(), i)
+			}
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(serial[i], data[i]) {
+				t.Fatalf("%s: shard %d not recovered correctly", c.Name(), i)
+			}
+		}
+	}
+}
+
+// TestConcurrentEncodes drives many Encode calls through the shared
+// pool at once — the WriteEC pattern when several endpoints encode
+// simultaneously — under the race detector.
+func TestConcurrentEncodes(t *testing.T) {
+	c := mustRS(16, 4)
+	const size = 32 << 10
+	const goroutines = 8
+	datas := make([][][]byte, goroutines)
+	wants := make([][][]byte, goroutines)
+	for g := range datas {
+		rng := rand.New(rand.NewSource(int64(g)))
+		datas[g] = makeShards(rng, c.K(), size)
+		wants[g] = makeShards(rng, c.M(), size)
+	}
+	withParallelism(1, func() {
+		for g := range datas {
+			if err := c.Encode(datas[g], wants[g]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	withParallelism(4, func() {
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				parity := makeShards(rand.New(rand.NewSource(int64(g)+100)), c.M(), size)
+				for iter := 0; iter < 4; iter++ {
+					if err := c.Encode(datas[g], parity); err != nil {
+						t.Error(err)
+						return
+					}
+					for i := range parity {
+						if !bytes.Equal(parity[i], wants[g][i]) {
+							t.Errorf("concurrent encode diverged (goroutine %d)", g)
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}
+
 func BenchmarkRSEncode32x8_64KiB(b *testing.B) {
 	benchEncode(b, mustRS(32, 8), 64<<10)
 }
@@ -317,6 +466,32 @@ func benchEncode(b *testing.B, c Code, chunk int) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRSEncodeSerial / BenchmarkRSEncodeParallel (and the XOR
+// pair) expose the serial-vs-sharded encode throughput the acceptance
+// criteria track; on a multi-core machine the parallel variant should
+// be ≥2x. The serial variants force the seed single-goroutine path.
+func benchEncodeWorkers(b *testing.B, c Code, chunk, workers int) {
+	withParallelism(workers, func() {
+		benchEncode(b, c, chunk)
+	})
+}
+
+func BenchmarkRSEncodeSerial32x8_256KiB(b *testing.B) {
+	benchEncodeWorkers(b, mustRS(32, 8), 256<<10, 1)
+}
+
+func BenchmarkRSEncodeParallel32x8_256KiB(b *testing.B) {
+	benchEncodeWorkers(b, mustRS(32, 8), 256<<10, 0)
+}
+
+func BenchmarkXOREncodeSerial32x8_256KiB(b *testing.B) {
+	benchEncodeWorkers(b, mustXOR(32, 8), 256<<10, 1)
+}
+
+func BenchmarkXOREncodeParallel32x8_256KiB(b *testing.B) {
+	benchEncodeWorkers(b, mustXOR(32, 8), 256<<10, 0)
 }
 
 func BenchmarkRSReconstruct32x8_64KiB(b *testing.B) {

@@ -1,0 +1,160 @@
+// Worker-pool parallelism for the EC hot kernels. The paper hides
+// encoding behind injection by spreading the XOR/RS kernels over spare
+// cores (§5.1.1, Fig 11); here a process-wide pool of GOMAXPROCS
+// workers shards parity rows × byte ranges of a submessage. Small
+// submessages stay on the caller's goroutine — the crossover where
+// handoff overhead is paid back is parallelMinShardBytes per shard.
+
+package ec
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMinShardBytes is the shard size below which Encode and
+// Reconstruct stay serial. The paper's chunk is 64 KiB, comfortably
+// above it; control-sized shards never pay goroutine handoff.
+const parallelMinShardBytes = 16 << 10
+
+// segAlign keeps segment boundaries cache-line aligned so two workers
+// never read-modify-write bytes of the same line of a parity shard.
+const segAlign = 64
+
+var (
+	poolOnce    sync.Once
+	poolTasks   chan func()
+	poolWorkers int
+)
+
+// startPool spins up the shared kernel workers. Sized once from
+// GOMAXPROCS at first use; later GOMAXPROCS changes do not resize it
+// (callers fall back to inline execution when the queue is full).
+func startPool() {
+	poolWorkers = runtime.GOMAXPROCS(0)
+	poolTasks = make(chan func(), 4*poolWorkers)
+	for i := 0; i < poolWorkers; i++ {
+		go func() {
+			for task := range poolTasks {
+				task()
+			}
+		}()
+	}
+}
+
+// forcedParallelism, when nonzero, overrides the worker count seen by
+// the dispatch decision. Set via ForceParallelism.
+var forcedParallelism int
+
+// ForceParallelism overrides the dispatch decision to behave as if n
+// workers were available (n=1 forces the serial path; 0 restores the
+// GOMAXPROCS default) and returns a restore func. It is for
+// single-core throughput measurement (Fig 11's Gbit/s/core) and for
+// exercising the sharded path on single-core machines; it is not
+// synchronized with concurrent Encode/Reconstruct calls.
+func ForceParallelism(n int) (restore func()) {
+	old := forcedParallelism
+	forcedParallelism = n
+	return func() { forcedParallelism = old }
+}
+
+// parallelism reports how many kernel workers are available.
+func parallelism() int {
+	if forcedParallelism != 0 {
+		return forcedParallelism
+	}
+	poolOnce.Do(startPool)
+	return poolWorkers
+}
+
+// useParallel reports whether a (shardBytes × rows) unit of kernel work
+// is worth sharding across the pool.
+func useParallel(shardBytes int) bool {
+	return shardBytes >= parallelMinShardBytes && parallelism() > 1
+}
+
+// runUnits executes the units across the pool and waits for all of
+// them. Units must be independent. If the pool queue is full the
+// caller runs the unit inline, so progress never depends on pool
+// capacity (no deadlock when many codes encode concurrently).
+func runUnits(units []func()) {
+	poolOnce.Do(startPool)
+	var wg sync.WaitGroup
+	wg.Add(len(units))
+	for _, u := range units {
+		u := u
+		wrapped := func() {
+			u()
+			wg.Done()
+		}
+		select {
+		case poolTasks <- wrapped:
+		default:
+			wrapped()
+		}
+	}
+	wg.Wait()
+}
+
+// byteSegments splits [0,size) into roughly nseg cache-line-aligned
+// ranges (the last takes the remainder).
+func byteSegments(size, nseg int) [][2]int {
+	if nseg < 1 {
+		nseg = 1
+	}
+	seg := (size/nseg + segAlign - 1) &^ (segAlign - 1)
+	if seg < segAlign {
+		seg = segAlign
+	}
+	var out [][2]int
+	for lo := 0; lo < size; lo += seg {
+		hi := lo + seg
+		if hi > size {
+			hi = size
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// segmentsFor picks the byte segmentation so that rows × segments
+// gives every worker a unit while keeping units above the minimum
+// profitable size.
+func segmentsFor(size, rows int) [][2]int {
+	nseg := (parallelism() + rows - 1) / rows
+	if maxSeg := size / parallelMinShardBytes; nseg > maxSeg {
+		nseg = maxSeg
+	}
+	return byteSegments(size, nseg)
+}
+
+// forEachRowRange runs fn over every (row, byte-range) combination:
+// sharded across the worker pool when the shard size makes it
+// profitable, serial whole-row calls otherwise. This is the single
+// dispatch point for both codes' Encode and Reconstruct.
+func forEachRowRange(rows []int, size int, fn func(row, lo, hi int)) {
+	if !useParallel(size) {
+		for _, r := range rows {
+			fn(r, 0, size)
+		}
+		return
+	}
+	segs := segmentsFor(size, len(rows))
+	units := make([]func(), 0, len(rows)*len(segs))
+	for _, r := range rows {
+		for _, s := range segs {
+			r, lo, hi := r, s[0], s[1]
+			units = append(units, func() { fn(r, lo, hi) })
+		}
+	}
+	runUnits(units)
+}
+
+// seqRows returns [0, n) — the parity-row index set for Encode.
+func seqRows(n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = i
+	}
+	return rows
+}

@@ -70,16 +70,18 @@ func AblationRTO(o Options) (*Result, error) {
 	}
 	const size = 128 << 20
 	ch := paperChannel(1e-4)
-	for _, f := range []float64{1, 2, 3, 4, 5} {
-		s := model.SR{Ch: ch, RTOFactor: f}
+	factors := []float64{1, 2, 3, 4, 5}
+	res.Rows = make([][]string, len(factors))
+	parallelFor(len(factors), func(i int) {
+		s := model.SR{Ch: ch, RTOFactor: factors[i]}
 		sum := stats.Summarize(model.Sample(s, size, o.TailSamples, o.Seed))
-		res.Rows = append(res.Rows, []string{
-			fmt.Sprintf("%.0f", f),
+		res.Rows[i] = []string{
+			fmt.Sprintf("%.0f", factors[i]),
 			fmt.Sprintf("%.2f", sum.Mean*1e3),
 			fmt.Sprintf("%.2f", sum.P999*1e3),
 			fmt.Sprintf("%.2f", sum.Mean/model.LosslessTime(ch, size)),
-		})
-	}
+		}
+	})
 	return res, nil
 }
 

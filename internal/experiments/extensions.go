@@ -38,14 +38,19 @@ func DESValidation(o Options) (*Result, error) {
 		},
 	}
 	const size = 128 << 20
-	for _, p := range []float64{1e-5, 1e-4, 1e-3} {
+	drops := []float64{1e-5, 1e-4, 1e-3}
+	res.Rows = make([][]string, len(drops))
+	errs := make([]error, len(drops))
+	parallelFor(len(drops), func(i int) {
+		p := drops[i]
 		ch := desChannel64K(p)
 		sr := model.SR{Ch: ch, RTOFactor: 3}
 		analytic := sr.MeanCompletion(size)
 		stoch := stats.Mean(model.Sample(sr, size, o.Samples, o.Seed))
 		desSamples, err := protosim.Sample(protosim.Config{Ch: ch, Scheme: "sr"}, size, o.Samples, o.Seed+1)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		des := stats.Mean(desSamples)
 		lo, hi := analytic, analytic
@@ -57,13 +62,18 @@ func DESValidation(o Options) (*Result, error) {
 				hi = v
 			}
 		}
-		res.Rows = append(res.Rows, []string{
+		res.Rows[i] = []string{
 			fmt.Sprintf("%.0e", p),
 			fmt.Sprintf("%.2f", analytic*1e3),
 			fmt.Sprintf("%.2f", stoch*1e3),
 			fmt.Sprintf("%.2f", des*1e3),
 			fmt.Sprintf("%.1f%%", (hi-lo)/lo*100),
-		})
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }
@@ -85,27 +95,31 @@ func GBNBaseline(o Options) (*Result, error) {
 	if ns < 100 {
 		ns = 100
 	}
-	for _, p := range []float64{1e-5, 1e-4, 1e-3} {
-		ch := desChannel64K(p)
-		run := func(scheme string, seed int64) (float64, error) {
-			s, err := protosim.Sample(protosim.Config{Ch: ch, Scheme: scheme}, size, ns, seed)
-			if err != nil {
-				return 0, err
-			}
-			return stats.Mean(s), nil
+	drops := []float64{1e-5, 1e-4, 1e-3}
+	schemes := []string{"gbn", "sr", "ec"}
+	means := make([][]float64, len(drops))
+	for i := range means {
+		means[i] = make([]float64, len(schemes))
+	}
+	errs := make([]error, len(drops)*len(schemes))
+	// one DES campaign per (drop, scheme) cell
+	parallelFor(len(drops)*len(schemes), func(cell int) {
+		i, j := cell/len(schemes), cell%len(schemes)
+		ch := desChannel64K(drops[i])
+		s, err := protosim.Sample(protosim.Config{Ch: ch, Scheme: schemes[j]}, size, ns, o.Seed+int64(j))
+		if err != nil {
+			errs[cell] = err
+			return
 		}
-		gbn, err := run("gbn", o.Seed)
+		means[i][j] = stats.Mean(s)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		sr, err := run("sr", o.Seed+1)
-		if err != nil {
-			return nil, err
-		}
-		ecv, err := run("ec", o.Seed+2)
-		if err != nil {
-			return nil, err
-		}
+	}
+	for i, p := range drops {
+		gbn, sr, ecv := means[i][0], means[i][1], means[i][2]
 		res.Rows = append(res.Rows, []string{
 			fmt.Sprintf("%.0e", p),
 			fmt.Sprintf("%.2f", gbn*1e3),
@@ -134,18 +148,23 @@ func TreeCollective(o Options) (*Result, error) {
 	if n < 500 {
 		n = 500
 	}
-	for _, dcs := range []int{4, 8, 16} {
-		row := []string{fmt.Sprintf("%d", dcs), ""}
-		for i, p := range []float64{1e-4, 1e-3, 1e-2} {
-			ch := paperChannel(p)
-			srTree := collective.Tree{N: dcs, BufferBytes: 128 << 20, Scheme: model.NewSRRTO(ch)}
-			ecTree := collective.Tree{N: dcs, BufferBytes: 128 << 20, Scheme: model.NewMDS(ch)}
-			row[1] = fmt.Sprintf("%d", srTree.Rounds())
-			sr := stats.Summarize(srTree.SampleN(n, o.Seed+int64(i))).P999
-			ecv := stats.Summarize(ecTree.SampleN(n, o.Seed+10+int64(i))).P999
-			row = append(row, fmt.Sprintf("%.2f", sr/ecv))
-		}
-		res.Rows = append(res.Rows, row)
+	dcss := []int{4, 8, 16}
+	drops := []float64{1e-4, 1e-3, 1e-2}
+	res.Rows = make([][]string, len(dcss))
+	for r, dcs := range dcss {
+		res.Rows[r] = make([]string, 2+len(drops))
+		res.Rows[r][0] = fmt.Sprintf("%d", dcs)
+		res.Rows[r][1] = fmt.Sprintf("%d", collective.Tree{N: dcs}.Rounds())
 	}
+	parallelFor(len(dcss)*len(drops), func(cell int) {
+		r, i := cell/len(drops), cell%len(drops)
+		dcs, p := dcss[r], drops[i]
+		ch := paperChannel(p)
+		srTree := collective.Tree{N: dcs, BufferBytes: 128 << 20, Scheme: model.NewSRRTO(ch)}
+		ecTree := collective.Tree{N: dcs, BufferBytes: 128 << 20, Scheme: model.NewMDS(ch)}
+		sr := stats.Summarize(srTree.SampleN(n, o.Seed+int64(i))).P999
+		ecv := stats.Summarize(ecTree.SampleN(n, o.Seed+10+int64(i))).P999
+		res.Rows[r][2+i] = fmt.Sprintf("%.2f", sr/ecv)
+	})
 	return res, nil
 }

@@ -14,7 +14,12 @@ import (
 
 // measureEncodeGbps measures one-core encode throughput of code over a
 // 32-shard submessage of chunkBytes chunks, in Gbit/s of data encoded.
+// The encoder's worker-pool dispatch is forced serial for the duration
+// so the per-core number stays honest regardless of GOMAXPROCS (the
+// parallel encoder's scaling need not be linear, so dividing an
+// aggregate rate by the core count would misstate it).
 func measureEncodeGbps(c ec.Code, chunkBytes int, durationSec float64) float64 {
+	defer ec.ForceParallelism(1)()
 	data := make([][]byte, c.K())
 	parity := make([][]byte, c.M())
 	for i := range data {

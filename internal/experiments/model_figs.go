@@ -71,13 +71,16 @@ func Fig3a(o Options) (*Result, error) {
 			"paper: SR peaks ~2.5x near the size where one drop is likely (~1/P packets); EC stays near its 1.25x parity floor; SR wins above ~32 GiB",
 		},
 	}
-	for _, size := range []int64{128 << 10, 2 << 20, 32 << 20, 128 << 20, 512 << 20, 2 << 30, 8 << 30, 32 << 30, 128 << 30, 2 << 40} {
-		res.Rows = append(res.Rows, []string{
+	sizes := []int64{128 << 10, 2 << 20, 32 << 20, 128 << 20, 512 << 20, 2 << 30, 8 << 30, 32 << 30, 128 << 30, 2 << 40}
+	res.Rows = make([][]string, len(sizes))
+	parallelFor(len(sizes), func(i int) {
+		size := sizes[i]
+		res.Rows[i] = []string{
 			sizeLabel(size),
 			fmt.Sprintf("%.2f", meanSlowdown(sr, ch, size, o.Samples, o.Seed)),
 			fmt.Sprintf("%.2f", meanSlowdown(mds, ch, size, o.Samples, o.Seed+1)),
-		})
-	}
+		}
+	})
 	return res, nil
 }
 
@@ -92,18 +95,21 @@ func Fig3b(o Options) (*Result, error) {
 		},
 	}
 	const size = 8 << 30
-	for _, km := range []float64{75, 750, 1500, 3000, 4500, 6000} {
+	kms := []float64{75, 750, 1500, 3000, 4500, 6000}
+	res.Rows = make([][]string, len(kms))
+	parallelFor(len(kms), func(i int) {
+		km := kms[i]
 		ch := paperChannel(1e-5)
 		ch.DistanceKm = km
 		sr := model.NewSRRTO(ch)
 		mds := model.NewMDS(ch)
-		res.Rows = append(res.Rows, []string{
+		res.Rows[i] = []string{
 			fmt.Sprintf("%.0f km", km),
 			fmt.Sprintf("%.1f ms", ch.RTT()*1e3),
 			fmt.Sprintf("%.3f", meanSlowdown(sr, ch, size, o.Samples, o.Seed)),
 			fmt.Sprintf("%.3f", meanSlowdown(mds, ch, size, o.Samples, o.Seed+1)),
-		})
-	}
+		}
+	})
 	return res, nil
 }
 
@@ -118,14 +124,17 @@ func Fig3c(o Options) (*Result, error) {
 		},
 	}
 	const size = 128 << 20
-	for _, p := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2} {
+	drops := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+	res.Rows = make([][]string, len(drops))
+	parallelFor(len(drops), func(i int) {
+		p := drops[i]
 		ch := paperChannel(p)
-		res.Rows = append(res.Rows, []string{
+		res.Rows[i] = []string{
 			fmt.Sprintf("%.0e", p),
 			fmt.Sprintf("%.2f", meanSlowdown(model.NewSRRTO(ch), ch, size, o.Samples, o.Seed)),
 			fmt.Sprintf("%.2f", meanSlowdown(model.NewMDS(ch), ch, size, o.Samples, o.Seed+1)),
-		})
-	}
+		}
+	})
 	return res, nil
 }
 
@@ -145,16 +154,20 @@ func Fig9(o Options) (*Result, error) {
 			"paper: red region (EC wins) spans ~128 KiB–1 GiB × 1e-6–1e-2; SR wins for multi-GiB messages at low drop; both ≈equal for tiny messages",
 		},
 	}
-	for _, size := range sizes {
-		row := []string{sizeLabel(size)}
-		for i, p := range drops {
-			ch := paperChannel(p)
-			sr := stats.Mean(model.Sample(model.NewSRRTO(ch), size, o.Samples, o.Seed+int64(i)))
-			ecT := stats.Mean(model.Sample(model.NewMDS(ch), size, o.Samples, o.Seed+100+int64(i)))
-			row = append(row, fmt.Sprintf("%.2f", sr/ecT))
-		}
-		res.Rows = append(res.Rows, row)
+	res.Rows = make([][]string, len(sizes))
+	for r, size := range sizes {
+		res.Rows[r] = make([]string, 1+len(drops))
+		res.Rows[r][0] = sizeLabel(size)
 	}
+	// one unit per heatmap cell: size × drop rate
+	parallelFor(len(sizes)*len(drops), func(cell int) {
+		r, i := cell/len(drops), cell%len(drops)
+		size, p := sizes[r], drops[i]
+		ch := paperChannel(p)
+		sr := stats.Mean(model.Sample(model.NewSRRTO(ch), size, o.Samples, o.Seed+int64(i)))
+		ecT := stats.Mean(model.Sample(model.NewMDS(ch), size, o.Samples, o.Seed+100+int64(i)))
+		res.Rows[r][1+i] = fmt.Sprintf("%.2f", sr/ecT)
+	})
 	return res, nil
 }
 
@@ -174,14 +187,18 @@ func Fig10a(o Options) (*Result, error) {
 			"paper: SR's RTO is fully exposed below the BDP; NACK recovers ~4x of the gap; EC tracks the lossless baseline + parity",
 		},
 	}
-	for _, size := range []int64{8 << 20, 32 << 20, 128 << 20, 512 << 20, 2 << 30, 8 << 30} {
-		row := []string{sizeLabel(size)}
-		for i, s := range schemes {
-			sum := stats.Summarize(model.Sample(s, size, o.TailSamples, o.Seed+int64(i)))
-			row = append(row, fmt.Sprintf("%.2f", sum.Mean*1e3), fmt.Sprintf("%.2f", sum.P999*1e3))
-		}
-		res.Rows = append(res.Rows, row)
+	sizes := []int64{8 << 20, 32 << 20, 128 << 20, 512 << 20, 2 << 30, 8 << 30}
+	res.Rows = make([][]string, len(sizes))
+	for r, size := range sizes {
+		res.Rows[r] = make([]string, 1+2*len(schemes))
+		res.Rows[r][0] = sizeLabel(size)
 	}
+	parallelFor(len(sizes)*len(schemes), func(cell int) {
+		r, i := cell/len(schemes), cell%len(schemes)
+		sum := stats.Summarize(model.Sample(schemes[i], sizes[r], o.TailSamples, o.Seed+int64(i)))
+		res.Rows[r][1+2*i] = fmt.Sprintf("%.2f", sum.Mean*1e3)
+		res.Rows[r][2+2*i] = fmt.Sprintf("%.2f", sum.P999*1e3)
+	})
 	return res, nil
 }
 
@@ -198,18 +215,21 @@ func Fig10b(o Options) (*Result, error) {
 		},
 	}
 	const size = 128 << 20
-	for _, p := range []float64{1e-6, 1e-4, 1e-3, 1e-2, 3e-2, 1e-1} {
+	drops := []float64{1e-6, 1e-4, 1e-3, 1e-2, 3e-2, 1e-1}
+	res.Rows = make([][]string, len(drops))
+	parallelFor(len(drops), func(i int) {
+		p := drops[i]
 		ch := paperChannel(p)
 		e := model.NewMDS(ch)
 		sum := stats.Summarize(model.Sample(e, size, o.TailSamples, o.Seed))
-		res.Rows = append(res.Rows, []string{
+		res.Rows[i] = []string{
 			fmt.Sprintf("%.0e", p),
 			fmt.Sprintf("%.2f", sum.Mean*1e3),
 			fmt.Sprintf("%.2f", sum.P999*1e3),
 			fmt.Sprintf("%.3g", e.FallbackProb(size)),
 			fmt.Sprintf("%.2f", sum.Mean/model.LosslessTime(ch, size)),
-		})
-	}
+		}
+	})
 	return res, nil
 }
 
@@ -225,17 +245,20 @@ func Fig10c(o Options) (*Result, error) {
 		},
 	}
 	const size = 128 << 20
-	for _, p := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2} {
+	drops := []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+	res.Rows = make([][]string, len(drops))
+	parallelFor(len(drops), func(i int) {
+		p := drops[i]
 		ch := paperChannel(p)
 		rto := stats.Summarize(model.Sample(model.NewSRRTO(ch), size, o.TailSamples, o.Seed))
 		nack := stats.Summarize(model.Sample(model.NewSRNACK(ch), size, o.TailSamples, o.Seed+1))
-		res.Rows = append(res.Rows, []string{
+		res.Rows[i] = []string{
 			fmt.Sprintf("%.0e", p),
 			fmt.Sprintf("%.2f", rto.Mean*1e3), fmt.Sprintf("%.2f", rto.P999*1e3),
 			fmt.Sprintf("%.2f", nack.Mean*1e3), fmt.Sprintf("%.2f", nack.P999*1e3),
 			fmt.Sprintf("%.2fx", rto.Mean/nack.Mean),
-		})
-	}
+		}
+	})
 	return res, nil
 }
 
@@ -255,16 +278,20 @@ func Fig10d(o Options) (*Result, error) {
 		},
 	}
 	const size = 128 << 20
-	for _, p := range []float64{1e-5, 1e-3, 1e-2, 3e-2, 1e-1} {
-		row := []string{fmt.Sprintf("%.0e", p)}
-		for i, s := range splits {
-			ch := paperChannel(p)
-			e := model.EC{Ch: ch, K: s.k, M: s.m, Scheme: "mds", Beta: 1, FallbackRTOFactor: 3}
-			mean := stats.Mean(model.Sample(e, size, o.Samples, o.Seed+int64(i)))
-			row = append(row, fmt.Sprintf("%.2f", mean*1e3))
-		}
-		res.Rows = append(res.Rows, row)
+	drops := []float64{1e-5, 1e-3, 1e-2, 3e-2, 1e-1}
+	res.Rows = make([][]string, len(drops))
+	for r, p := range drops {
+		res.Rows[r] = make([]string, 1+len(splits))
+		res.Rows[r][0] = fmt.Sprintf("%.0e", p)
 	}
+	parallelFor(len(drops)*len(splits), func(cell int) {
+		r, i := cell/len(splits), cell%len(splits)
+		p, s := drops[r], splits[i]
+		ch := paperChannel(p)
+		e := model.EC{Ch: ch, K: s.k, M: s.m, Scheme: "mds", Beta: 1, FallbackRTOFactor: 3}
+		mean := stats.Mean(model.Sample(e, size, o.Samples, o.Seed+int64(i)))
+		res.Rows[r][1+i] = fmt.Sprintf("%.2f", mean*1e3)
+	})
 	return res, nil
 }
 
@@ -291,7 +318,7 @@ func Fig11(o Options) (*Result, error) {
 			"fallback@1e-3", "fallback@1e-2"},
 		Notes: []string{
 			"paper: XOR hides encoding with ~4 cores, MDS needs ~2x more; XOR falls back to SR at ~1e-3 chunk drop while MDS holds past 1e-2",
-			"encode throughput measured on this machine's CPU (shape-comparable; the paper used AVX-512/ISA-L on Xeon 8580)",
+			"single-core encode throughput measured on this machine's CPU (shape-comparable; the paper used AVX-512/ISA-L on Xeon 8580); the runtime encoder additionally shards across cores",
 		},
 	}
 	const L = 64 // 128 MiB / (32 × 64 KiB)
@@ -342,18 +369,19 @@ func Fig12(o Options) (*Result, error) {
 		},
 	}
 	const size = 128 << 20
-	for _, km := range distances {
-		row := []string{fmt.Sprintf("%.0f km", km)}
-		for i, bw := range bws {
-			ch := paperChannel(1e-5)
-			ch.DistanceKm = km
-			ch.BandwidthBps = bw
-			row = append(row,
-				fmt.Sprintf("%.2f", meanSlowdown(model.NewSRRTO(ch), ch, size, o.Samples, o.Seed+int64(i))),
-				fmt.Sprintf("%.2f", meanSlowdown(model.NewMDS(ch), ch, size, o.Samples, o.Seed+50+int64(i))))
-		}
-		res.Rows = append(res.Rows, row)
+	res.Rows = make([][]string, len(distances))
+	for r, km := range distances {
+		res.Rows[r] = make([]string, 1+2*len(bws))
+		res.Rows[r][0] = fmt.Sprintf("%.0f km", km)
 	}
+	parallelFor(len(distances)*len(bws), func(cell int) {
+		r, i := cell/len(bws), cell%len(bws)
+		ch := paperChannel(1e-5)
+		ch.DistanceKm = distances[r]
+		ch.BandwidthBps = bws[i]
+		res.Rows[r][1+2*i] = fmt.Sprintf("%.2f", meanSlowdown(model.NewSRRTO(ch), ch, size, o.Samples, o.Seed+int64(i)))
+		res.Rows[r][2+2*i] = fmt.Sprintf("%.2f", meanSlowdown(model.NewMDS(ch), ch, size, o.Samples, o.Seed+50+int64(i)))
+	})
 	return res, nil
 }
 
@@ -386,19 +414,30 @@ func Fig13(o Options) (*Result, error) {
 			"paper: speedup grows with drop rate from ~3x to >6x; gains persist across DC counts and buffer sizes (2N-2 stages compound per-stage costs)",
 		},
 	}
-	for _, n := range []int{2, 4, 8} { // left panel: 128 MiB buffer
-		row := []string{fmt.Sprintf("%d DCs, 128 MiB", n)}
-		for i, p := range drops {
-			row = append(row, fmt.Sprintf("%.2f", speedup(n, 128<<20, p, o.Seed+int64(i))))
-		}
-		res.Rows = append(res.Rows, row)
+	// left panel: 128 MiB buffer across DC counts; right panel: 4 DCs
+	// across buffer sizes. One parallel unit per (row, drop) cell.
+	type rowCfg struct {
+		label    string
+		n        int
+		buf      int64
+		seedBase int64
 	}
-	for _, buf := range []int64{32 << 20, 128 << 20, 512 << 20} { // right panel: 4 DCs
-		row := []string{fmt.Sprintf("4 DCs, %s", sizeLabel(buf))}
-		for i, p := range drops {
-			row = append(row, fmt.Sprintf("%.2f", speedup(4, buf, p, o.Seed+10+int64(i))))
-		}
-		res.Rows = append(res.Rows, row)
+	var rows []rowCfg
+	for _, n := range []int{2, 4, 8} {
+		rows = append(rows, rowCfg{fmt.Sprintf("%d DCs, 128 MiB", n), n, 128 << 20, o.Seed})
 	}
+	for _, buf := range []int64{32 << 20, 128 << 20, 512 << 20} {
+		rows = append(rows, rowCfg{fmt.Sprintf("4 DCs, %s", sizeLabel(buf)), 4, buf, o.Seed + 10})
+	}
+	res.Rows = make([][]string, len(rows))
+	for r, rc := range rows {
+		res.Rows[r] = make([]string, 1+len(drops))
+		res.Rows[r][0] = rc.label
+	}
+	parallelFor(len(rows)*len(drops), func(cell int) {
+		r, i := cell/len(drops), cell%len(drops)
+		rc := rows[r]
+		res.Rows[r][1+i] = fmt.Sprintf("%.2f", speedup(rc.n, rc.buf, drops[i], rc.seedBase+int64(i)))
+	})
 	return res, nil
 }

@@ -38,11 +38,13 @@ func (m *MR) Bytes() []byte { return m.buf }
 // Span implements MemoryTarget.
 func (m *MR) Span() uint64 { return uint64(len(m.buf)) }
 
-// DMAWrite implements MemoryTarget.
+// DMAWrite implements MemoryTarget. The bounds check is overflow-safe:
+// offset+len(data) can wrap uint64 for hostile offsets near 2^64.
 func (m *MR) DMAWrite(offset uint64, data []byte) error {
-	if offset+uint64(len(data)) > uint64(len(m.buf)) {
-		return fmt.Errorf("%w: write [%d,%d) beyond MR of %d bytes",
-			ErrMkeyViolation, offset, offset+uint64(len(data)), len(m.buf))
+	span := uint64(len(m.buf))
+	if offset > span || uint64(len(data)) > span-offset {
+		return fmt.Errorf("%w: write [%d,+%d) beyond MR of %d bytes",
+			ErrMkeyViolation, offset, len(data), len(m.buf))
 	}
 	copy(m.buf[offset:], data)
 	return nil
@@ -113,7 +115,7 @@ func (ix *IndirectMR) DMAWrite(offset uint64, data []byte) error {
 		return fmt.Errorf("%w: indirect offset %d beyond %d entries",
 			ErrMkeyViolation, offset, len(ix.entries))
 	}
-	if inner+uint64(len(data)) > ix.entryBytes {
+	if uint64(len(data)) > ix.entryBytes-inner { // inner < entryBytes, no wrap
 		return fmt.Errorf("%w: write crosses indirect entry boundary", ErrMkeyViolation)
 	}
 	e := ix.entries[idx].Load()

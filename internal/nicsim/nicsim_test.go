@@ -306,3 +306,19 @@ func TestCQWaitClose(t *testing.T) {
 		t.Fatal("Wait returned true after close+drain")
 	}
 }
+
+// Regression for the uint64-wrap hole in DMAWrite bounds checks:
+// offsets near 2^64 wrapped offset+len past zero and admitted writes
+// outside the region.
+func TestDMAWriteOffsetOverflowRejected(t *testing.T) {
+	dev := NewDevice("wrap")
+	mr := dev.RegMR(make([]byte, 100))
+	for _, offset := range []uint64{^uint64(0), ^uint64(0) - 5, ^uint64(0) - 99} {
+		if err := mr.DMAWrite(offset, make([]byte, 10)); err == nil {
+			t.Fatalf("DMAWrite(offset=%d) accepted a wrapped out-of-bounds range", offset)
+		}
+	}
+	if err := mr.DMAWrite(90, make([]byte, 10)); err != nil {
+		t.Fatalf("valid tail write rejected: %v", err)
+	}
+}

@@ -80,11 +80,14 @@ func (e *Endpoint) WriteEC(data []byte) error {
 	// measures the cost separately).
 	dataShards := make([][]byte, g.k)
 	scratchTail := make([]byte, chunkBytes)
+	// Virtual zero chunks are read-only during Encode, so every
+	// submessage can share one buffer instead of allocating per slot.
+	zeroChunk := make([]byte, chunkBytes)
 	for i := 0; i < g.L; i++ {
 		real := g.realChunks(i)
 		for j := 0; j < g.k; j++ {
 			if j >= real {
-				dataShards[j] = make([]byte, chunkBytes) // virtual zero chunk
+				dataShards[j] = zeroChunk // virtual zero chunk
 				continue
 			}
 			lo := (i*g.k + j) * chunkBytes
@@ -225,7 +228,13 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 	buf := mr.Bytes()
 	scratchBuf := scratch.Bytes()
 	present := make([]bool, g.k+g.m)
+	presentCopy := make([]bool, g.k+g.m)
 	shards := make([][]byte, g.k+g.m)
+	// Scratch buffers shared across poll ticks and submessages: virtual
+	// zero chunks are read-only during Reconstruct (always marked
+	// present), and at most one partial tail chunk exists per message.
+	zeroChunk := make([]byte, chunkBytes)
+	tailScratch := make([]byte, chunkBytes)
 
 	// tryRecover decodes submessage i in place if possible.
 	tryRecover := func(i int) bool {
@@ -264,14 +273,17 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 		tailChunk := -1
 		for j := 0; j < g.k; j++ {
 			if j >= real {
-				shards[j] = make([]byte, chunkBytes)
+				shards[j] = zeroChunk
 				continue
 			}
 			lo := j * chunkBytes
 			hi := lo + chunkBytes
 			if hi > sb {
-				tailShard = make([]byte, chunkBytes)
-				copy(tailShard, buf[subBase+lo:subBase+sb])
+				tailShard = tailScratch
+				n := copy(tailShard, buf[subBase+lo:subBase+sb])
+				for b := n; b < chunkBytes; b++ {
+					tailShard[b] = 0 // zero-pad: buffer is reused
+				}
 				shards[j] = tailShard
 				tailChunk = j
 				continue
@@ -282,7 +294,7 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 			lo := i*g.parityBytes() + j*chunkBytes
 			shards[g.k+j] = scratchBuf[lo : lo+chunkBytes]
 		}
-		presentCopy := append([]bool(nil), present...)
+		copy(presentCopy, present)
 		if err := code.Reconstruct(shards, presentCopy); err != nil {
 			return false
 		}
@@ -295,6 +307,7 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 		return true
 	}
 
+	var missBuf []int // reused across NACK rounds
 	sendNack := func() {
 		var entries []ecNackEntry
 		for i := range subs {
@@ -302,9 +315,10 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 				continue
 			}
 			bm := subs[i].dataH.Bitmap()
-			var missing []uint32
-			for _, c := range bm.Missing(nil, 0, bm.Len()) {
-				missing = append(missing, uint32(c))
+			missBuf = bm.Missing(missBuf[:0], 0, bm.Len())
+			missing := make([]uint32, len(missBuf))
+			for j, c := range missBuf {
+				missing[j] = uint32(c)
 			}
 			entries = append(entries, ecNackEntry{submsg: uint32(i), missing: missing})
 		}

@@ -161,13 +161,18 @@ func (e *Endpoint) ReceiveSR(mr *nicsim.MR, offset uint64, size int) error {
 	}
 	opID := h.Seq()
 
+	// The selective-ACK bitmap buffer is reused across ticks: CP.send
+	// serializes the payload before returning, so the snapshot can be
+	// overwritten by the next poll without racing the wire.
+	var sackBuf []byte
 	sendAck := func() {
 		bm := h.Bitmap()
+		sackBuf = bm.Snapshot(sackBuf)
 		e.CP.send(ctrlMsg{
 			typ:    msgSRAck,
 			opID:   opID,
 			cumAck: uint32(bm.CumulativeCount()),
-			sack:   bm.Snapshot(nil),
+			sack:   sackBuf,
 		})
 	}
 
