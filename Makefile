@@ -3,7 +3,7 @@ GO ?= go
 # Packages whose concurrent hot paths must stay race-clean.
 RACE_PKGS = ./internal/bitmap/ ./internal/gf256/ ./internal/ec/
 
-.PHONY: ci vet build test race bench bench-kernels
+.PHONY: ci vet build test race bench bench-kernels bench-json
 
 ci: vet build race test
 
@@ -15,6 +15,7 @@ build:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -short ./internal/protosim/
 
 test:
 	$(GO) test ./...
@@ -29,3 +30,13 @@ bench-kernels:
 # Full benchmark sweep including figure regeneration.
 bench: bench-kernels
 	$(GO) test -run xxx -bench . -benchtime 0.2x .
+
+# Machine-readable benchmark trajectory: event-engine + simulator
+# micro-benchmarks and the DES-backed figure benchmarks, emitted as
+# op -> {ns/op, allocs/op, ...} JSON so per-PR performance is diffable.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkSimnet' -benchmem ./internal/simnet/ > bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkCampaign|BenchmarkDES' -benchmem ./internal/protosim/ >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkDESValidation|BenchmarkGBNBaseline' -benchtime 2x -benchmem . >> bench-json.tmp
+	$(GO) run ./cmd/benchjson < bench-json.tmp > BENCH_protosim.json
+	rm -f bench-json.tmp

@@ -1,0 +1,87 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON benchmark trajectory on stdout: a map from benchmark name to
+// {ns_op, allocs_op, bytes_op, iterations, metrics}. The Makefile's
+// bench-json target pipes the kernel and simulator benchmarks through
+// it to produce BENCH_protosim.json, so per-PR performance is recorded
+// in a diffable form.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem ./internal/simnet/ | benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_op"`
+	BytesPerOp float64            `json:"bytes_op"`
+	AllocsOp   float64            `json:"allocs_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := map[string]*Entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line) // echo so the run stays readable
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// BenchmarkName-8  1234  56.7 ns/op [89 B/op 1 allocs/op ...]
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip -GOMAXPROCS suffix
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := &Entry{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsOp = v
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = v
+			}
+		}
+		out[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	// encoding/json sorts map keys, so the file diffs stably
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

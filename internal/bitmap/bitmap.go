@@ -59,12 +59,21 @@ func (b *Bitmap) Set(i int) bool {
 		panic("bitmap: Set out of range")
 	}
 	mask := uint64(1) << (uint(i) % 64)
-	old := b.words[i/64].Or(mask)
-	if old&mask != 0 {
-		return false
+	w := &b.words[i/64]
+	// CAS loop instead of Or(mask): go1.24.0 miscompiles the
+	// value-returning atomic Or on amd64 (golang/go#71600, fixed in
+	// 1.24.1 — same family as the And workaround in Clear), and we
+	// need the old value to keep `remaining` exact.
+	for {
+		old := w.Load()
+		if old&mask != 0 {
+			return false
+		}
+		if w.CompareAndSwap(old, old|mask) {
+			b.remaining.Add(-1)
+			return true
+		}
 	}
-	b.remaining.Add(-1)
-	return true
 }
 
 // Test reports whether bit i is set.

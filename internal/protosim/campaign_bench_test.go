@@ -1,0 +1,22 @@
+package protosim
+
+import "testing"
+
+// Campaign benchmarks exercise the Sample path: one reusable runner
+// per worker, allocation-free steady state. ns/op is per full
+// Monte Carlo campaign (32 samples of a 128 MiB transfer).
+func benchCampaign(b *testing.B, scheme string) {
+	b.Helper()
+	cfg := Config{Ch: desChannel(1e-3), Scheme: scheme}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sample(cfg, 128<<20, 32, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCampaignSR(b *testing.B)     { benchCampaign(b, "sr") }
+func BenchmarkCampaignSRNACK(b *testing.B) { benchCampaign(b, "sr-nack") }
+func BenchmarkCampaignGBN(b *testing.B)    { benchCampaign(b, "gbn") }
+func BenchmarkCampaignEC(b *testing.B)     { benchCampaign(b, "ec") }

@@ -1,0 +1,59 @@
+package protosim
+
+import (
+	"math"
+	"testing"
+
+	"sdrrdma/internal/stats"
+)
+
+// Golden completion-time means recorded from the pre-rewrite
+// (closure-per-event, serial) simulators at 64 MiB / 64 KiB chunks,
+// 1200 samples over two independent seeds. The rewritten simulators
+// must reproduce the same distributions: the engine and state-tracking
+// changes are pure mechanism, not model changes.
+//
+// Tolerance is set from the observed cross-seed sampling noise of the
+// old implementation (up to ~4.6% for GBN) plus slack for the
+// per-sample seed derivation the parallel Sample introduced; EC at
+// these drop rates is essentially deterministic (parity absorbs every
+// loss), so it gets a tight bound.
+var goldenMeans = []struct {
+	scheme string
+	pdrop  float64
+	mean   float64 // pre-rewrite mean completion time [s]
+	tol    float64 // relative tolerance
+}{
+	{"sr", 1e-4, 3.365e-2, 0.10},
+	{"sr", 1e-3, 7.408e-2, 0.10},
+	{"sr", 1e-2, 1.084e-1, 0.10},
+	{"sr-nack", 1e-4, 2.872e-2, 0.10},
+	{"sr-nack", 1e-3, 4.159e-2, 0.10},
+	{"sr-nack", 1e-2, 5.427e-2, 0.10},
+	{"gbn", 1e-4, 3.576e-2, 0.12},
+	{"gbn", 1e-3, 1.259e-1, 0.12},
+	{"gbn", 1e-2, 1.053e0, 0.12},
+	{"ec", 1e-4, 2.6667e-2, 0.005},
+	{"ec", 1e-3, 2.6667e-2, 0.005},
+	{"ec", 1e-2, 2.6668e-2, 0.005},
+}
+
+func TestGoldenMeansMatchPreRewrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden cross-check runs ~10k simulations")
+	}
+	const size = 64 << 20
+	const n = 600 // reduced fidelity: noise stays well inside tol
+	for _, g := range goldenMeans {
+		cfg := Config{Ch: desChannel(g.pdrop), Scheme: g.scheme}
+		samples, err := Sample(cfg, size, n, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := stats.Mean(samples)
+		if rel := math.Abs(mean-g.mean) / g.mean; rel > g.tol {
+			t.Errorf("%s p=%.0e: mean %.4e vs pre-rewrite golden %.4e (%.1f%% apart, tol %.0f%%)",
+				g.scheme, g.pdrop, mean, g.mean, rel*100, g.tol*100)
+		}
+	}
+}

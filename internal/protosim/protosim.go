@@ -14,12 +14,44 @@
 // Supported schemes: "sr" (per-chunk RTO), "sr-nack" (receiver-driven
 // 1-RTT recovery), "gbn" (classic Go-Back-N, the commodity-ASIC
 // baseline of §2.2), and "ec" (erasure coding with SR fallback).
+//
+// # Performance architecture
+//
+// The simulators are built for planetary-scale Monte Carlo campaigns
+// (GiB messages ⇒ tens of thousands of chunks, hundreds of samples per
+// table cell), so the hot path is allocation free and all per-event
+// state transitions are O(1):
+//
+//   - Events are typed (kind, chunk, aux) records dispatched through
+//     simnet's slab-backed engine — no closure allocation per event.
+//   - Receiver delivery state lives in internal/bitmap, whose
+//     monotonic scan hint makes the SR-NACK receive-frontier cursor
+//     O(1) amortized (previously an O(n²) rescan of [0, gap)).
+//   - EC recoverability is tracked incrementally: per-submessage
+//     missing-data and delivered-parity counters plus a global
+//     remaining-unrecoverable count replace the former all-submessage
+//     rescan (and per-call group-loss allocation) on every delivery.
+//   - Dead timers (per-chunk RTO backstops disarmed by ACKs or by a
+//     submessage becoming recoverable, GBN's window timer at
+//     completion) are cancelled in O(1) instead of draining through
+//     the heap, and each sample stops stepping the engine the moment
+//     completion is known.
+//
+// One runner (engine + per-scheme state) is reused across the samples
+// of a campaign, so steady-state sampling allocates nothing. Sample
+// fans the campaign out across GOMAXPROCS with per-sample derived
+// seeds; its output is bit-identical regardless of core count.
 package protosim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"sdrrdma/internal/bitmap"
 	"sdrrdma/internal/simnet"
 	"sdrrdma/internal/wan"
 )
@@ -68,38 +100,162 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
+// validate rejects unknown schemes/codes. cfg must already have
+// defaults applied.
+func validate(cfg Config) error {
+	switch cfg.Scheme {
+	case "sr", "sr-nack", "gbn":
+		return nil
+	case "ec":
+		if cfg.Code != "mds" && cfg.Code != "xor" {
+			return fmt.Errorf("protosim: unknown code %q", cfg.Code)
+		}
+		return nil
+	}
+	return fmt.Errorf("protosim: unknown scheme %q", cfg.Scheme)
+}
+
 // Simulate returns one sample of the sender-side completion time for a
-// message of msgBytes, in seconds of virtual time.
+// message of msgBytes, in seconds of virtual time. Completion is
+// reported by an explicit done flag, so a legitimate completion at
+// virtual time 0 (degenerate zero-latency configs) is not confused
+// with "never finished"; if the event queue drains without the
+// transfer completing, Simulate returns +Inf. A config whose event
+// queue never drains — e.g. Go-Back-N with RTO < T_inj, whose window
+// timer keeps firing and resending before the first chunk finishes
+// serializing — diverges in virtual time and does not return.
 func Simulate(cfg Config, rng *rand.Rand, msgBytes int64) (float64, error) {
 	cfg = cfg.WithDefaults()
+	if err := validate(cfg); err != nil {
+		return 0, err
+	}
+	return newRunner().simulate(cfg, rng, msgBytes), nil
+}
+
+// Sample draws n completion times with a deterministic seed. The
+// campaign fans out across GOMAXPROCS workers, each owning a reusable
+// engine; sample i always draws from its own rng seeded by a splitmix64
+// mix of (seed, i), so the returned slice is bit-identical regardless
+// of core count or work distribution.
+func Sample(cfg Config, msgBytes int64, n int, seed int64) ([]float64, error) {
+	cfg = cfg.WithDefaults()
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	var next atomic.Int64
+	body := func(r *runner) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			r.rng.Seed(sampleSeed(seed, i))
+			out[i] = r.simulate(cfg, r.rng, msgBytes)
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(newRunner())
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(newRunner())
+		}()
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// sampleSeed derives a per-sample rng seed from (seed, i) via
+// splitmix64 so neighbouring samples get decorrelated streams and the
+// derivation is independent of which worker runs the sample.
+func sampleSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// runner bundles a reusable engine with per-scheme simulator state so
+// one warm-up serves a whole campaign.
+type runner struct {
+	eng *simnet.Engine
+	rng *rand.Rand // reseeded per sample on the Sample path
+	sr  srSim
+	gbn gbnSim
+	ec  ecSim
+}
+
+func newRunner() *runner {
+	r := &runner{eng: simnet.New(), rng: rand.New(rand.NewSource(1))}
+	r.eng.Lanes(int(numLanes))
+	return r
+}
+
+// simulate runs one sample. cfg must already be defaulted and
+// validated (Simulate and Sample both do this once, not per sample);
+// each scheme's run() leaves the engine Reset, so samples chain with
+// no per-sample prologue.
+func (r *runner) simulate(cfg Config, rng *rand.Rand, msgBytes int64) float64 {
 	nchunks := cfg.Ch.ChunksIn(msgBytes)
 	switch cfg.Scheme {
 	case "sr":
-		return simulateSR(cfg, rng, nchunks, false), nil
+		return r.sr.run(r.eng, cfg, rng, nchunks, false)
 	case "sr-nack":
-		return simulateSR(cfg, rng, nchunks, true), nil
+		return r.sr.run(r.eng, cfg, rng, nchunks, true)
 	case "gbn":
-		return simulateGBN(cfg, rng, nchunks), nil
-	case "ec":
-		return simulateEC(cfg, rng, nchunks)
-	default:
-		return 0, fmt.Errorf("protosim: unknown scheme %q", cfg.Scheme)
+		return r.gbn.run(r.eng, cfg, rng, nchunks)
+	default: // "ec" — validate guarantees no other value reaches here
+		return r.ec.run(r.eng, cfg, rng, nchunks)
 	}
 }
 
-// Sample draws n completion times with a deterministic seed.
-func Sample(cfg Config, msgBytes int64, n int, seed int64) ([]float64, error) {
-	rng := rand.New(rand.NewSource(seed))
-	out := make([]float64, n)
-	for i := range out {
-		v, err := Simulate(cfg, rng, msgBytes)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
+// reuse returns s resized to n with all elements zeroed, keeping the
+// backing array when capacity allows.
+func reuse[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
 	}
-	return out, nil
+	s = s[:n]
+	clear(s)
+	return s
 }
+
+// reuseBitmap returns a cleared bitmap of n bits, recycling b when the
+// size matches (the common case: every sample of a campaign shares one
+// geometry).
+func reuseBitmap(b *bitmap.Bitmap, n int) *bitmap.Bitmap {
+	if b == nil || b.Len() != n {
+		return bitmap.New(n)
+	}
+	b.Reset()
+	return b
+}
+
+// Monotone FIFO lanes (see simnet.ScheduleLane): every hot event class
+// is scheduled at now+const, so per class the timestamps are
+// nondecreasing and the O(log n) heap is bypassed. laneTx carries
+// link-serialized transmit completions, laneNet the +half-RTT
+// deliveries and control-path (ACK/NACK) arrivals, laneRTO the
+// +RTO backstops that are armed thousands of times and almost always
+// cancelled.
+const (
+	laneTx int32 = iota
+	laneNet
+	laneRTO
+	numLanes
+)
 
 // link serializes transmissions onto the shared sender uplink: a chunk
 // occupies the wire for tinj starting no earlier than the link is
@@ -111,326 +267,509 @@ type link struct {
 	freeAt float64
 }
 
-// transmit schedules fn at the instant the chunk finishes serializing
-// and returns that time.
-func (l *link) transmit(fn func(txDone float64)) float64 {
+// transmit schedules a (kind, a, b) event at the instant the chunk
+// finishes serializing.
+func (l *link) transmit(kind, a, b int32) {
 	start := l.eng.Now()
 	if l.freeAt > start {
 		start = l.freeAt
 	}
 	done := start + l.tinj
 	l.freeAt = done
-	l.eng.At(done, func() { fn(done) })
-	return done
+	l.eng.ScheduleLane(laneTx, done, kind, a, b)
 }
 
-// simulateSR runs Selective Repeat. Receiver ACKs each delivered chunk
+// --- Selective Repeat (with optional NACK) --------------------------------
+
+// srSim event kinds; a carries the chunk index (srNackArrive: the
+// in-flight NACK-list slot).
+const (
+	srTx int32 = iota
+	srDeliver
+	srAck
+	srRTO
+	srNackArrive
+)
+
+// srSim runs Selective Repeat. The receiver ACKs each delivered chunk
 // (selectively); in NACK mode a delivery whose chunk index exceeds the
 // receive frontier NACKs the gap immediately, giving ~1-RTT recovery.
-func simulateSR(cfg Config, rng *rand.Rand, nchunks int, nack bool) float64 {
-	eng := simnet.New()
-	l := &link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
-	half := cfg.Ch.RTT() / 2
-	rto := cfg.RTOFactor * cfg.Ch.RTT()
+type srSim struct {
+	eng     *simnet.Engine
+	rng     *rand.Rand
+	link    link
+	nack    bool
+	nchunks int
 
-	acked := make([]bool, nchunks)
-	delivered := make([]bool, nchunks)
-	ackedCount := 0
-	var doneAt float64
-	// receiver state for NACK mode: highest delivered chunk index
-	maxDelivered := -1
-	nacked := make([]bool, nchunks)
+	half, rto      float64
+	pdrop, ackLoss float64
 
-	var send func(i int)
-	armRTO := func(i int, at float64) {
-		eng.At(at+rto, func() {
-			if !acked[i] {
-				send(i)
-			}
-		})
-	}
-	deliverAck := func(i int) {
-		if rng.Float64() < cfg.AckLossProb {
-			return
-		}
-		eng.After(half, func() {
-			if !acked[i] {
-				acked[i] = true
-				ackedCount++
-				if ackedCount == nchunks {
-					doneAt = eng.Now()
-				}
-			}
-		})
-	}
-	sendNack := func(gapEnd int) {
-		// receiver requests every undelivered chunk below gapEnd
-		if rng.Float64() < cfg.AckLossProb {
-			return
-		}
-		var missing []int
-		for j := 0; j < gapEnd; j++ {
-			if !delivered[j] && !nacked[j] {
-				nacked[j] = true
-				missing = append(missing, j)
-			}
-		}
-		if len(missing) == 0 {
-			return
-		}
-		eng.After(half, func() {
-			for _, j := range missing {
-				nacked[j] = false
-				if !acked[j] {
-					send(j)
-				}
-			}
-		})
-	}
-	send = func(i int) {
-		l.transmit(func(txDone float64) {
-			armRTO(i, txDone)
-			if rng.Float64() < cfg.Ch.PDrop {
-				return // chunk lost in transit
-			}
-			eng.After(half, func() {
-				if !delivered[i] {
-					delivered[i] = true
-					if i > maxDelivered {
-						maxDelivered = i
-					}
-				}
-				deliverAck(i)
-				if nack && i > 0 {
-					sendNack(i)
-				}
-			})
-		})
-	}
-	for i := 0; i < nchunks; i++ {
-		send(i)
-	}
-	eng.Run()
-	return doneAt
+	delivered *bitmap.Bitmap // receiver state
+	acked     *bitmap.Bitmap // sender state; Count/Full are O(1)
+	nacked    []bool         // chunk has an in-flight NACK request
+	rtoTimer  []simnet.Timer // per-chunk backstop, disarmed by the ACK
+
+	// pooled per-NACK snapshot lists (multiple NACKs can be in flight)
+	nackLists [][]int32
+	nackFree  []int32
+	scratch   []int
+
+	done   bool
+	doneAt float64
 }
 
-// simulateGBN runs classic Go-Back-N: the receiver only accepts the
-// next in-order chunk and cumulative-ACKs; on timeout of the oldest
-// unacked chunk the sender resends the whole outstanding window. This
-// is the commodity-NIC baseline SDR's SR is provably no worse than
-// (§4, [7]).
-func simulateGBN(cfg Config, rng *rand.Rand, nchunks int) float64 {
-	eng := simnet.New()
-	l := &link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
-	half := cfg.Ch.RTT() / 2
-	rto := cfg.RTOFactor * cfg.Ch.RTT()
+func (s *srSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int, nack bool) float64 {
+	s.eng, s.rng, s.nack, s.nchunks = eng, rng, nack, nchunks
+	s.link = link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
+	s.half = cfg.Ch.RTT() / 2
+	s.rto = cfg.RTOFactor * cfg.Ch.RTT()
+	s.pdrop = cfg.Ch.PDrop
+	s.ackLoss = cfg.AckLossProb
+	s.delivered = reuseBitmap(s.delivered, nchunks)
+	s.acked = reuseBitmap(s.acked, nchunks)
+	s.nacked = reuse(s.nacked, nchunks)
+	s.rtoTimer = reuse(s.rtoTimer, nchunks)
+	s.nackFree = s.nackFree[:0]
+	for i := range s.nackLists {
+		s.nackLists[i] = s.nackLists[i][:0]
+		s.nackFree = append(s.nackFree, int32(i))
+	}
+	s.done, s.doneAt = false, 0
 
-	expected := 0 // receiver's next in-order chunk
-	base := 0     // sender's first unacked chunk
-	sent := 0     // next never-sent chunk
-	var doneAt float64
-	var timer simnet.Timer
-	timerArmed := false
+	eng.SetHandler(s)
+	for i := 0; i < nchunks; i++ {
+		s.send(int32(i))
+	}
+	for !s.done && eng.Step() {
+	}
+	eng.Reset() // drop post-completion backstops without draining them
+	if !s.done {
+		return math.Inf(1)
+	}
+	return s.doneAt
+}
 
-	var pump func()
-	var onTimeout func()
-	armTimer := func() {
-		if timerArmed {
-			timer.Cancel()
+func (s *srSim) send(i int32) { s.link.transmit(srTx, i, 0) }
+
+func (s *srSim) HandleEvent(kind, a, b int32) {
+	if s.done {
+		return
+	}
+	switch kind {
+	case srTx:
+		// chunk finished serializing: (re)arm the per-chunk RTO backstop
+		s.rtoTimer[a].Cancel()
+		s.rtoTimer[a] = s.eng.ScheduleLaneAfter(laneRTO, s.rto, srRTO, a, 0)
+		if s.rng.Float64() < s.pdrop {
+			return // chunk lost in transit
 		}
-		timerArmed = true
-		timer = eng.After(rto, onTimeout)
-	}
-	handleAck := func(cum int) {
-		if cum > base {
-			base = cum
-			if base >= nchunks {
-				if doneAt == 0 {
-					doneAt = eng.Now()
-				}
-				if timerArmed {
-					timer.Cancel()
-				}
-				return
-			}
-			armTimer()
-			pump()
+		s.eng.ScheduleLaneAfter(laneNet, s.half, srDeliver, a, 0)
+	case srDeliver:
+		s.delivered.Set(int(a))
+		if s.rng.Float64() >= s.ackLoss {
+			s.eng.ScheduleLaneAfter(laneNet, s.half, srAck, a, 0)
 		}
-	}
-	sendChunk := func(i int) {
-		l.transmit(func(float64) {
-			if rng.Float64() < cfg.Ch.PDrop {
-				return
+		if s.nack && a > 0 {
+			s.sendNack(int(a))
+		}
+	case srAck:
+		if s.acked.Set(int(a)) {
+			s.rtoTimer[a].Cancel()
+			if s.acked.Full() {
+				s.done, s.doneAt = true, s.eng.Now()
 			}
-			eng.After(half, func() {
-				if i == expected {
-					expected++
-				}
-				cum := expected
-				if rng.Float64() >= cfg.AckLossProb {
-					eng.After(half, func() { handleAck(cum) })
-				}
-			})
-		})
+		}
+	case srRTO:
+		if !s.acked.Test(int(a)) {
+			s.send(a)
+		}
+	case srNackArrive:
+		list := s.nackLists[a]
+		for _, j := range list {
+			s.nacked[j] = false
+			if !s.acked.Test(int(j)) {
+				s.send(j)
+			}
+		}
+		s.nackLists[a] = list[:0]
+		s.nackFree = append(s.nackFree, a)
 	}
+}
+
+// sendNack requests every undelivered, not-yet-NACKed chunk below
+// gapEnd. The scan starts at the receive frontier (the cumulative
+// delivery prefix, O(1) amortized via the bitmap's monotonic hint)
+// instead of rescanning [0, gapEnd) — the fix for the former O(n²)
+// behaviour on long transfers.
+func (s *srSim) sendNack(gapEnd int) {
+	if s.rng.Float64() < s.ackLoss {
+		return
+	}
+	frontier := s.delivered.CumulativeCount()
+	if frontier >= gapEnd {
+		return
+	}
+	s.scratch = s.delivered.Missing(s.scratch[:0], frontier, gapEnd)
+	li := int32(-1)
+	var list []int32
+	for _, j := range s.scratch {
+		if s.nacked[j] {
+			continue
+		}
+		s.nacked[j] = true
+		if li < 0 {
+			li = s.allocNackList()
+			list = s.nackLists[li]
+		}
+		list = append(list, int32(j))
+	}
+	if li < 0 {
+		return
+	}
+	s.nackLists[li] = list
+	s.eng.ScheduleLaneAfter(laneNet, s.half, srNackArrive, li, 0)
+}
+
+func (s *srSim) allocNackList() int32 {
+	if n := len(s.nackFree); n > 0 {
+		li := s.nackFree[n-1]
+		s.nackFree = s.nackFree[:n-1]
+		return li
+	}
+	s.nackLists = append(s.nackLists, nil)
+	return int32(len(s.nackLists) - 1)
+}
+
+// --- Go-Back-N ------------------------------------------------------------
+
+// gbnSim event kinds; a carries the chunk index (gbnAck: the
+// cumulative-ACK value).
+const (
+	gbnTx int32 = iota
+	gbnDeliver
+	gbnAck
+	gbnTimeout
+)
+
+// gbnSim runs classic Go-Back-N: the receiver only accepts the next
+// in-order chunk and cumulative-ACKs; on timeout of the oldest unacked
+// chunk the sender resends the whole outstanding window. This is the
+// commodity-NIC baseline SDR's SR is provably no worse than (§4, [7]).
+type gbnSim struct {
+	eng  *simnet.Engine
+	rng  *rand.Rand
+	link link
+
+	half, rto      float64
+	pdrop, ackLoss float64
+
+	nchunks  int
+	expected int // receiver's next in-order chunk
+	base     int // sender's first unacked chunk
+	sent     int // next never-sent chunk
+	window   int
+
+	timer      simnet.Timer
+	timerArmed bool
+
+	done   bool
+	doneAt float64
+}
+
+func (s *gbnSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int) float64 {
+	s.eng, s.rng, s.nchunks = eng, rng, nchunks
+	s.link = link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
+	s.half = cfg.Ch.RTT() / 2
+	s.rto = cfg.RTOFactor * cfg.Ch.RTT()
+	s.pdrop = cfg.Ch.PDrop
+	s.ackLoss = cfg.AckLossProb
+	s.expected, s.base, s.sent = 0, 0, 0
 	// window: allow a full BDP of chunks outstanding (plus slack) so
 	// the pipe stays full, like a tuned RC QP.
-	window := int(cfg.Ch.BDPBytes()/float64(cfg.Ch.ChunkBytes))*2 + 16
-	pump = func() {
-		for sent < nchunks && sent-base < window {
-			sendChunk(sent)
-			sent++
-		}
+	s.window = int(cfg.Ch.BDPBytes()/float64(cfg.Ch.ChunkBytes))*2 + 16
+	s.timer, s.timerArmed = simnet.Timer{}, false
+	s.done, s.doneAt = false, 0
+
+	eng.SetHandler(s)
+	s.pump()
+	s.armTimer()
+	for !s.done && eng.Step() {
 	}
-	onTimeout = func() {
-		timerArmed = false
-		if base >= nchunks {
-			return
-		}
-		// go back N: resend everything outstanding
-		for i := base; i < sent; i++ {
-			sendChunk(i)
-		}
-		armTimer()
+	eng.Reset() // cancel in-flight per-chunk events past completion
+	if !s.done {
+		return math.Inf(1)
 	}
-	pump()
-	armTimer()
-	eng.Run()
-	return doneAt
+	return s.doneAt
 }
 
-// simulateEC runs the erasure-coded scheme: data and parity chunks are
-// injected back to back; the receiver decodes submessages in place and
-// positively ACKs when everything is recoverable, or NACKs the missing
-// chunks of failed submessages at the fallback timeout (§4.1.2).
-func simulateEC(cfg Config, rng *rand.Rand, nchunks int) (float64, error) {
-	if cfg.Code != "mds" && cfg.Code != "xor" {
-		return 0, fmt.Errorf("protosim: unknown code %q", cfg.Code)
+func (s *gbnSim) armTimer() {
+	if s.timerArmed {
+		s.timer.Cancel()
 	}
+	s.timerArmed = true
+	s.timer = s.eng.ScheduleLaneAfter(laneRTO, s.rto, gbnTimeout, 0, 0)
+}
 
-	eng := simnet.New()
-	l := &link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
-	half := cfg.Ch.RTT() / 2
-	rto := cfg.RTOFactor * cfg.Ch.RTT()
-
-	k, m := cfg.K, cfg.M
-	L := (nchunks + k - 1) / k
-	// delivery state per submessage: data chunks + parity count
-	dataOK := make([][]bool, L)
-	parityOK := make([]int, L)
-	recovered := make([]bool, L)
-	realChunks := make([]int, L)
-	for i := 0; i < L; i++ {
-		real := nchunks - i*k
-		if real > k {
-			real = k
-		}
-		realChunks[i] = real
-		dataOK[i] = make([]bool, real)
+func (s *gbnSim) pump() {
+	for s.sent < s.nchunks && s.sent-s.base < s.window {
+		s.link.transmit(gbnTx, int32(s.sent), 0)
+		s.sent++
 	}
+}
 
-	canRecover := func(i int) bool {
-		if recovered[i] {
-			return true
-		}
-		missing := 0
-		for _, ok := range dataOK[i] {
-			if !ok {
-				missing++
-			}
-		}
-		if missing == 0 {
-			return true
-		}
-		if cfg.Code == "mds" {
-			return missing <= parityOK[i]
-		}
-		// XOR: group-level recoverability is approximated by the
-		// uniform-assignment condition: each parity repairs one loss
-		// in its modulo group. Missing data chunk j belongs to group
-		// j mod m; count per group.
-		groupLoss := make([]int, m)
-		for j, ok := range dataOK[i] {
-			if !ok {
-				groupLoss[j%m]++
-			}
-		}
-		// parityOK[i] counts delivered parity chunks; assume the
-		// delivered ones are the groups' own parity with uniform
-		// probability — conservatively require all groups with loss
-		// to have ≤1 loss and enough parity overall.
-		need := 0
-		for _, g := range groupLoss {
-			if g > 1 {
-				return false
-			}
-			if g == 1 {
-				need++
-			}
-		}
-		return parityOK[i] >= need
+func (s *gbnSim) HandleEvent(kind, a, b int32) {
+	if s.done {
+		// base >= nchunks: completion already cancelled the window
+		// timer; any event still in flight is stale and must not touch
+		// sender state.
+		return
 	}
-
-	var doneAt float64
-	finishIfDone := func() {
-		if doneAt != 0 {
+	switch kind {
+	case gbnTx:
+		if s.rng.Float64() < s.pdrop {
 			return
 		}
-		for i := 0; i < L; i++ {
-			if !canRecover(i) {
+		s.eng.ScheduleLaneAfter(laneNet, s.half, gbnDeliver, a, 0)
+	case gbnDeliver:
+		if int(a) == s.expected {
+			s.expected++
+		}
+		if s.rng.Float64() >= s.ackLoss {
+			s.eng.ScheduleLaneAfter(laneNet, s.half, gbnAck, int32(s.expected), 0)
+		}
+	case gbnAck:
+		if cum := int(a); cum > s.base {
+			s.base = cum
+			if s.base >= s.nchunks {
+				s.timer.Cancel() // disarm the window-resend backstop
+				s.timerArmed = false
+				s.done, s.doneAt = true, s.eng.Now()
 				return
 			}
-			recovered[i] = true
+			s.armTimer()
+			s.pump()
 		}
-		// positive ACK back to the sender
-		if rng.Float64() < cfg.AckLossProb {
-			return // a later poll re-sends; approximate with NACK timer
+	case gbnTimeout:
+		s.timerArmed = false
+		// go back N: resend everything outstanding
+		for i := s.base; i < s.sent; i++ {
+			s.link.transmit(gbnTx, int32(i), 0)
 		}
-		at := eng.Now() + half
-		eng.At(at, func() {
-			if doneAt == 0 {
-				doneAt = eng.Now()
-			}
-		})
+		s.armTimer()
 	}
+}
 
-	var sendData func(sub, j int)
-	sendData = func(sub, j int) {
-		l.transmit(func(txDone float64) {
-			// SR-fallback backstop on each outstanding data chunk
-			eng.At(txDone+rto, func() {
-				if doneAt == 0 && !recovered[sub] && !dataOK[sub][j] && !canRecover(sub) {
-					sendData(sub, j)
+// --- Erasure coding -------------------------------------------------------
+
+// ecSim event kinds; a carries the global data-chunk index for data
+// events and the submessage index for parity events.
+const (
+	ecDataTx int32 = iota
+	ecDataDeliver
+	ecParityTx
+	ecParityDeliver
+	ecRTO
+	ecAckSend
+	ecAckArrive
+)
+
+// ecSim runs the erasure-coded scheme: data and parity chunks are
+// injected back to back; the receiver decodes submessages in place and
+// positively ACKs when everything is recoverable (§4.1.2), with a
+// per-data-chunk SR backstop as fallback.
+//
+// Recoverability is tracked incrementally in O(1) per delivery:
+// missing[sub] and parityOK[sub] counters (plus per-modulo-group loss
+// counters for the XOR code) feed a monotone recovered[sub] flag and a
+// global remaining-unrecoverable-submessage count, replacing the
+// former scan of every submessage — with a fresh group-loss allocation
+// per call — on every delivery.
+type ecSim struct {
+	eng  *simnet.Engine
+	rng  *rand.Rand
+	link link
+
+	half, rto      float64
+	pdrop, ackLoss float64
+
+	nchunks, k, m int
+	nsubs         int
+	mds           bool
+
+	dataOK    *bitmap.Bitmap // delivered data chunks, global index
+	parityOK  []int32        // delivered parity count per submessage
+	missing   []int32        // missing data chunks per submessage
+	groupLoss []int32        // XOR: per (sub, j mod m) missing count
+	need      []int32        // XOR: groups with exactly one loss
+	over2     []int32        // XOR: groups with ≥2 losses (unrecoverable)
+	recovered []bool
+	unrecov   int // submessages not yet recoverable
+	rtoTimer  []simnet.Timer
+
+	done   bool
+	doneAt float64
+}
+
+// realChunks returns the number of data chunks in submessage sub (the
+// last submessage may be short).
+func (s *ecSim) realChunks(sub int) int {
+	real := s.nchunks - sub*s.k
+	if real > s.k {
+		real = s.k
+	}
+	return real
+}
+
+func (s *ecSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int) float64 {
+	s.eng, s.rng, s.nchunks = eng, rng, nchunks
+	s.link = link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
+	s.half = cfg.Ch.RTT() / 2
+	s.rto = cfg.RTOFactor * cfg.Ch.RTT()
+	s.pdrop = cfg.Ch.PDrop
+	s.ackLoss = cfg.AckLossProb
+	s.k, s.m = cfg.K, cfg.M
+	s.mds = cfg.Code == "mds"
+	s.nsubs = (nchunks + s.k - 1) / s.k
+	s.dataOK = reuseBitmap(s.dataOK, nchunks)
+	s.parityOK = reuse(s.parityOK, s.nsubs)
+	s.missing = reuse(s.missing, s.nsubs)
+	s.recovered = reuse(s.recovered, s.nsubs)
+	s.rtoTimer = reuse(s.rtoTimer, nchunks)
+	s.unrecov = s.nsubs
+	if !s.mds {
+		s.groupLoss = reuse(s.groupLoss, s.nsubs*s.m)
+		s.need = reuse(s.need, s.nsubs)
+		s.over2 = reuse(s.over2, s.nsubs)
+	}
+	for sub := 0; sub < s.nsubs; sub++ {
+		real := s.realChunks(sub)
+		s.missing[sub] = int32(real)
+		if !s.mds {
+			for j := 0; j < real; j++ {
+				s.groupLoss[sub*s.m+j%s.m]++
+			}
+			for g := 0; g < s.m; g++ {
+				switch gl := s.groupLoss[sub*s.m+g]; {
+				case gl == 1:
+					s.need[sub]++
+				case gl >= 2:
+					s.over2[sub]++
 				}
-			})
-			if rng.Float64() < cfg.Ch.PDrop {
-				return
 			}
-			eng.After(half, func() {
-				dataOK[sub][j] = true
-				finishIfDone()
-			})
-		})
-	}
-	sendParity := func(sub int) {
-		l.transmit(func(float64) {
-			if rng.Float64() < cfg.Ch.PDrop {
-				return
-			}
-			eng.After(half, func() {
-				parityOK[sub]++
-				finishIfDone()
-			})
-		})
-	}
-	for i := 0; i < L; i++ {
-		for j := 0; j < realChunks[i]; j++ {
-			sendData(i, j)
-		}
-		for j := 0; j < m; j++ {
-			sendParity(i)
 		}
 	}
-	eng.Run()
-	return doneAt, nil
+	s.done, s.doneAt = false, 0
+
+	eng.SetHandler(s)
+	for sub := 0; sub < s.nsubs; sub++ {
+		for j := 0; j < s.realChunks(sub); j++ {
+			s.link.transmit(ecDataTx, int32(sub*s.k+j), 0)
+		}
+		for j := 0; j < s.m; j++ {
+			s.link.transmit(ecParityTx, int32(sub), 0)
+		}
+	}
+	for !s.done && eng.Step() {
+	}
+	eng.Reset()
+	if !s.done {
+		return math.Inf(1)
+	}
+	return s.doneAt
+}
+
+func (s *ecSim) HandleEvent(kind, a, b int32) {
+	if s.done {
+		return
+	}
+	switch kind {
+	case ecDataTx:
+		// (re)arm the SR-fallback backstop for this data chunk
+		s.rtoTimer[a].Cancel()
+		s.rtoTimer[a] = s.eng.ScheduleLaneAfter(laneRTO, s.rto, ecRTO, a, 0)
+		if s.rng.Float64() < s.pdrop {
+			return
+		}
+		s.eng.ScheduleLaneAfter(laneNet, s.half, ecDataDeliver, a, 0)
+	case ecDataDeliver:
+		if s.dataOK.Set(int(a)) {
+			s.rtoTimer[a].Cancel()
+			sub := int(a) / s.k
+			s.missing[sub]--
+			if !s.mds {
+				gl := &s.groupLoss[sub*s.m+(int(a)%s.k)%s.m]
+				*gl--
+				switch *gl {
+				case 0:
+					s.need[sub]--
+				case 1:
+					s.over2[sub]--
+					s.need[sub]++
+				}
+			}
+			s.checkRecovered(sub)
+		}
+	case ecParityTx:
+		if s.rng.Float64() < s.pdrop {
+			return
+		}
+		s.eng.ScheduleLaneAfter(laneNet, s.half, ecParityDeliver, a, 0)
+	case ecParityDeliver:
+		s.parityOK[a]++
+		s.checkRecovered(int(a))
+	case ecRTO:
+		if !s.dataOK.Test(int(a)) && !s.recovered[int(a)/s.k] {
+			s.link.transmit(ecDataTx, a, 0)
+		}
+	case ecAckSend:
+		s.tryAck()
+	case ecAckArrive:
+		s.done, s.doneAt = true, s.eng.Now()
+	}
+}
+
+// checkRecovered re-evaluates submessage sub after a delivery. All
+// counter transitions are monotone toward recoverability, so the O(1)
+// threshold test here is exact.
+//
+// For the XOR code, group-level recoverability is approximated by the
+// uniform-assignment condition: each parity repairs one loss in its
+// modulo group, so every group must have ≤1 loss and enough parity
+// must have arrived overall.
+func (s *ecSim) checkRecovered(sub int) {
+	if s.recovered[sub] {
+		return
+	}
+	if s.mds {
+		if s.missing[sub] > s.parityOK[sub] {
+			return
+		}
+	} else if s.over2[sub] != 0 || s.parityOK[sub] < s.need[sub] {
+		return
+	}
+	s.recovered[sub] = true
+	// The submessage's losses decode in place: its outstanding SR
+	// backstops are dead weight — disarm them instead of letting them
+	// drain through the heap.
+	lo, hi := sub*s.k, sub*s.k+s.realChunks(sub)
+	for c := lo; c < hi; c++ {
+		if !s.dataOK.Test(c) {
+			s.rtoTimer[c].Cancel()
+		}
+	}
+	s.unrecov--
+	if s.unrecov == 0 {
+		s.tryAck()
+	}
+}
+
+// tryAck sends the positive ACK back to the sender. A lost ACK retries
+// after an RTO — previously a lost final ACK left the sender waiting
+// forever (the run returned the zero-value sentinel).
+func (s *ecSim) tryAck() {
+	if s.rng.Float64() < s.ackLoss {
+		s.eng.ScheduleAfter(s.rto, ecAckSend, 0, 0)
+		return
+	}
+	s.eng.ScheduleAfter(s.half, ecAckArrive, 0, 0)
 }
