@@ -1,7 +1,11 @@
 GO ?= go
 
-# Packages whose concurrent hot paths must stay race-clean.
-RACE_PKGS = ./internal/bitmap/ ./internal/gf256/ ./internal/ec/
+# Packages whose concurrent hot paths must stay race-clean. Since the
+# virtual-clock migration this includes the full functional stack:
+# fabric/core/reliability run their lossy scenarios as deterministic
+# discrete-event simulations instead of racy-by-design timer goroutines.
+RACE_PKGS = ./internal/bitmap/ ./internal/gf256/ ./internal/ec/ \
+	./internal/clock/ ./internal/fabric/ ./internal/core/ ./internal/reliability/
 
 .PHONY: ci vet build test race bench bench-kernels bench-json
 
@@ -32,11 +36,13 @@ bench: bench-kernels
 	$(GO) test -run xxx -bench . -benchtime 0.2x .
 
 # Machine-readable benchmark trajectory: event-engine + simulator
-# micro-benchmarks and the DES-backed figure benchmarks, emitted as
+# micro-benchmarks, the DES-backed figure benchmarks, and the WAN
+# functional-stack wall-clock pair (virtual vs real clock), emitted as
 # op -> {ns/op, allocs/op, ...} JSON so per-PR performance is diffable.
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkSimnet' -benchmem ./internal/simnet/ > bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkCampaign|BenchmarkDES' -benchmem ./internal/protosim/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkDESValidation|BenchmarkGBNBaseline' -benchtime 2x -benchmem . >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkWANVirtual|BenchmarkWANReal' -benchtime 3x -benchmem ./internal/experiments/ >> bench-json.tmp
 	$(GO) run ./cmd/benchjson < bench-json.tmp > BENCH_protosim.json
 	rm -f bench-json.tmp

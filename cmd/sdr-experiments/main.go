@@ -25,7 +25,14 @@ func main() {
 	tailSamples := flag.Int("tail-samples", 10000, "samples for p99.9 points")
 	seed := flag.Int64("seed", 42, "deterministic RNG seed")
 	duration := flag.Float64("duration", 1.0, "seconds per functional throughput point")
+	clockMode := flag.String("clock", "virtual",
+		"clock for the WAN functional figures: 'virtual' (deterministic, simulation speed) or 'real' (wall clock)")
 	flag.Parse()
+
+	if *clockMode != "virtual" && *clockMode != "real" {
+		fmt.Fprintf(os.Stderr, "sdr-experiments: unknown -clock %q (want virtual or real)\n", *clockMode)
+		os.Exit(2)
+	}
 
 	if *fig == "" {
 		fmt.Fprintln(os.Stderr, "usage: sdr-experiments -fig <id|all>")
@@ -37,6 +44,7 @@ func main() {
 		TailSamples: *tailSamples,
 		Seed:        *seed,
 		DurationSec: *duration,
+		RealClock:   *clockMode == "real",
 	}
 	ids := []string{*fig}
 	if *fig == "all" {

@@ -1,0 +1,220 @@
+package clock
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRealNotifyWakesWaiter(t *testing.T) {
+	r := NewReal()
+	epoch := r.Epoch()
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		r.Notify()
+	}()
+	if !r.WaitNotify(epoch, time.Second) {
+		t.Fatal("WaitNotify returned timeout despite Notify")
+	}
+}
+
+func TestRealWaitNotifyTimesOut(t *testing.T) {
+	r := NewReal()
+	start := time.Now()
+	if r.WaitNotify(r.Epoch(), 5*time.Millisecond) {
+		t.Fatal("WaitNotify reported a notification that never happened")
+	}
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("WaitNotify returned before its timeout")
+	}
+}
+
+func TestRealEpochPreventsLostWakeup(t *testing.T) {
+	r := NewReal()
+	epoch := r.Epoch()
+	r.Notify() // notification lands before the wait starts
+	if !r.WaitNotify(epoch, -1) {
+		t.Fatal("stale epoch must return immediately as notified")
+	}
+}
+
+func TestVirtualSleepAdvancesVirtualTimeOnly(t *testing.T) {
+	v := NewVirtual()
+	wallStart := time.Now()
+	var elapsed time.Duration
+	v.Go(func() {
+		start := v.Now()
+		v.Sleep(10 * time.Second)
+		elapsed = v.Since(start)
+	})
+	v.Run()
+	if elapsed != 10*time.Second {
+		t.Fatalf("virtual elapsed = %v, want exactly 10s", elapsed)
+	}
+	if wall := time.Since(wallStart); wall > 2*time.Second {
+		t.Fatalf("10 virtual seconds took %v wall-clock", wall)
+	}
+}
+
+func TestVirtualActorsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		v := NewVirtual()
+		var trace []string
+		for i := 0; i < 4; i++ {
+			i := i
+			v.Go(func() {
+				for step := 0; step < 3; step++ {
+					v.Sleep(time.Duration(i+1) * time.Millisecond)
+					trace = append(trace, fmt.Sprintf("a%d@%v", i, v.Elapsed()))
+				}
+			})
+		}
+		v.Run()
+		return trace
+	}
+	first := run()
+	prev := runtime.GOMAXPROCS(1)
+	second := run()
+	runtime.GOMAXPROCS(prev)
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("traces differ across runs/GOMAXPROCS:\n%v\n%v", first, second)
+	}
+}
+
+func TestVirtualNotifyWakesBeforeTimeout(t *testing.T) {
+	v := NewVirtual()
+	var waiterWoke, notified bool
+	var wokeAt time.Duration
+	v.Go(func() {
+		epoch := v.Epoch()
+		notified = v.WaitNotify(epoch, time.Hour)
+		waiterWoke = true
+		wokeAt = v.Elapsed()
+	})
+	v.Go(func() {
+		v.Sleep(3 * time.Millisecond)
+		v.Notify()
+	})
+	v.Run()
+	if !waiterWoke || !notified {
+		t.Fatalf("woke=%v notified=%v, want notified wake", waiterWoke, notified)
+	}
+	if wokeAt != 3*time.Millisecond {
+		t.Fatalf("woke at %v, want exactly 3ms (virtual)", wokeAt)
+	}
+}
+
+func TestVirtualWaitNotifyTimeout(t *testing.T) {
+	v := NewVirtual()
+	var notified bool
+	v.Go(func() {
+		notified = v.WaitNotify(v.Epoch(), 7*time.Millisecond)
+	})
+	v.Run()
+	if notified {
+		t.Fatal("no Notify was issued; wait must time out")
+	}
+	if v.Elapsed() != 7*time.Millisecond {
+		t.Fatalf("clock at %v, want exactly the 7ms timeout", v.Elapsed())
+	}
+}
+
+func TestVirtualStaleEpochReturnsImmediately(t *testing.T) {
+	v := NewVirtual()
+	var notified bool
+	v.Go(func() {
+		epoch := v.Epoch()
+		v.Notify()
+		notified = v.WaitNotify(epoch, -1) // d<0: would deadlock if lost
+	})
+	v.Run()
+	if !notified {
+		t.Fatal("stale epoch must report notified without blocking")
+	}
+}
+
+func TestVirtualAfterFuncTimer(t *testing.T) {
+	v := NewVirtual()
+	var fired []time.Duration
+	v.Go(func() {
+		stopped := v.AfterFunc(5*time.Millisecond, func() {
+			fired = append(fired, v.Elapsed())
+		})
+		reset := v.AfterFunc(2*time.Millisecond, func() {
+			fired = append(fired, v.Elapsed())
+		})
+		if !stopped.Stop() {
+			t.Error("Stop on a pending timer must report true")
+		}
+		if stopped.Stop() {
+			t.Error("second Stop must report false")
+		}
+		if !reset.Reset(8 * time.Millisecond) {
+			t.Error("Reset on a pending timer must report true")
+		}
+		v.Sleep(20 * time.Millisecond)
+		if reset.Reset(time.Millisecond) {
+			t.Error("Reset after firing must report false")
+		}
+		v.Sleep(5 * time.Millisecond)
+	})
+	v.Run()
+	if fmt.Sprint(fired) != fmt.Sprint([]time.Duration{8 * time.Millisecond, 21 * time.Millisecond}) {
+		t.Fatalf("timer firings = %v", fired)
+	}
+}
+
+func TestVirtualDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run must panic on a blocked-forever actor")
+		}
+	}()
+	v := NewVirtual()
+	v.Go(func() { v.WaitNotify(v.Epoch(), -1) })
+	v.Run()
+}
+
+func TestVirtualActorsSpawnActors(t *testing.T) {
+	v := NewVirtual()
+	var count atomic.Int32
+	v.Go(func() {
+		v.Sleep(time.Millisecond)
+		for i := 0; i < 3; i++ {
+			v.Go(func() {
+				v.Sleep(time.Millisecond)
+				count.Add(1)
+			})
+		}
+	})
+	v.Run()
+	if count.Load() != 3 {
+		t.Fatalf("nested actors ran %d times, want 3", count.Load())
+	}
+	if v.Elapsed() != 2*time.Millisecond {
+		t.Fatalf("elapsed %v, want 2ms", v.Elapsed())
+	}
+}
+
+func TestJoinBothBackends(t *testing.T) {
+	for _, clk := range []Clock{NewReal(), NewVirtual()} {
+		var a, b bool
+		Join(clk, func() { a = true }, func() { b = true })
+		if !a || !b {
+			t.Fatalf("IsVirtual=%v: Join did not run all fns (a=%v b=%v)",
+				clk.IsVirtual(), a, b)
+		}
+	}
+}
+
+func TestOrDefaultsToSharedRealtime(t *testing.T) {
+	if Or(nil) != Realtime() {
+		t.Fatal("Or(nil) must return the shared realtime clock")
+	}
+	v := NewVirtual()
+	if Or(v) != Clock(v) {
+		t.Fatal("Or must pass a non-nil clock through")
+	}
+}

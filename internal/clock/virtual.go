@@ -1,0 +1,333 @@
+package clock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sdrrdma/internal/simnet"
+)
+
+// Virtual is a discrete-event Clock on a simnet engine.
+//
+// # Execution model
+//
+// Goroutines participating in a virtual-time simulation register as
+// actors via Go. A scheduler loop (Run, driven by the goroutine that
+// built the simulation) enforces strict serialization: exactly one
+// actor executes at a time, and virtual time advances — by firing the
+// next engine event — only when every actor is parked in a clock wait
+// (Sleep or WaitNotify). Timer callbacks (AfterFunc, fabric
+// deliveries, RC retransmissions) run on the scheduler goroutine
+// between actor slices, so they are serialized with the actors too.
+//
+// Because the engine fires events in deterministic (time, seq) order
+// and ready actors resume in FIFO wake order, an entire simulation —
+// packet deliveries, RNG draws, DMA writes, completion times — is a
+// pure function of its configuration and seeds: bit-identical across
+// runs and GOMAXPROCS values, and free of data races by construction.
+//
+// # Deadlock
+//
+// If every actor is blocked without a time bound and no engine event
+// is pending, no wakeup can ever arrive; Run panics with a diagnostic
+// rather than hanging, turning a protocol bug into a test failure.
+type Virtual struct {
+	mu       sync.Mutex
+	rootCond *sync.Cond // Run waits here for the baton to come back
+	eng      *simnet.Engine
+	base     time.Time
+	gen      uint64 // notification epoch
+	actors   int    // registered and not yet finished
+	current  *actor // actor holding the baton (nil: scheduler owns it)
+	ready    []*actor
+	waiters  []*actor // actors parked in WaitNotify, wake on Notify
+	running  bool
+}
+
+// actor is one registered goroutine's scheduling state.
+type actor struct {
+	cond     *sync.Cond // tied to Virtual.mu
+	granted  bool       // baton handed over, actor may run
+	parked   bool       // inside a clock wait
+	queued   bool       // in the ready FIFO
+	notified bool       // wake cause was Notify, not a timeout
+}
+
+// NewVirtual creates a virtual clock at a fixed, wall-independent base
+// time (so runs are reproducible regardless of when they execute).
+func NewVirtual() *Virtual {
+	v := &Virtual{
+		eng:  simnet.New(),
+		base: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	v.rootCond = sync.NewCond(&v.mu)
+	return v
+}
+
+// Now implements Clock: base + virtual offset.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.nowLocked()
+}
+
+func (v *Virtual) nowLocked() time.Time {
+	return v.base.Add(time.Duration(v.eng.Now() * float64(time.Second)))
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Elapsed returns the virtual time consumed since construction.
+func (v *Virtual) Elapsed() time.Duration { return v.Now().Sub(v.base) }
+
+// IsVirtual implements Clock.
+func (v *Virtual) IsVirtual() bool { return true }
+
+// Epoch implements Clock.
+func (v *Virtual) Epoch() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.gen
+}
+
+// Notify implements Clock: bumps the epoch and readies every actor
+// parked in WaitNotify, in their registration order.
+func (v *Virtual) Notify() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.gen++
+	for _, a := range v.waiters {
+		a.notified = true
+		v.readyLocked(a)
+	}
+	v.waiters = v.waiters[:0]
+}
+
+// readyLocked moves a parked actor to the ready FIFO (idempotent).
+func (v *Virtual) readyLocked(a *actor) {
+	if !a.parked || a.queued {
+		return
+	}
+	a.queued = true
+	v.ready = append(v.ready, a)
+}
+
+// park blocks the calling actor until the scheduler grants the baton
+// back. v.mu must be held; it is held again on return.
+func (v *Virtual) park(a *actor) {
+	a.parked = true
+	v.current = nil
+	v.rootCond.Signal()
+	for !a.granted {
+		a.cond.Wait()
+	}
+	a.granted = false
+	a.parked = false
+}
+
+// currentActor returns the running actor, panicking when the caller is
+// not one: blocking operations from unregistered goroutines would stall
+// virtual time forever, so they are rejected loudly.
+func (v *Virtual) currentActor(op string) *actor {
+	a := v.current
+	if a == nil {
+		panic("clock: Virtual." + op + " called outside an actor goroutine (use Clock.Go)")
+	}
+	return a
+}
+
+// Go implements Clock: fn becomes an actor, initially ready. Run
+// returns once every actor has finished.
+func (v *Virtual) Go(fn func()) {
+	v.mu.Lock()
+	a := &actor{cond: sync.NewCond(&v.mu)}
+	v.actors++
+	a.parked = true // waiting for its first baton grant
+	v.readyLocked(a)
+	v.mu.Unlock()
+	go func() {
+		v.mu.Lock()
+		for !a.granted {
+			a.cond.Wait()
+		}
+		a.granted = false
+		a.parked = false
+		v.mu.Unlock()
+		defer func() {
+			v.mu.Lock()
+			v.actors--
+			v.current = nil
+			v.rootCond.Signal()
+			v.mu.Unlock()
+		}()
+		fn()
+	}()
+}
+
+// Run drives the simulation: it grants the baton to ready actors one
+// at a time and, when all actors are blocked, advances virtual time by
+// firing engine events. It returns when every actor has finished.
+// Only one Run may be active at a time; actors may keep spawning more
+// actors with Go while it runs.
+func (v *Virtual) Run() {
+	v.mu.Lock()
+	if v.running {
+		v.mu.Unlock()
+		panic("clock: Virtual.Run reentered")
+	}
+	v.running = true
+	for {
+		if len(v.ready) > 0 {
+			a := v.ready[0]
+			v.ready = v.ready[1:]
+			a.queued = false
+			a.granted = true
+			v.current = a
+			a.cond.Signal()
+			for v.current != nil {
+				v.rootCond.Wait()
+			}
+			continue
+		}
+		if v.actors == 0 {
+			break
+		}
+		// Every actor is parked and none is ready: fire the next
+		// event. Callbacks may ready actors, schedule events, or call
+		// Notify; they take v.mu themselves, so release it.
+		v.mu.Unlock()
+		progressed := v.eng.Step()
+		v.mu.Lock()
+		if !progressed && len(v.ready) == 0 {
+			n, at := v.actors, v.nowLocked()
+			v.running = false
+			v.mu.Unlock()
+			panic(fmt.Sprintf(
+				"clock: virtual deadlock at %v: %d actor(s) blocked with no pending events",
+				at, n))
+		}
+	}
+	v.running = false
+	v.mu.Unlock()
+}
+
+// Sleep implements Clock: parks the actor until a timer event at
+// now+d. Notify does not cut a Sleep short.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	a := v.currentActor("Sleep")
+	v.eng.After(d.Seconds(), func() {
+		v.mu.Lock()
+		v.readyLocked(a)
+		v.mu.Unlock()
+	})
+	v.park(a)
+	v.mu.Unlock()
+}
+
+// WaitNotify implements Clock.
+func (v *Virtual) WaitNotify(epoch uint64, d time.Duration) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	a := v.currentActor("WaitNotify")
+	if v.gen != epoch {
+		return true
+	}
+	a.notified = false
+	v.waiters = append(v.waiters, a)
+	var timeout simnet.Timer
+	if d >= 0 {
+		timeout = v.eng.After(d.Seconds(), func() {
+			v.mu.Lock()
+			v.readyLocked(a)
+			v.mu.Unlock()
+		})
+	}
+	v.park(a)
+	if a.notified {
+		timeout.Cancel() // zero Timer when d < 0: Cancel is a no-op
+	} else {
+		// Timed out: still on the waiter list — leave no stale entry.
+		v.removeWaiterLocked(a)
+	}
+	return a.notified
+}
+
+func (v *Virtual) removeWaiterLocked(a *actor) {
+	for i, w := range v.waiters {
+		if w == a {
+			v.waiters = append(v.waiters[:i], v.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// virtualTimer implements Timer on the engine.
+type virtualTimer struct {
+	v  *Virtual
+	fn func()
+	t  simnet.Timer
+}
+
+// AfterFunc implements Clock. fn runs on the scheduler goroutine while
+// every actor is parked, serialized with actors and other callbacks.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) Timer {
+	t := &virtualTimer{v: v, fn: fn}
+	v.mu.Lock()
+	t.t = v.eng.After(max(0, d.Seconds()), t.fire)
+	v.mu.Unlock()
+	return t
+}
+
+// fire runs on the scheduler goroutine (engine callback); the callback
+// itself may take v.mu, so fire must not hold it.
+func (t *virtualTimer) fire() { t.fn() }
+
+// Stop implements Timer.
+func (t *virtualTimer) Stop() bool {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	active := t.t.Active()
+	t.t.Cancel()
+	return active
+}
+
+// Reset implements Timer.
+func (t *virtualTimer) Reset(d time.Duration) bool {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	active := t.t.Active()
+	t.t.Cancel()
+	t.t = t.v.eng.After(max(0, d.Seconds()), t.fire)
+	return active
+}
+
+// Join runs fns to completion on the clock: registered actors plus a
+// scheduler Run on a Virtual clock, plain goroutines plus a WaitGroup
+// otherwise. It is the bridge test harnesses and experiments use to
+// run one scenario on either backend. On a Virtual clock only one
+// Join (or Run) may be active at a time.
+func Join(c Clock, fns ...func()) {
+	if v, ok := c.(*Virtual); ok {
+		for _, fn := range fns {
+			v.Go(fn)
+		}
+		v.Run()
+		return
+	}
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		fn := fn
+		c.Go(func() {
+			defer wg.Done()
+			fn()
+		})
+	}
+	wg.Wait()
+}

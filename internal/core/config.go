@@ -25,6 +25,7 @@ package core
 import (
 	"fmt"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/wan"
 )
 
@@ -52,6 +53,11 @@ type Config struct {
 	Channels int
 	// CQDepth bounds each channel completion queue (default 4096).
 	CQDepth int
+	// Clock drives every timed behaviour of the deployment (nil =
+	// shared real clock). With a clock.Virtual, the context switches
+	// its DPA workers to synchronous completion processing and the
+	// whole functional stack runs in deterministic virtual time.
+	Clock clock.Clock
 }
 
 // WithDefaults fills zero fields with the paper's defaults.

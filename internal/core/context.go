@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/dpa"
 	"sdrrdma/internal/nicsim"
 )
@@ -14,6 +15,7 @@ import (
 type Context struct {
 	dev    *nicsim.Device
 	cfg    Config
+	clk    clock.Clock
 	pool   *dpa.Pool
 	nullMR *nicsim.NullMR
 }
@@ -24,13 +26,23 @@ func NewContext(dev *nicsim.Device, cfg Config) (*Context, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	clk := clock.Or(cfg.Clock)
+	pool := dpa.NewPool()
+	// A virtual deployment must not run free-running poller
+	// goroutines: completions are processed inside the delivery event.
+	pool.SetSynchronous(clk.IsVirtual())
 	return &Context{
 		dev:    dev,
 		cfg:    cfg,
-		pool:   dpa.NewPool(),
+		clk:    clk,
+		pool:   pool,
 		nullMR: dev.AllocNullMR(),
 	}, nil
 }
+
+// Clock returns the clock the context (and every QP created from it)
+// runs on.
+func (c *Context) Clock() clock.Clock { return c.clk }
 
 // Config returns the context configuration (with defaults applied).
 func (c *Context) Config() Config { return c.cfg }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/fabric"
 )
 
@@ -76,12 +77,17 @@ func TestNoUserImmBits(t *testing.T) {
 }
 
 // Everything at once: loss + reordering + duplication + latency on
-// both directions, many sequential messages through slot wraparound.
+// both directions, many sequential messages through slot wraparound —
+// on the virtual clock, where delayed and duplicated deliveries are
+// discrete events serialized with the test body instead of timer
+// goroutines racing the verification reads (racy by design before).
 func TestCombinedImpairmentsStress(t *testing.T) {
+	vc := clock.NewVirtual()
 	cfg := Config{
 		MTU: 1024, ChunkBytes: 2048, MaxMsgBytes: 64 << 10,
 		MsgIDBits: 3, PktOffsetBits: 25, UserImmBits: 4, // 8 slots → wraps
 		Generations: 4, Channels: 4,
+		Clock: vc,
 	}
 	impair := fabric.Config{
 		Latency:       200 * time.Microsecond,
@@ -93,25 +99,44 @@ func TestCombinedImpairmentsStress(t *testing.T) {
 	p := newTestPair(t, cfg, impair, fabric.Config{})
 	mr := p.B.Ctx.RegMR(make([]byte, 64<<10))
 	const msgs = 40 // 5 full slot wraps through all generations
-	for i := 0; i < msgs; i++ {
-		size := 4<<10 + (i%4)*8<<10
-		h, err := p.B.QP.RecvPost(mr, 0, size)
-		if err != nil {
-			t.Fatalf("msg %d: %v", i, err)
+	vc.Go(func() {
+		for i := 0; i < msgs; i++ {
+			size := 4<<10 + (i%4)*8<<10
+			h, err := p.B.QP.RecvPost(mr, 0, size)
+			if err != nil {
+				t.Errorf("msg %d: %v", i, err)
+				return
+			}
+			data := make([]byte, size)
+			fillPattern(data, byte(i))
+			if _, err := p.A.QP.SendPost(data, uint32(i)); err != nil {
+				t.Errorf("msg %d: %v", i, err)
+				return
+			}
+			deadline := vc.Now().Add(5 * time.Second)
+			for {
+				epoch := vc.Epoch()
+				if h.Done() {
+					break
+				}
+				if vc.Now().After(deadline) {
+					t.Errorf("msg %d incomplete: %d/%d chunks",
+						i, h.Bitmap().Count(), h.NumChunks())
+					return
+				}
+				vc.WaitNotify(epoch, 10*time.Millisecond)
+			}
+			if !bytes.Equal(mr.Bytes()[:size], data) {
+				t.Errorf("msg %d corrupted", i)
+				return
+			}
+			if err := h.Complete(); err != nil {
+				t.Errorf("msg %d: %v", i, err)
+				return
+			}
 		}
-		data := make([]byte, size)
-		fillPattern(data, byte(i))
-		if _, err := p.A.QP.SendPost(data, uint32(i)); err != nil {
-			t.Fatalf("msg %d: %v", i, err)
-		}
-		waitDone(t, h, 5*time.Second)
-		if !bytes.Equal(mr.Bytes()[:size], data) {
-			t.Fatalf("msg %d corrupted", i)
-		}
-		if err := h.Complete(); err != nil {
-			t.Fatalf("msg %d: %v", i, err)
-		}
-	}
+	})
+	vc.Run()
 	if p.B.QP.Stats().Duplicates == 0 {
 		t.Fatal("stress run produced no duplicates despite 5% duplication")
 	}
@@ -125,7 +150,7 @@ func TestTwoQPsIndependent(t *testing.T) {
 	// second QP pair on the same devices/link
 	qpA2 := p.A.Ctx.NewQP()
 	qpB2 := p.B.Ctx.NewQP()
-	oob2 := fabric.NewOOB(0)
+	oob2 := fabric.NewOOB(nil, 0)
 	if err := qpA2.ConnectViaOOB(p.Link.AB, oob2, true, qpB2.Info()); err != nil {
 		t.Fatal(err)
 	}

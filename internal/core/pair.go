@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/fabric"
 	"sdrrdma/internal/nicsim"
 )
@@ -27,8 +28,23 @@ type Pair struct {
 
 // NewPair creates two devices, SDR contexts and QPs, connects them
 // across a link with the given per-direction impairments, and wires
-// the out-of-band CTS channel with oobLatency one-way delay.
+// the out-of-band CTS channel with oobLatency one-way delay. The
+// fabric directions and OOB channel inherit cfg.Clock unless they name
+// their own.
 func NewPair(cfg Config, ab, ba fabric.Config, oobLatency time.Duration) (*Pair, error) {
+	if cfg.Clock == nil {
+		// A dedicated Real instance per deployment keeps the notify
+		// broadcast domain to this pair: a completion here wakes this
+		// pair's waiters, not every clock waiter in the process.
+		cfg.Clock = clock.NewReal()
+	}
+	clk := cfg.Clock
+	if ab.Clock == nil {
+		ab.Clock = clk
+	}
+	if ba.Clock == nil {
+		ba.Clock = clk
+	}
 	devA := nicsim.NewDevice("dcA")
 	devB := nicsim.NewDevice("dcB")
 	ctxA, err := NewContext(devA, cfg)
@@ -42,7 +58,7 @@ func NewPair(cfg Config, ab, ba fabric.Config, oobLatency time.Duration) (*Pair,
 	qpA := ctxA.NewQP()
 	qpB := ctxB.NewQP()
 	link := fabric.NewLink(devA, devB, ab, ba)
-	oob := fabric.NewOOB(oobLatency)
+	oob := fabric.NewOOB(clk, oobLatency)
 	if err := qpA.ConnectViaOOB(link.AB, oob, true, qpB.Info()); err != nil {
 		return nil, err
 	}

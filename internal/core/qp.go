@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/fabric"
 	"sdrrdma/internal/nicsim"
 )
@@ -90,12 +91,14 @@ type QP struct {
 	recvSeq uint64
 	slots   []recvSlot
 
-	// sender state
-	sendMu   sync.Mutex
-	sendCond *sync.Cond
-	sendSeq  uint64
-	ctsHigh  uint64            // receives posted by peer (CTS count)
-	ctsSize  map[uint64]uint64 // seq → posted buffer size
+	// sender state. CTS waiters block on the context clock's epoch
+	// notification (not a sync.Cond): under the virtual clock a
+	// blocked sender must be visible to the discrete-event scheduler
+	// or time could never advance past it.
+	sendMu  sync.Mutex
+	sendSeq uint64
+	ctsHigh uint64            // receives posted by peer (CTS count)
+	ctsSize map[uint64]uint64 // seq → posted buffer size
 
 	packetsSent     atomic.Uint64
 	packetsReceived atomic.Uint64
@@ -118,7 +121,6 @@ func (c *Context) NewQP() *QP {
 		slots:   make([]recvSlot, cfg.Slots()),
 		ctsSize: make(map[uint64]uint64),
 	}
-	qp.sendCond = sync.NewCond(&qp.sendMu)
 	qp.chQPs = make([][]*nicsim.UCQP, cfg.Generations)
 	qp.chCQs = make([][]*nicsim.CQ, cfg.Generations)
 	for g := 0; g < cfg.Generations; g++ {
@@ -207,6 +209,9 @@ func (qp *QP) ConnectViaOOB(wire nicsim.Wire, oob *fabric.OOB, sideA bool, remot
 // Config returns the QP's effective configuration.
 func (qp *QP) Config() Config { return qp.cfg }
 
+// Clock returns the clock this QP's deployment runs on.
+func (qp *QP) Clock() clock.Clock { return qp.ctx.clk }
+
 // Stats snapshots the QP counters.
 func (qp *QP) Stats() Stats {
 	return Stats{
@@ -269,19 +274,23 @@ func (qp *QP) DeliverCTS(msg []byte) {
 		qp.ctsHigh = seq + 1
 	}
 	qp.sendMu.Unlock()
-	qp.sendCond.Broadcast()
+	qp.ctx.clk.Notify()
 }
 
 // waitCTS blocks until the peer posted the receive matching seq and
-// returns its size.
+// returns its size. The epoch is snapshotted before each check, so a
+// CTS that lands between the check and the wait wakes it immediately.
 func (qp *QP) waitCTS(seq uint64) uint64 {
-	qp.sendMu.Lock()
-	defer qp.sendMu.Unlock()
+	clk := qp.ctx.clk
 	for {
+		epoch := clk.Epoch()
+		qp.sendMu.Lock()
 		if size, ok := qp.ctsSize[seq]; ok {
 			delete(qp.ctsSize, seq)
+			qp.sendMu.Unlock()
 			return size
 		}
-		qp.sendCond.Wait()
+		qp.sendMu.Unlock()
+		clk.WaitNotify(epoch, -1)
 	}
 }

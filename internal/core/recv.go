@@ -193,5 +193,11 @@ func (qp *QP) backendHandle(gen uint32, cqe *nicsim.CQE) {
 		// the PCIe update of the host chunk bitmap (already performed
 		// inside MarkPacket, §3.4.2); account for it.
 		qp.ctx.pool.PCIeWrites.Add(1)
+		if h.msg.Complete() {
+			// Message fully delivered: wake pollers (reliability
+			// receivers) blocked on the clock so completion is
+			// observed at the delivery instant, not a poll tick later.
+			qp.ctx.clk.Notify()
+		}
 	}
 }

@@ -57,6 +57,7 @@ func (w *Worker) run() {
 type Pool struct {
 	mu      sync.Mutex
 	workers []*Worker
+	sync    bool
 	// PCIeWrites counts host-memory updates performed by handlers
 	// (chunk-bitmap writes over PCIe, §3.4.2); handlers increment it.
 	PCIeWrites atomic.Uint64
@@ -65,12 +66,33 @@ type Pool struct {
 // NewPool creates an empty pool.
 func NewPool() *Pool { return &Pool{} }
 
+// SetSynchronous switches subsequently spawned workers to synchronous
+// mode: instead of a poller goroutine, the worker installs itself as
+// the CQ's sink and processes each completion inline in the producer's
+// call. Virtual-clock deployments require this — packet processing
+// must happen inside the delivery event, not on a free-running
+// goroutine the discrete-event scheduler cannot see.
+func (p *Pool) SetSynchronous(sync bool) {
+	p.mu.Lock()
+	p.sync = sync
+	p.mu.Unlock()
+}
+
 // Spawn starts a worker draining cq with handler and returns it.
 func (p *Pool) Spawn(cq *nicsim.CQ, handler Handler) *Worker {
 	w := &Worker{cq: cq, handler: handler, done: make(chan struct{})}
 	p.mu.Lock()
 	p.workers = append(p.workers, w)
+	sync := p.sync
 	p.mu.Unlock()
+	if sync {
+		close(w.done) // nothing to join at Stop time
+		cq.SetSink(func(cqe nicsim.CQE) {
+			w.handler(&cqe)
+			w.Processed.Add(1)
+		})
+		return w
+	}
 	go w.run()
 	return w
 }

@@ -76,6 +76,10 @@ type Options struct {
 	Seed int64
 	// Duration (seconds) for functional throughput measurements.
 	DurationSec float64
+	// RealClock runs the WAN functional figures against the wall clock
+	// instead of the default deterministic virtual clock — the
+	// before/after comparison for the virtual-clock migration.
+	RealClock bool
 }
 
 // WithDefaults fills zero fields.

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+
+	"sdrrdma/internal/clock"
+)
+
+// The virtual-vs-real pair below is the headline wall-clock number for
+// the virtual-clock migration (tracked in BENCH_protosim.json): the
+// identical WAN scenario — one reliable 8 MiB SR transfer at 25 ms RTT
+// and P_drop = 1e-2 through the full functional stack — measured on
+// each clock backend. The real clock pays the genuine RTTs, RTO waits
+// and ACK linger; the virtual clock pays only the CPU cost of the
+// packet events.
+func benchWANScenario(b *testing.B, clk func() clock.Clock) {
+	for i := 0; i < b.N; i++ {
+		if _, err := runWANReliability(clk(), "sr", 1e-2, wanMsgBytes, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWANVirtual(b *testing.B) {
+	benchWANScenario(b, func() clock.Clock { return clock.NewVirtual() })
+}
+
+func BenchmarkWANReal(b *testing.B) {
+	benchWANScenario(b, func() clock.Clock { return clock.Realtime() })
+}

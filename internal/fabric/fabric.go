@@ -1,10 +1,16 @@
 // Package fabric is the in-process wire connecting simulated NIC
 // devices. Each direction of a link applies a configurable impairment
-// pipeline — drop, duplication, latency, jitter-induced reordering —
-// before delivering packets to the peer device, standing in for the
-// long-haul ISP channel of §2.1. Test hooks can intercept individual
-// packets (drop the Nth, hold one and release it later) to exercise
-// SDR's late-packet protection (§3.3).
+// pipeline — drop, duplication, latency, jitter-induced reordering,
+// optional bandwidth serialization — before delivering packets to the
+// peer device, standing in for the long-haul ISP channel of §2.1. Test
+// hooks can intercept individual packets (drop the Nth, hold one and
+// release it later) to exercise SDR's late-packet protection (§3.3).
+//
+// All timed behaviour goes through a clock.Clock: with the default
+// real clock, delayed deliveries ride time.AfterFunc exactly as
+// before; with a clock.Virtual, they become discrete events on the
+// virtual timeline, so WAN-latency scenarios run at simulation speed
+// and a fixed seed reproduces the identical delivery trace.
 package fabric
 
 import (
@@ -13,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/nicsim"
 )
 
@@ -38,6 +45,12 @@ type Config struct {
 	// delivery in the caller's goroutine — the fast path used by the
 	// throughput experiments).
 	Latency time.Duration
+	// BandwidthBps, when positive, serializes packets onto the wire at
+	// this line rate: a packet's delivery is delayed by queueing behind
+	// earlier packets plus its own transmission time, in addition to
+	// Latency. Zero keeps the wire infinitely fast (the seed
+	// behaviour).
+	BandwidthBps float64
 	// DropProb drops packets i.i.d.
 	DropProb float64
 	// DuplicateProb delivers a deep copy of the packet twice.
@@ -48,15 +61,22 @@ type Config struct {
 	ReorderExtra time.Duration
 	// Seed makes the impairments reproducible.
 	Seed int64
+	// Clock supplies delivery timing; nil uses the shared real clock.
+	Clock clock.Clock
 }
 
 // Direction is one half of a link; it implements nicsim.Wire.
 type Direction struct {
 	cfg  Config
+	clk  clock.Clock
 	dst  *nicsim.Device
 	rmu  sync.Mutex
 	rng  *rand.Rand
 	icpt atomic.Pointer[Interceptor]
+
+	// freeAt is when the serializing wire next becomes idle (guarded
+	// by rmu; only used when BandwidthBps > 0).
+	freeAt time.Time
 
 	heldMu sync.Mutex
 	held   []*nicsim.Packet
@@ -72,7 +92,12 @@ type Direction struct {
 // NewDirection builds a standalone direction toward dst (links are
 // made of two).
 func NewDirection(dst *nicsim.Device, cfg Config) *Direction {
-	return &Direction{cfg: cfg, dst: dst, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Direction{
+		cfg: cfg,
+		clk: clock.Or(cfg.Clock),
+		dst: dst,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
 }
 
 // SetInterceptor installs (or clears, with nil) the packet hook.
@@ -101,25 +126,55 @@ func (d *Direction) Send(pkt *nicsim.Packet) {
 		}
 	}
 	var dup bool
-	var extra time.Duration
-	if d.cfg.DropProb > 0 || d.cfg.DuplicateProb > 0 || d.cfg.ReorderProb > 0 {
+	var extra, serDelay, dupSerDelay time.Duration
+	needRNG := d.cfg.DropProb > 0 || d.cfg.DuplicateProb > 0 || d.cfg.ReorderProb > 0
+	if needRNG || d.cfg.BandwidthBps > 0 {
 		d.rmu.Lock()
+		var tx time.Duration
+		if d.cfg.BandwidthBps > 0 {
+			// The sender uplink serializes every offered packet —
+			// including ones the downstream ISP channel will drop — so
+			// wire time is booked before the loss draw.
+			bits := float64(len(pkt.Payload)+nicsim.HeaderBytes) * 8
+			tx = time.Duration(bits / d.cfg.BandwidthBps * float64(time.Second))
+			serDelay = d.occupyLocked(tx)
+		}
 		if d.cfg.DropProb > 0 && d.rng.Float64() < d.cfg.DropProb {
 			d.rmu.Unlock()
 			d.Dropped.Add(1)
 			return
 		}
-		dup = d.cfg.DuplicateProb > 0 && d.rng.Float64() < d.cfg.DuplicateProb
-		if d.cfg.ReorderProb > 0 && d.rng.Float64() < d.cfg.ReorderProb {
-			extra = d.cfg.ReorderExtra
+		if needRNG {
+			dup = d.cfg.DuplicateProb > 0 && d.rng.Float64() < d.cfg.DuplicateProb
+			if d.cfg.ReorderProb > 0 && d.rng.Float64() < d.cfg.ReorderProb {
+				extra = d.cfg.ReorderExtra
+			}
+		}
+		if dup && d.cfg.BandwidthBps > 0 {
+			// The duplicate serializes separately, one transmission
+			// time behind its original.
+			dupSerDelay = d.occupyLocked(tx)
 		}
 		d.rmu.Unlock()
 	}
-	d.deliver(pkt, d.cfg.Latency+extra)
+	d.deliver(pkt, d.cfg.Latency+extra+serDelay)
 	if dup {
 		d.Duplicated.Add(1)
-		d.deliver(pkt.Clone(), d.cfg.Latency+extra)
+		d.deliver(pkt.Clone(), d.cfg.Latency+extra+dupSerDelay)
 	}
+}
+
+// occupyLocked books tx of wire time starting when the link is next
+// free and returns the queueing + transmission delay experienced
+// before propagation starts. Caller holds rmu.
+func (d *Direction) occupyLocked(tx time.Duration) time.Duration {
+	now := d.clk.Now()
+	start := d.freeAt
+	if start.Before(now) {
+		start = now
+	}
+	d.freeAt = start.Add(tx)
+	return d.freeAt.Sub(now)
 }
 
 func (d *Direction) deliver(pkt *nicsim.Packet, delay time.Duration) {
@@ -127,7 +182,7 @@ func (d *Direction) deliver(pkt *nicsim.Packet, delay time.Duration) {
 		d.dst.Deliver(pkt)
 		return
 	}
-	time.AfterFunc(delay, func() { d.dst.Deliver(pkt) })
+	d.clk.AfterFunc(delay, func() { d.dst.Deliver(pkt) })
 }
 
 // ReleaseHeld delivers every held packet immediately (late arrival)
@@ -164,59 +219,134 @@ func Symmetric(a, b *nicsim.Device, cfg Config) *Link {
 
 // OOB is the reliable, ordered out-of-band channel applications use
 // for bootstrap (QP info exchange, CTS): the role TCP plays for real
-// RDMA deployments. Delivery honours the link latency but never
-// drops.
+// RDMA deployments. Delivery honours the link latency but never drops,
+// and — unlike the data fabric — is strictly FIFO per direction on
+// every clock backend: messages carry their enqueue order and a single
+// dispatcher drains them in that order, so concurrent timer callbacks
+// can never reorder a channel documented as "reliable, ordered" (the
+// old time.AfterFunc-per-message scheme could).
 type OOB struct {
-	latency            time.Duration
-	mu                 sync.Mutex
-	aHandler, bHandler func([]byte)
-	// queues buffer messages that arrive before a handler registers.
-	toA, toB [][]byte
+	clk     clock.Clock
+	latency time.Duration
+	mu      sync.Mutex
+	a, b    oobEnd
 }
 
-// NewOOB creates an out-of-band channel with the given one-way latency.
-func NewOOB(latency time.Duration) *OOB { return &OOB{latency: latency} }
+// oobEnd is one delivery direction's state.
+type oobEnd struct {
+	handler func([]byte)
+	// backlog holds messages whose latency elapsed before a handler
+	// registered.
+	backlog [][]byte
+	// queue holds in-flight messages in send (= sequence) order.
+	queue []oobPending
+	// timerArmed: a delivery timer for queue[0] is pending.
+	timerArmed bool
+	// dispatching: a drain loop is live; it re-checks the queue before
+	// exiting, so nobody else may start a second (ordering!).
+	dispatching bool
+}
+
+type oobPending struct {
+	due time.Time
+	msg []byte
+}
+
+// NewOOB creates an out-of-band channel with the given one-way latency
+// on the given clock (nil = shared real clock).
+func NewOOB(clk clock.Clock, latency time.Duration) *OOB {
+	return &OOB{clk: clock.Or(clk), latency: latency}
+}
 
 // HandleA registers the receive callback for endpoint A and flushes
 // any queued messages to it.
-func (o *OOB) HandleA(fn func([]byte)) { o.setHandler(&o.aHandler, &o.toA, fn) }
+func (o *OOB) HandleA(fn func([]byte)) { o.setHandler(&o.a, fn) }
 
 // HandleB registers the receive callback for endpoint B.
-func (o *OOB) HandleB(fn func([]byte)) { o.setHandler(&o.bHandler, &o.toB, fn) }
+func (o *OOB) HandleB(fn func([]byte)) { o.setHandler(&o.b, fn) }
 
-func (o *OOB) setHandler(slot *func([]byte), backlog *[][]byte, fn func([]byte)) {
+func (o *OOB) setHandler(e *oobEnd, fn func([]byte)) {
 	o.mu.Lock()
-	*slot = fn
-	queued := *backlog
-	*backlog = nil
+	e.handler = fn
+	// Backlogged messages flush through the same single-flight drain
+	// as timed deliveries, so a message already due cannot overtake
+	// one that arrived before the handler registered.
+	o.drainLocked(e)
 	o.mu.Unlock()
-	for _, msg := range queued {
-		fn(msg)
-	}
 }
 
 // SendToB transmits from A to B reliably.
-func (o *OOB) SendToB(msg []byte) { o.send(&o.bHandler, &o.toB, msg) }
+func (o *OOB) SendToB(msg []byte) { o.send(&o.b, msg) }
 
 // SendToA transmits from B to A reliably.
-func (o *OOB) SendToA(msg []byte) { o.send(&o.aHandler, &o.toA, msg) }
+func (o *OOB) SendToA(msg []byte) { o.send(&o.a, msg) }
 
-func (o *OOB) send(slot *func([]byte), backlog *[][]byte, msg []byte) {
+func (o *OOB) send(e *oobEnd, msg []byte) {
 	msg = append([]byte(nil), msg...)
-	dispatch := func() {
-		o.mu.Lock()
-		fn := *slot
-		if fn == nil {
-			*backlog = append(*backlog, msg)
-			o.mu.Unlock()
-			return
-		}
-		o.mu.Unlock()
-		fn(msg)
-	}
+	o.mu.Lock()
+	e.queue = append(e.queue, oobPending{due: o.clk.Now().Add(o.latency), msg: msg})
 	if o.latency <= 0 {
-		dispatch()
+		// Zero-latency fast path: the message is already due, deliver
+		// it in the caller's goroutine (through the same drain, so it
+		// cannot overtake anything still pending).
+		o.drainLocked(e)
+	} else if !e.timerArmed && !e.dispatching {
+		e.timerArmed = true
+		o.clk.AfterFunc(o.latency, func() { o.pump(e) })
+	}
+	o.mu.Unlock()
+}
+
+// pump is the delivery timer callback.
+func (o *OOB) pump(e *oobEnd) {
+	o.mu.Lock()
+	e.timerArmed = false
+	o.drainLocked(e)
+	o.mu.Unlock()
+}
+
+// drainLocked delivers, in sequence order, every backlogged message
+// (once a handler exists) and every due queued message of one
+// direction. The dispatching flag makes the drain single-flight:
+// callers that find a drain live return immediately — the live drain
+// re-checks handler, backlog and queue on every iteration, so it picks
+// their work up in order. That is what makes the channel strictly FIFO
+// per direction even when timer callbacks fire concurrently on the
+// real clock. Caller holds o.mu; the lock is released around handler
+// invocations (handlers send packets and may call back into the OOB).
+func (o *OOB) drainLocked(e *oobEnd) {
+	if e.dispatching {
 		return
 	}
-	time.AfterFunc(o.latency, dispatch)
+	e.dispatching = true
+	for {
+		var msg []byte
+		switch {
+		case len(e.backlog) > 0 && e.handler != nil:
+			msg = e.backlog[0]
+			e.backlog = e.backlog[1:]
+		case len(e.queue) > 0 && !e.queue[0].due.After(o.clk.Now()):
+			msg = e.queue[0].msg
+			e.queue = e.queue[1:]
+			if e.handler == nil {
+				e.backlog = append(e.backlog, msg)
+				continue
+			}
+		default:
+			e.dispatching = false
+			if len(e.queue) > 0 && !e.timerArmed {
+				e.timerArmed = true
+				delay := e.queue[0].due.Sub(o.clk.Now())
+				if delay < time.Nanosecond {
+					delay = time.Nanosecond
+				}
+				o.clk.AfterFunc(delay, func() { o.pump(e) })
+			}
+			return
+		}
+		fn := e.handler
+		o.mu.Unlock()
+		fn(msg)
+		o.mu.Lock()
+	}
 }

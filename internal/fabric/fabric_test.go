@@ -1,10 +1,13 @@
 package fabric
 
 import (
+	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/nicsim"
 )
 
@@ -131,7 +134,7 @@ func TestInterceptorDropAndHold(t *testing.T) {
 }
 
 func TestOOBReliableOrdered(t *testing.T) {
-	oob := NewOOB(0)
+	oob := NewOOB(nil, 0)
 	var got []byte
 	oob.HandleB(func(msg []byte) { got = append(got, msg...) })
 	oob.SendToB([]byte("a"))
@@ -143,7 +146,7 @@ func TestOOBReliableOrdered(t *testing.T) {
 }
 
 func TestOOBBacklogBeforeHandler(t *testing.T) {
-	oob := NewOOB(0)
+	oob := NewOOB(nil, 0)
 	oob.SendToA([]byte("early"))
 	var got string
 	oob.HandleA(func(msg []byte) { got = string(msg) })
@@ -153,7 +156,7 @@ func TestOOBBacklogBeforeHandler(t *testing.T) {
 }
 
 func TestOOBLatency(t *testing.T) {
-	oob := NewOOB(10 * time.Millisecond)
+	oob := NewOOB(nil, 10*time.Millisecond)
 	done := make(chan time.Time, 1)
 	oob.HandleB(func([]byte) { done <- time.Now() })
 	start := time.Now()
@@ -165,6 +168,187 @@ func TestOOBLatency(t *testing.T) {
 		}
 	case <-time.After(time.Second):
 		t.Fatal("OOB message never delivered")
+	}
+}
+
+// traceSink records (virtual time, immediate) delivery events through a
+// UD QP whose CQ is in synchronous sink mode, so the trace is exact on
+// the virtual clock.
+type traceSink struct {
+	dev  *nicsim.Device
+	qpn  uint32
+	rows []string
+}
+
+func newTraceSink(vc *clock.Virtual) *traceSink {
+	ts := &traceSink{dev: nicsim.NewDevice("sink")}
+	cq := nicsim.NewCQ(1<<16, true)
+	ud := nicsim.NewUDQP(ts.dev, 4096, cq)
+	buf := make([]byte, 64)
+	for i := 0; i < 1<<12; i++ {
+		ud.PostRecv(buf, uint64(i))
+	}
+	cq.SetSink(func(cqe nicsim.CQE) {
+		ts.rows = append(ts.rows, fmt.Sprintf("%v:%d", vc.Elapsed(), cqe.Imm))
+	})
+	ts.qpn = ud.QPN()
+	return ts
+}
+
+// Sends through drop+duplicate+reorder impairments on the virtual
+// clock must yield the exact same delivery trace — instants and order —
+// for a fixed seed, on every run and GOMAXPROCS setting.
+func TestVirtualImpairmentsDeterministicTrace(t *testing.T) {
+	run := func() []string {
+		vc := clock.NewVirtual()
+		ts := newTraceSink(vc)
+		dir := NewDirection(ts.dev, Config{
+			Latency:       5 * time.Millisecond,
+			DropProb:      0.2,
+			DuplicateProb: 0.1,
+			ReorderProb:   0.3,
+			ReorderExtra:  7 * time.Millisecond,
+			Seed:          9,
+			Clock:         vc,
+		})
+		vc.Go(func() {
+			for i := 0; i < 400; i++ {
+				dir.Send(&nicsim.Packet{Opcode: nicsim.OpSend, DstQPN: ts.qpn,
+					Imm: uint32(i), HasImm: true, First: true, Last: true,
+					Payload: []byte("payload")})
+				vc.Sleep(100 * time.Microsecond)
+			}
+			vc.Sleep(50 * time.Millisecond) // let stragglers land
+		})
+		vc.Run()
+		if dir.Dropped.Load() == 0 || dir.Duplicated.Load() == 0 {
+			t.Fatalf("impairments idle: dropped=%d duplicated=%d",
+				dir.Dropped.Load(), dir.Duplicated.Load())
+		}
+		return ts.rows
+	}
+	first := run()
+	prev := runtime.GOMAXPROCS(1)
+	second := run()
+	runtime.GOMAXPROCS(prev)
+	if len(first) == 0 {
+		t.Fatal("no deliveries recorded")
+	}
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatal("same seed produced different delivery traces")
+	}
+}
+
+// Interceptor Hold/ReleaseHeld must work identically on the virtual
+// clock: the held packet arrives exactly when released — the "late
+// packet" generator for §3.3 tests.
+func TestInterceptorHoldReleaseVirtual(t *testing.T) {
+	vc := clock.NewVirtual()
+	ts := newTraceSink(vc)
+	dir := NewDirection(ts.dev, Config{Latency: time.Millisecond, Clock: vc})
+	held := 0
+	dir.SetInterceptor(func(p *nicsim.Packet) Verdict {
+		if p.Imm == 1 && held == 0 {
+			held++
+			return Hold
+		}
+		return Pass
+	})
+	vc.Go(func() {
+		for i := 0; i < 3; i++ {
+			dir.Send(&nicsim.Packet{Opcode: nicsim.OpSend, DstQPN: ts.qpn,
+				Imm: uint32(i), HasImm: true, First: true, Last: true})
+		}
+		vc.Sleep(30 * time.Millisecond)
+		if n := dir.ReleaseHeld(); n != 1 {
+			t.Errorf("ReleaseHeld = %d, want 1", n)
+		}
+	})
+	vc.Run()
+	want := []string{"1ms:0", "1ms:2", "30ms:1"}
+	if fmt.Sprint(ts.rows) != fmt.Sprint(want) {
+		t.Fatalf("trace = %v, want %v", ts.rows, want)
+	}
+	if dir.HeldCount.Load() != 1 {
+		t.Fatalf("HeldCount = %d", dir.HeldCount.Load())
+	}
+}
+
+// Bandwidth serialization on the virtual clock is exact: each packet
+// occupies the wire for its transmission time before propagating.
+func TestBandwidthSerializationVirtual(t *testing.T) {
+	vc := clock.NewVirtual()
+	ts := newTraceSink(vc)
+	// 1000 B frames (936 payload + 64 header) at 1 Mbit/s: 8 ms of
+	// wire time each, plus 10 ms propagation.
+	dir := NewDirection(ts.dev, Config{
+		Latency:      10 * time.Millisecond,
+		BandwidthBps: 1e6,
+		Clock:        vc,
+	})
+	vc.Go(func() {
+		payload := make([]byte, 936)
+		for i := 0; i < 2; i++ {
+			dir.Send(&nicsim.Packet{Opcode: nicsim.OpSend, DstQPN: ts.qpn,
+				Imm: uint32(i), HasImm: true, First: true, Last: true,
+				Payload: payload})
+		}
+		vc.Sleep(100 * time.Millisecond)
+	})
+	vc.Run()
+	want := []string{"18ms:0", "26ms:1"}
+	if fmt.Sprint(ts.rows) != fmt.Sprint(want) {
+		t.Fatalf("trace = %v, want %v", ts.rows, want)
+	}
+}
+
+// The OOB channel is documented "reliable, ordered": a burst of delayed
+// sends must arrive strictly in order even on the real clock, where the
+// old AfterFunc-per-message dispatch let concurrent timer callbacks
+// overtake each other (the reorder hole this regression pins down).
+func TestOOBFIFOUnderLoadRealClock(t *testing.T) {
+	oob := NewOOB(nil, 50*time.Microsecond)
+	const n = 2000
+	done := make(chan int, 1)
+	next := 0
+	oob.HandleB(func(msg []byte) {
+		got := int(msg[0])<<8 | int(msg[1])
+		if got != next {
+			t.Errorf("OOB reordered: got %d, want %d", got, next)
+		}
+		next++
+		if next == n {
+			done <- n
+		}
+	})
+	for i := 0; i < n; i++ {
+		oob.SendToB([]byte{byte(i >> 8), byte(i)})
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("OOB delivered %d/%d messages", next, n)
+	}
+}
+
+// Same FIFO contract on the virtual clock, including messages queued
+// behind a not-yet-registered handler.
+func TestOOBFIFOVirtual(t *testing.T) {
+	vc := clock.NewVirtual()
+	oob := NewOOB(vc, 3*time.Millisecond)
+	var got []byte
+	vc.Go(func() {
+		oob.SendToB([]byte{0}) // in flight before the handler exists
+		vc.Sleep(10 * time.Millisecond)
+		oob.HandleB(func(msg []byte) { got = append(got, msg[0]) })
+		for i := byte(1); i <= 5; i++ {
+			oob.SendToB([]byte{i})
+		}
+		vc.Sleep(10 * time.Millisecond)
+	})
+	vc.Run()
+	if fmt.Sprint(got) != fmt.Sprint([]byte{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("OOB virtual order = %v", got)
 	}
 }
 

@@ -23,6 +23,11 @@ type CQ struct {
 	// CQE (real CQ overrun), false blocks the producer.
 	overrun bool
 	hasData chan struct{} // 1-buffered wakeup signal for the poller
+	// sink, when set, consumes completions synchronously in the
+	// producer's call: Push invokes it instead of enqueueing. Virtual-
+	// clock deployments use it so packet processing happens inside the
+	// delivery event rather than on a free-running poller goroutine.
+	sink func(CQE)
 }
 
 // NewCQ creates a completion queue with the given capacity. If overrun
@@ -39,9 +44,29 @@ func NewCQ(capacity int, overrun bool) *CQ {
 	return cq
 }
 
-// Push appends a completion.
+// SetSink switches the queue to synchronous delivery: every subsequent
+// Push invokes fn inline (in the producer's goroutine) and nothing is
+// buffered, so Poll/Wait see an always-empty queue. Install the sink
+// before traffic starts; it cannot be combined with concurrent
+// Poll-based consumption.
+func (q *CQ) SetSink(fn func(CQE)) {
+	q.mu.Lock()
+	q.sink = fn
+	q.mu.Unlock()
+}
+
+// Push appends a completion (or hands it to the sink).
 func (q *CQ) Push(e CQE) {
 	q.mu.Lock()
+	if q.sink != nil {
+		fn := q.sink
+		closed := q.closed
+		q.mu.Unlock()
+		if !closed {
+			fn(e)
+		}
+		return
+	}
 	for q.count == len(q.buf) && !q.closed {
 		if q.overrun {
 			q.mu.Unlock()

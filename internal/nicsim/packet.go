@@ -47,6 +47,11 @@ func (o Opcode) String() string {
 	}
 }
 
+// HeaderBytes approximates the per-packet wire overhead (Ethernet +
+// IP/UDP + BTH/RETH + ICRC of a RoCEv2 frame) charged by fabrics that
+// model bandwidth serialization.
+const HeaderBytes = 64
+
 // Packet is one wire packet (at most one MTU of payload).
 type Packet struct {
 	Opcode Opcode

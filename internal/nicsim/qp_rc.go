@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sdrrdma/internal/clock"
 )
 
 // RCQP is a Reliable Connection queue pair implementing the
@@ -15,6 +17,7 @@ import (
 // reliability is a poor fit for long-haul links.
 type RCQP struct {
 	dev  *Device
+	clk  clock.Clock
 	qpn  uint32
 	mtu  int
 	wire Wire
@@ -25,7 +28,7 @@ type RCQP struct {
 	unacked  []*Packet // retransmission queue, ordered by PSN
 	wrs      []rcWR    // in-flight work requests, ordered by lastPSN
 	rto      time.Duration
-	timer    *time.Timer
+	timer    clock.Timer
 	closed   bool
 	ackEvery int
 
@@ -52,16 +55,18 @@ type rcWR struct {
 	lastPSN uint32
 }
 
-// NewRCQP creates an RC queue pair. rto is the retransmission timeout;
+// NewRCQP creates an RC queue pair. clk drives the retransmission
+// timer (nil = shared real clock); rto is the retransmission timeout;
 // ackEvery coalesces receiver ACKs (1 acks every packet).
-func NewRCQP(dev *Device, mtu int, recvCQ, sendCQ *CQ, rto time.Duration, ackEvery int) *RCQP {
+func NewRCQP(dev *Device, clk clock.Clock, mtu int, recvCQ, sendCQ *CQ, rto time.Duration, ackEvery int) *RCQP {
 	if recvCQ == nil {
 		panic("nicsim: RC QP requires a receive CQ")
 	}
 	if ackEvery <= 0 {
 		ackEvery = 1
 	}
-	qp := &RCQP{dev: dev, mtu: mtu, recvCQ: recvCQ, sendCQ: sendCQ, rto: rto, ackEvery: ackEvery}
+	qp := &RCQP{dev: dev, clk: clock.Or(clk), mtu: mtu, recvCQ: recvCQ, sendCQ: sendCQ,
+		rto: rto, ackEvery: ackEvery}
 	qp.qpn = dev.addQP(qp)
 	return qp
 }
@@ -136,7 +141,7 @@ func (qp *RCQP) armTimerLocked() {
 		return
 	}
 	if qp.timer == nil {
-		qp.timer = time.AfterFunc(qp.rto, qp.onTimeout)
+		qp.timer = qp.clk.AfterFunc(qp.rto, qp.onTimeout)
 	} else {
 		qp.timer.Reset(qp.rto)
 	}

@@ -34,8 +34,8 @@ func rcPair(t *testing.T, mtu int, loss float64, rto time.Duration) (*Device, *D
 	devA, devB := NewDevice("a"), NewDevice("b")
 	recvCQB := NewCQ(1<<14, false)
 	sendCQA := NewCQ(1<<14, false)
-	qpA := NewRCQP(devA, mtu, NewCQ(16, false), sendCQA, rto, 4)
-	qpB := NewRCQP(devB, mtu, recvCQB, nil, rto, 4)
+	qpA := NewRCQP(devA, nil, mtu, NewCQ(16, false), sendCQA, rto, 4)
+	qpB := NewRCQP(devB, nil, mtu, recvCQB, nil, rto, 4)
 	qpA.Connect(&lossyWire{dst: devB, rng: rand.New(rand.NewSource(1)), p: loss}, qpB.QPN())
 	qpB.Connect(&lossyWire{dst: devA, rng: rand.New(rand.NewSource(2)), p: loss}, qpA.QPN())
 	t.Cleanup(func() { qpA.Close(); qpB.Close() })
@@ -123,8 +123,8 @@ func TestRCNakTriggersFastResend(t *testing.T) {
 	// should trigger resend well before the (long) RTO.
 	devA, devB := NewDevice("a"), NewDevice("b")
 	recvCQB := NewCQ(64, false)
-	qpA := NewRCQP(devA, 8, NewCQ(16, false), nil, 10*time.Second, 1)
-	qpB := NewRCQP(devB, 8, recvCQB, nil, 10*time.Second, 1)
+	qpA := NewRCQP(devA, nil, 8, NewCQ(16, false), nil, 10*time.Second, 1)
+	qpB := NewRCQP(devB, nil, 8, recvCQB, nil, 10*time.Second, 1)
 	defer qpA.Close()
 	defer qpB.Close()
 

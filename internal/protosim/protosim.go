@@ -44,6 +44,7 @@
 package protosim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -74,6 +75,14 @@ type Config struct {
 	Code string
 	// Beta is the EC fallback-timeout slack (§4.2.3; default 1).
 	Beta float64
+	// MaxEvents bounds the engine events one sample may fire. A
+	// divergent configuration — e.g. Go-Back-N whose window timer
+	// expires before a chunk can even serialize, resending forever —
+	// would otherwise loop in virtual time without ever draining the
+	// queue; the budget turns that into ErrEventBudget. Zero derives a
+	// generous default from the chunk count (far above what any
+	// converging run uses).
+	MaxEvents int64
 }
 
 // WithDefaults fills zero fields.
@@ -100,19 +109,45 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// validate rejects unknown schemes/codes. cfg must already have
-// defaults applied.
+// ErrEventBudget is wrapped by errors reported when a sample exhausts
+// its event budget — the diagnosable form of a divergent configuration
+// that would otherwise simulate forever.
+var ErrEventBudget = errors.New("protosim: event budget exhausted")
+
+// eventBudget returns the effective per-sample event cap.
+func eventBudget(cfg Config, nchunks int) int64 {
+	if cfg.MaxEvents > 0 {
+		return cfg.MaxEvents
+	}
+	// ~5 events per chunk per delivery round, and heavy-loss GBN can
+	// resend its window per drop: 10k·chunks (plus slack for tiny
+	// messages) is orders of magnitude above any converging campaign.
+	return 100_000 + 10_000*int64(nchunks)
+}
+
+// validate rejects unknown schemes/codes and configurations known to
+// diverge. cfg must already have defaults applied.
 func validate(cfg Config) error {
 	switch cfg.Scheme {
-	case "sr", "sr-nack", "gbn":
-		return nil
+	case "sr", "sr-nack":
+	case "gbn":
+		// Real protocol property, not a simulator artifact: if the
+		// window timer expires before a chunk finishes serializing, the
+		// sender restarts the window forever and never completes. Catch
+		// it at config time instead of burning the event budget.
+		if rto := cfg.RTOFactor * cfg.Ch.RTT(); rto <= cfg.Ch.ChunkInjectionTime() {
+			return fmt.Errorf(
+				"protosim: gbn diverges: RTO %.3gs (RTOFactor %g · RTT %.3gs) ≤ chunk injection time %.3gs — raise RTOFactor, shrink chunks or widen the link",
+				rto, cfg.RTOFactor, cfg.Ch.RTT(), cfg.Ch.ChunkInjectionTime())
+		}
 	case "ec":
 		if cfg.Code != "mds" && cfg.Code != "xor" {
 			return fmt.Errorf("protosim: unknown code %q", cfg.Code)
 		}
-		return nil
+	default:
+		return fmt.Errorf("protosim: unknown scheme %q", cfg.Scheme)
 	}
-	return fmt.Errorf("protosim: unknown scheme %q", cfg.Scheme)
+	return nil
 }
 
 // Simulate returns one sample of the sender-side completion time for a
@@ -123,13 +158,15 @@ func validate(cfg Config) error {
 // transfer completing, Simulate returns +Inf. A config whose event
 // queue never drains — e.g. Go-Back-N with RTO < T_inj, whose window
 // timer keeps firing and resending before the first chunk finishes
-// serializing — diverges in virtual time and does not return.
+// serializing — is rejected up front by the config sanity check when
+// the divergence is predictable, and otherwise stopped by the
+// per-sample event budget with an error wrapping ErrEventBudget.
 func Simulate(cfg Config, rng *rand.Rand, msgBytes int64) (float64, error) {
 	cfg = cfg.WithDefaults()
 	if err := validate(cfg); err != nil {
 		return 0, err
 	}
-	return newRunner().simulate(cfg, rng, msgBytes), nil
+	return newRunner().simulate(cfg, rng, msgBytes)
 }
 
 // Sample draws n completion times with a deterministic seed. The
@@ -144,14 +181,21 @@ func Sample(cfg Config, msgBytes int64, n int, seed int64) ([]float64, error) {
 	}
 	out := make([]float64, n)
 	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
 	body := func(r *runner) {
-		for {
+		for firstErr.Load() == nil {
 			i := int(next.Add(1)) - 1
 			if i >= n {
 				return
 			}
 			r.rng.Seed(sampleSeed(seed, i))
-			out[i] = r.simulate(cfg, r.rng, msgBytes)
+			v, err := r.simulate(cfg, r.rng, msgBytes)
+			if err != nil {
+				err = fmt.Errorf("sample %d: %w", i, err)
+				firstErr.CompareAndSwap(nil, &err)
+				return
+			}
+			out[i] = v
 		}
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -160,17 +204,20 @@ func Sample(cfg Config, msgBytes int64, n int, seed int64) ([]float64, error) {
 	}
 	if workers <= 1 {
 		body(newRunner())
-		return out, nil
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				body(newRunner())
+			}()
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			body(newRunner())
-		}()
+	if errp := firstErr.Load(); errp != nil {
+		return nil, *errp
 	}
-	wg.Wait()
 	return out, nil
 }
 
@@ -207,7 +254,7 @@ func newRunner() *runner {
 // validated (Simulate and Sample both do this once, not per sample);
 // each scheme's run() leaves the engine Reset, so samples chain with
 // no per-sample prologue.
-func (r *runner) simulate(cfg Config, rng *rand.Rand, msgBytes int64) float64 {
+func (r *runner) simulate(cfg Config, rng *rand.Rand, msgBytes int64) (float64, error) {
 	nchunks := cfg.Ch.ChunksIn(msgBytes)
 	switch cfg.Scheme {
 	case "sr":
@@ -219,6 +266,23 @@ func (r *runner) simulate(cfg Config, rng *rand.Rand, msgBytes int64) float64 {
 	default: // "ec" — validate guarantees no other value reaches here
 		return r.ec.run(r.eng, cfg, rng, nchunks)
 	}
+}
+
+// drive steps the engine until *done, the queue drains, or the budget
+// runs out, returning the diagnosable budget error in the last case.
+// The engine is Reset on exit either way, so the runner stays reusable.
+func drive(eng *simnet.Engine, done *bool, budget int64, scheme string) error {
+	var steps int64
+	for !*done && eng.Step() {
+		if steps++; steps >= budget && !*done {
+			now, pending := eng.Now(), eng.Pending()
+			eng.Reset()
+			return fmt.Errorf("%w: %s fired %d events without completing (t=%.3gs, %d events still queued) — likely divergent (e.g. RTO below injection time)",
+				ErrEventBudget, scheme, steps, now, pending)
+		}
+	}
+	eng.Reset() // drop post-completion backstops without draining them
+	return nil
 }
 
 // reuse returns s resized to n with all elements zeroed, keeping the
@@ -318,7 +382,7 @@ type srSim struct {
 	doneAt float64
 }
 
-func (s *srSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int, nack bool) float64 {
+func (s *srSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int, nack bool) (float64, error) {
 	s.eng, s.rng, s.nack, s.nchunks = eng, rng, nack, nchunks
 	s.link = link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
 	s.half = cfg.Ch.RTT() / 2
@@ -340,13 +404,17 @@ func (s *srSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int,
 	for i := 0; i < nchunks; i++ {
 		s.send(int32(i))
 	}
-	for !s.done && eng.Step() {
+	scheme := "sr"
+	if nack {
+		scheme = "sr-nack"
 	}
-	eng.Reset() // drop post-completion backstops without draining them
+	if err := drive(eng, &s.done, eventBudget(cfg, nchunks), scheme); err != nil {
+		return 0, err
+	}
 	if !s.done {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
-	return s.doneAt
+	return s.doneAt, nil
 }
 
 func (s *srSim) send(i int32) { s.link.transmit(srTx, i, 0) }
@@ -476,7 +544,7 @@ type gbnSim struct {
 	doneAt float64
 }
 
-func (s *gbnSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int) float64 {
+func (s *gbnSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int) (float64, error) {
 	s.eng, s.rng, s.nchunks = eng, rng, nchunks
 	s.link = link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
 	s.half = cfg.Ch.RTT() / 2
@@ -493,13 +561,13 @@ func (s *gbnSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int
 	eng.SetHandler(s)
 	s.pump()
 	s.armTimer()
-	for !s.done && eng.Step() {
+	if err := drive(eng, &s.done, eventBudget(cfg, nchunks), "gbn"); err != nil {
+		return 0, err
 	}
-	eng.Reset() // cancel in-flight per-chunk events past completion
 	if !s.done {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
-	return s.doneAt
+	return s.doneAt, nil
 }
 
 func (s *gbnSim) armTimer() {
@@ -620,7 +688,7 @@ func (s *ecSim) realChunks(sub int) int {
 	return real
 }
 
-func (s *ecSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int) float64 {
+func (s *ecSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int) (float64, error) {
 	s.eng, s.rng, s.nchunks = eng, rng, nchunks
 	s.link = link{eng: eng, tinj: cfg.Ch.ChunkInjectionTime()}
 	s.half = cfg.Ch.RTT() / 2
@@ -669,13 +737,13 @@ func (s *ecSim) run(eng *simnet.Engine, cfg Config, rng *rand.Rand, nchunks int)
 			s.link.transmit(ecParityTx, int32(sub), 0)
 		}
 	}
-	for !s.done && eng.Step() {
+	if err := drive(eng, &s.done, eventBudget(cfg, nchunks), "ec"); err != nil {
+		return 0, err
 	}
-	eng.Reset()
 	if !s.done {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
-	return s.doneAt
+	return s.doneAt, nil
 }
 
 func (s *ecSim) HandleEvent(kind, a, b int32) {

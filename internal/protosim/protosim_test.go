@@ -1,6 +1,7 @@
 package protosim
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -165,6 +166,55 @@ func TestUnknownScheme(t *testing.T) {
 	}
 	if _, err := Simulate(Config{Ch: desChannel(0), Scheme: "ec", Code: "bogus"}, rand.New(rand.NewSource(1)), 1<<20); err == nil {
 		t.Fatal("unknown code accepted")
+	}
+}
+
+// GBN with RTO below the chunk serialization time restarts its window
+// forever (real protocol property, ROADMAP item): the config sanity
+// check must reject it up front instead of simulating forever.
+func TestGBNDivergentRTORejected(t *testing.T) {
+	// 64 KiB chunks on a 1 Gbit/s, 1 km link: T_inj ≈ 524 µs while
+	// 3·RTT ≈ 20 µs — the window timer can never be outrun.
+	ch := wan.Params{BandwidthBps: 1e9, DistanceKm: 1, MTUBytes: 4096, ChunkBytes: 64 << 10}
+	if _, err := Simulate(Config{Ch: ch, Scheme: "gbn"}, rand.New(rand.NewSource(1)), 1<<20); err == nil {
+		t.Fatal("divergent GBN config accepted")
+	}
+	// The same channel is fine for SR: its per-chunk RTO arms at
+	// serialization completion, not at send time.
+	if _, err := Simulate(Config{Ch: ch, Scheme: "sr"}, rand.New(rand.NewSource(1)), 1<<20); err != nil {
+		t.Fatalf("SR rejected on a channel that only breaks GBN: %v", err)
+	}
+	// A Sample campaign must report the same config error.
+	if _, err := Sample(Config{Ch: ch, Scheme: "gbn"}, 1<<20, 8, 1); err == nil {
+		t.Fatal("Sample accepted a divergent GBN config")
+	}
+}
+
+// The event budget is the backstop for divergence the sanity check
+// cannot predict: exhausting it must return a diagnosable error, not
+// hang, and must leave the runner reusable.
+func TestEventBudgetExhaustion(t *testing.T) {
+	cfg := Config{Ch: desChannel(1e-3), Scheme: "sr", MaxEvents: 50}
+	rng := rand.New(rand.NewSource(1))
+	_, err := Simulate(cfg, rng, 128<<20)
+	if !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("err = %v, want ErrEventBudget", err)
+	}
+	// Sample: the budget error must surface, not hang the campaign.
+	if _, err := Sample(cfg, 128<<20, 4, 1); !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("Sample err = %v, want ErrEventBudget", err)
+	}
+	// A runner that hit the budget must still be able to run a
+	// well-budgeted sample afterwards (engine Reset on the error path).
+	r := newRunner()
+	if _, err := r.simulate(cfg.WithDefaults(), rng, 128<<20); !errors.Is(err, ErrEventBudget) {
+		t.Fatalf("first run err = %v, want ErrEventBudget", err)
+	}
+	ok := cfg
+	ok.MaxEvents = 0
+	v, err := r.simulate(ok.WithDefaults(), rng, 1<<20)
+	if err != nil || math.IsInf(v, 1) {
+		t.Fatalf("runner unusable after budget hit: v=%g err=%v", v, err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/nicsim"
 )
 
@@ -34,9 +35,17 @@ type ecNackEntry struct {
 
 // ControlPlane is one side's control endpoint: a UD QP plus a
 // dispatcher routing inbound messages to per-operation channels.
+// Dispatch is synchronous: the CQ hands each completion to the control
+// plane inside the wire-delivery call (no poller goroutine), and every
+// routed message bumps the clock's notification epoch so blocked
+// senders/receivers re-check their state immediately — on the real
+// clock this removes a goroutine hop, on the virtual clock it is what
+// makes a blocked protocol loop wake at the exact delivery instant.
 type ControlPlane struct {
-	ud   *nicsim.UDQP
-	cq   *nicsim.CQ
+	ud  *nicsim.UDQP
+	cq  *nicsim.CQ
+	clk clock.Clock
+
 	peer uint32
 	mtu  int
 
@@ -47,12 +56,14 @@ type ControlPlane struct {
 }
 
 // NewControlPlane creates the control endpoint on dev transmitting via
-// wire. Call ConnectCtrl with the peer's QPN before use.
-func NewControlPlane(dev *nicsim.Device, wire nicsim.Wire, mtu int) *ControlPlane {
+// wire, waking clock waiters (nil = shared real clock) as messages
+// arrive. Call ConnectCtrl with the peer's QPN before use.
+func NewControlPlane(dev *nicsim.Device, wire nicsim.Wire, mtu int, clk clock.Clock) *ControlPlane {
 	cq := nicsim.NewCQ(4096, false)
 	cp := &ControlPlane{
 		ud:       nicsim.NewUDQP(dev, mtu, cq),
 		cq:       cq,
+		clk:      clock.Or(clk),
 		mtu:      mtu,
 		handlers: make(map[uint64]chan ctrlMsg),
 	}
@@ -63,7 +74,7 @@ func NewControlPlane(dev *nicsim.Device, wire nicsim.Wire, mtu int) *ControlPlan
 		cp.bufs = append(cp.bufs, buf)
 		cp.ud.PostRecv(buf, uint64(i))
 	}
-	go cp.dispatch()
+	cq.SetSink(cp.handleCQE)
 	return cp
 }
 
@@ -73,7 +84,7 @@ func (cp *ControlPlane) QPN() uint32 { return cp.ud.QPN() }
 // ConnectCtrl sets the peer control QPN.
 func (cp *ControlPlane) ConnectCtrl(peerQPN uint32) { cp.peer = peerQPN }
 
-// Close stops the dispatcher.
+// Close stops dispatch: completions arriving afterwards are dropped.
 func (cp *ControlPlane) Close() {
 	cp.mu.Lock()
 	cp.stopped = true
@@ -96,30 +107,29 @@ func (cp *ControlPlane) unregister(opID uint64) {
 	cp.mu.Unlock()
 }
 
-func (cp *ControlPlane) dispatch() {
-	var batch [64]nicsim.CQE
-	for cp.cq.Wait() {
-		n := cp.cq.Poll(batch[:])
-		for i := 0; i < n; i++ {
-			cqe := &batch[i]
-			buf := cp.bufs[cqe.WRID%uint64(len(cp.bufs))]
-			msg, err := decodeCtrl(buf[:cqe.ByteLen])
-			// Repost the buffer immediately (UD consumes one per
-			// datagram).
-			cp.ud.PostRecv(buf, cqe.WRID)
-			if err != nil {
-				continue // malformed control packets are dropped
-			}
-			cp.mu.Lock()
-			ch := cp.handlers[msg.opID]
-			cp.mu.Unlock()
-			if ch != nil {
-				select {
-				case ch <- msg:
-				default: // slow consumer: control is best-effort anyway
-				}
-			}
+// handleCQE is the CQ sink: it decodes one inbound control datagram,
+// reposts its buffer, routes it, and wakes clock waiters.
+func (cp *ControlPlane) handleCQE(cqe nicsim.CQE) {
+	buf := cp.bufs[cqe.WRID%uint64(len(cp.bufs))]
+	msg, err := decodeCtrl(buf[:cqe.ByteLen])
+	// Repost the buffer immediately (UD consumes one per datagram).
+	cp.ud.PostRecv(buf, cqe.WRID)
+	if err != nil {
+		return // malformed control packets are dropped
+	}
+	cp.mu.Lock()
+	if cp.stopped {
+		cp.mu.Unlock()
+		return
+	}
+	ch := cp.handlers[msg.opID]
+	cp.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- msg:
+		default: // slow consumer: control is best-effort anyway
 		}
+		cp.clk.Notify()
 	}
 }
 

@@ -2,7 +2,6 @@ package reliability
 
 import (
 	"fmt"
-	"time"
 
 	"sdrrdma/internal/core"
 	"sdrrdma/internal/nicsim"
@@ -139,48 +138,60 @@ func (e *Endpoint) WriteEC(data []byte) error {
 	acks := e.CP.register(opID)
 	defer e.CP.unregister(opID)
 
-	deadline := time.Now().Add(cfg.GlobalTimeout)
-	ticker := time.NewTicker(cfg.PollInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case m := <-acks:
-			switch m.typ {
-			case msgECAck:
-				for _, st := range streams {
-					st.End()
+	clk := e.clock()
+	deadline := clk.Now().Add(cfg.GlobalTimeout)
+	var done bool
+	var nackErr error
+	apply := func(m ctrlMsg) {
+		switch m.typ {
+		case msgECAck:
+			done = true
+		case msgECNack:
+			if done || nackErr != nil {
+				return
+			}
+			// Fallback: selective repeat of the reported missing
+			// chunks through the still-open streams (§4.1.2).
+			for _, entry := range m.nackSubmsgs {
+				i := int(entry.submsg)
+				if i >= g.L {
+					continue
 				}
-				return nil
-			case msgECNack:
-				// Fallback: selective repeat of the reported missing
-				// chunks through the still-open streams (§4.1.2).
-				for _, entry := range m.nackSubmsgs {
-					i := int(entry.submsg)
-					if i >= g.L {
+				sb := g.subBytes(i, len(data))
+				base := i * g.k * chunkBytes
+				for _, cIdx := range entry.missing {
+					lo := int(cIdx) * chunkBytes
+					hi := lo + chunkBytes
+					if hi > sb {
+						hi = sb
+					}
+					if lo >= sb {
 						continue
 					}
-					sb := g.subBytes(i, len(data))
-					base := i * g.k * chunkBytes
-					for _, cIdx := range entry.missing {
-						lo := int(cIdx) * chunkBytes
-						hi := lo + chunkBytes
-						if hi > sb {
-							hi = sb
-						}
-						if lo >= sb {
-							continue
-						}
-						if err := streams[i].Continue(lo, data[base+lo:base+hi]); err != nil {
-							return err
-						}
+					if err := streams[i].Continue(lo, data[base+lo:base+hi]); err != nil {
+						nackErr = err
+						return
 					}
 				}
 			}
-		case <-ticker.C:
-			if time.Now().After(deadline) {
-				return fmt.Errorf("%w: EC write %d B", ErrGlobalTimeout, len(data))
-			}
 		}
+	}
+	for {
+		epoch := clk.Epoch()
+		drain(acks, apply)
+		if nackErr != nil {
+			return nackErr
+		}
+		if done {
+			for _, st := range streams {
+				st.End()
+			}
+			return nil
+		}
+		if clk.Now().After(deadline) {
+			return fmt.Errorf("%w: EC write %d B", ErrGlobalTimeout, len(data))
+		}
+		clk.WaitNotify(epoch, cfg.PollInterval)
 	}
 }
 
@@ -327,13 +338,14 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 		}
 	}
 
+	clk := e.clock()
 	complete := func() error {
 		// Positive ACK with linger against control loss, then retire
 		// every slot.
-		lingerEnd := time.Now().Add(cfg.Linger)
-		for time.Now().Before(lingerEnd) {
+		lingerEnd := clk.Now().Add(cfg.Linger)
+		for clk.Now().Before(lingerEnd) {
 			e.CP.send(ctrlMsg{typ: msgECAck, opID: opID})
-			time.Sleep(cfg.AckInterval)
+			clk.Sleep(cfg.AckInterval)
 		}
 		for i := range subs {
 			subs[i].dataH.Complete()
@@ -342,14 +354,15 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 		return nil
 	}
 
+	start := clk.Now()
 	fto := cfg.FTO()
-	ftoAt := time.Now().Add(fto) // FTO armed at posting (§4.1.2)
-	nextNack := ftoAt
-	deadline := time.Now().Add(cfg.GlobalTimeout)
-	ticker := time.NewTicker(cfg.PollInterval)
-	defer ticker.Stop()
+	nextNack := start.Add(fto) // FTO armed at posting (§4.1.2)
+	deadline := start.Add(cfg.GlobalTimeout)
 	for {
-		<-ticker.C
+		// Snapshot BEFORE probing recoverability: submessage
+		// completions notify the clock, so the wait below wakes at the
+		// exact delivery that makes recovery possible.
+		epoch := clk.Epoch()
 		allOK := true
 		for i := range subs {
 			if !tryRecover(i) {
@@ -359,7 +372,7 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 		if allOK {
 			return complete()
 		}
-		now := time.Now()
+		now := clk.Now()
 		if now.After(deadline) {
 			for i := range subs {
 				subs[i].dataH.Complete()
@@ -371,5 +384,6 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 			sendNack()
 			nextNack = now.Add(cfg.RTO())
 		}
+		clk.WaitNotify(epoch, cfg.PollInterval)
 	}
 }

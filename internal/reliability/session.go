@@ -16,14 +16,18 @@ type Session struct {
 }
 
 // NewSession builds a connected client/server reliability deployment.
+// The whole deployment — data fabric, OOB channel, control planes and
+// protocol loops — runs on coreCfg.Clock (nil = real clock); building
+// it on a clock.Virtual yields a deterministic discrete-event run.
 func NewSession(coreCfg core.Config, relCfg Config, ab, ba fabric.Config, oobLatency time.Duration) (*Session, error) {
 	pair, err := core.NewPair(coreCfg, ab, ba, oobLatency)
 	if err != nil {
 		return nil, err
 	}
+	clk := pair.A.Ctx.Clock()
 	mtu := pair.A.Ctx.Config().MTU
-	cpA := NewControlPlane(pair.A.Dev, pair.Link.AB, mtu)
-	cpB := NewControlPlane(pair.B.Dev, pair.Link.BA, mtu)
+	cpA := NewControlPlane(pair.A.Dev, pair.Link.AB, mtu, clk)
+	cpB := NewControlPlane(pair.B.Dev, pair.Link.BA, mtu, clk)
 	cpA.ConnectCtrl(cpB.QPN())
 	cpB.ConnectCtrl(cpA.QPN())
 	return &Session{

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/core"
 	"sdrrdma/internal/nicsim"
 )
@@ -18,6 +19,13 @@ var ErrGlobalTimeout = errors.New("reliability: global timeout exceeded")
 // plus the lossy control path. Operations on a single endpoint are
 // serialized (matching the paper's sequential per-connection stages);
 // distinct endpoint pairs run concurrently.
+//
+// All waiting — RTO deadlines, poll cadences, ACK linger — goes
+// through the deployment's clock.Clock: real time by default,
+// discrete virtual time when the session was built on a
+// clock.Virtual (in which case WriteSR/ReceiveSR and the EC
+// equivalents must run in actor goroutines, via clock.Join or
+// Virtual.Go).
 type Endpoint struct {
 	QP   *core.QP
 	CP   *ControlPlane
@@ -28,6 +36,24 @@ type Endpoint struct {
 // NewEndpoint bundles a connected SDR QP and control plane.
 func NewEndpoint(qp *core.QP, cp *ControlPlane, cfg Config) *Endpoint {
 	return &Endpoint{QP: qp, CP: cp, Cfg: cfg.WithDefaults()}
+}
+
+// clock returns the deployment clock.
+func (e *Endpoint) clock() clock.Clock { return e.QP.Clock() }
+
+// drain empties the control channel without blocking, invoking apply
+// on each message, and reports whether anything arrived.
+func drain(acks <-chan ctrlMsg, apply func(ctrlMsg)) bool {
+	got := false
+	for {
+		select {
+		case m := <-acks:
+			apply(m)
+			got = true
+		default:
+			return got
+		}
+	}
 }
 
 // chunkState tracks one chunk on the SR sender.
@@ -45,6 +71,7 @@ func (e *Endpoint) WriteSR(data []byte) error {
 	e.opMu.Lock()
 	defer e.opMu.Unlock()
 	cfg := e.Cfg
+	clk := e.clock()
 
 	stream, err := e.QP.SendStreamStart(len(data), 0)
 	if err != nil {
@@ -62,7 +89,7 @@ func (e *Endpoint) WriteSR(data []byte) error {
 	if err := stream.Continue(0, data); err != nil {
 		return err
 	}
-	now := time.Now()
+	now := clk.Now()
 	for i := range chunks {
 		chunks[i].lastSent = now
 	}
@@ -73,12 +100,15 @@ func (e *Endpoint) WriteSR(data []byte) error {
 		if hi > len(data) {
 			hi = len(data)
 		}
-		chunks[chunk].lastSent = time.Now()
+		chunks[chunk].lastSent = clk.Now()
 		return stream.Continue(lo, data[lo:hi])
 	}
 
 	ackedCount := 0
 	applyAck := func(m ctrlMsg) {
+		if m.typ != msgSRAck {
+			return
+		}
 		for i := 0; i < int(m.cumAck) && i < nchunks; i++ {
 			if !chunks[i].acked {
 				chunks[i].acked = true
@@ -98,49 +128,50 @@ func (e *Endpoint) WriteSR(data []byte) error {
 
 	rto := cfg.RTO()
 	nackDelay := cfg.RTT // NACK-mode hole resend delay (§5.1.1: 1 RTT)
-	ticker := time.NewTicker(cfg.PollInterval)
-	defer ticker.Stop()
-	deadline := time.Now().Add(cfg.GlobalTimeout)
+	deadline := now.Add(cfg.GlobalTimeout)
 
 	for ackedCount < nchunks {
-		select {
-		case m := <-acks:
-			if m.typ != msgSRAck {
-				continue
-			}
-			applyAck(m)
-			if cfg.NACK && ackedCount < nchunks {
-				// Fast retransmit: a hole is an unacked chunk below the
-				// highest acked chunk — the receiver has seen past it,
-				// so it was dropped, not merely in flight.
-				frontier := -1
-				for i := nchunks - 1; i >= 0; i-- {
-					if chunks[i].acked {
-						frontier = i
-						break
-					}
-				}
-				for i := 0; i < frontier; i++ {
-					if !chunks[i].acked && time.Since(chunks[i].lastSent) >= nackDelay {
-						if err := resend(i); err != nil {
-							return err
-						}
-					}
+		// Snapshot BEFORE draining: an ACK that lands after the drain
+		// wakes the wait below immediately (no lost wakeup).
+		epoch := clk.Epoch()
+		progressed := drain(acks, applyAck)
+		if ackedCount >= nchunks {
+			break
+		}
+		now = clk.Now()
+		if now.After(deadline) {
+			return fmt.Errorf("%w: SR write %d B, %d/%d chunks acked",
+				ErrGlobalTimeout, len(data), ackedCount, nchunks)
+		}
+		if cfg.NACK && progressed {
+			// Fast retransmit: a hole is an unacked chunk below the
+			// highest acked chunk — the receiver has seen past it, so
+			// it was dropped, not merely in flight.
+			frontier := -1
+			for i := nchunks - 1; i >= 0; i-- {
+				if chunks[i].acked {
+					frontier = i
+					break
 				}
 			}
-		case <-ticker.C:
-			if time.Now().After(deadline) {
-				return fmt.Errorf("%w: SR write %d B, %d/%d chunks acked",
-					ErrGlobalTimeout, len(data), ackedCount, nchunks)
-			}
-			for i := range chunks {
-				if !chunks[i].acked && time.Since(chunks[i].lastSent) >= rto {
+			for i := 0; i < frontier; i++ {
+				if !chunks[i].acked && now.Sub(chunks[i].lastSent) >= nackDelay {
 					if err := resend(i); err != nil {
 						return err
 					}
 				}
 			}
 		}
+		// Per-chunk RTO retransmission (checked on every wake; the
+		// elapsed-time guard keeps the cadence at one RTO per chunk).
+		for i := range chunks {
+			if !chunks[i].acked && now.Sub(chunks[i].lastSent) >= rto {
+				if err := resend(i); err != nil {
+					return err
+				}
+			}
+		}
+		clk.WaitNotify(epoch, cfg.PollInterval)
 	}
 	return stream.End()
 }
@@ -154,6 +185,7 @@ func (e *Endpoint) ReceiveSR(mr *nicsim.MR, offset uint64, size int) error {
 	e.opMu.Lock()
 	defer e.opMu.Unlock()
 	cfg := e.Cfg
+	clk := e.clock()
 
 	h, err := e.QP.RecvPost(mr, offset, size)
 	if err != nil {
@@ -176,24 +208,35 @@ func (e *Endpoint) ReceiveSR(mr *nicsim.MR, offset uint64, size int) error {
 		})
 	}
 
-	deadline := time.Now().Add(cfg.GlobalTimeout)
-	ticker := time.NewTicker(cfg.AckInterval)
-	defer ticker.Stop()
-	for !h.Done() {
-		<-ticker.C
-		if time.Now().After(deadline) {
+	start := clk.Now()
+	deadline := start.Add(cfg.GlobalTimeout)
+	nextAck := start.Add(cfg.AckInterval)
+	for {
+		// Snapshot BEFORE the completion check: the delivery that
+		// completes the message notifies the clock, so the wait below
+		// cannot sleep past it.
+		epoch := clk.Epoch()
+		if h.Done() {
+			break
+		}
+		now := clk.Now()
+		if now.After(deadline) {
 			h.Complete()
 			return fmt.Errorf("%w: SR receive %d B, %d/%d chunks",
 				ErrGlobalTimeout, size, h.Bitmap().Count(), h.NumChunks())
 		}
-		sendAck()
+		if !now.Before(nextAck) {
+			sendAck()
+			nextAck = now.Add(cfg.AckInterval)
+		}
+		clk.WaitNotify(epoch, nextAck.Sub(now))
 	}
 	// Completion: keep re-sending the final ACK during the linger
 	// window so a lost ACK cannot strand the sender.
-	lingerEnd := time.Now().Add(cfg.Linger)
-	for time.Now().Before(lingerEnd) {
+	lingerEnd := clk.Now().Add(cfg.Linger)
+	for clk.Now().Before(lingerEnd) {
 		sendAck()
-		time.Sleep(cfg.AckInterval)
+		clk.Sleep(cfg.AckInterval)
 	}
 	return h.Complete()
 }

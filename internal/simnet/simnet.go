@@ -129,6 +129,17 @@ func (t Timer) Cancel() {
 	t.e.live--
 }
 
+// Active reports whether the timer's event is still scheduled (not yet
+// fired, cancelled or invalidated by Reset). O(1) via the generation
+// check, like Cancel.
+func (t Timer) Active() bool {
+	if t.e == nil {
+		return false
+	}
+	s := &t.e.slots[t.idx]
+	return s.gen == t.gen && s.live
+}
+
 // alloc takes a slot from the free list (or grows the slab) and stamps
 // it with the schedule time and a fresh sequence number.
 func (e *Engine) alloc(at float64) int32 {
