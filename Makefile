@@ -4,8 +4,15 @@ GO ?= go
 # virtual-clock migration this includes the full functional stack:
 # fabric/core/reliability run their lossy scenarios as deterministic
 # discrete-event simulations instead of racy-by-design timer goroutines.
+# netem (queues/topologies) and collective (clocked ring/tree
+# harnesses) joined with the multi-datacenter emulation; collective
+# runs -short to skip its single-threaded Monte Carlo model sweeps,
+# and its real-clock smokes skip themselves under the race detector
+# (retransmit DMA vs staging reads is the documented motivating
+# hazard — the lossy coverage runs on the virtual harness).
 RACE_PKGS = ./internal/bitmap/ ./internal/gf256/ ./internal/ec/ \
-	./internal/clock/ ./internal/fabric/ ./internal/core/ ./internal/reliability/
+	./internal/clock/ ./internal/fabric/ ./internal/core/ ./internal/reliability/ \
+	./internal/netem/
 
 .PHONY: ci vet build test race bench bench-kernels bench-json
 
@@ -19,7 +26,7 @@ build:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -short ./internal/protosim/
+	$(GO) test -race -short ./internal/protosim/ ./internal/collective/
 
 test:
 	$(GO) test ./...
@@ -44,5 +51,8 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkCampaign|BenchmarkDES' -benchmem ./internal/protosim/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkDESValidation|BenchmarkGBNBaseline' -benchtime 2x -benchmem . >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkWANVirtual|BenchmarkWANReal' -benchtime 3x -benchmem ./internal/experiments/ >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkNetemQueue' -benchmem ./internal/netem/ >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkFunctionalAllreduceVirtual' -benchtime 5x -benchmem ./internal/collective/ >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkMultiDCVirtual|BenchmarkMultiDCReal' -benchtime 2x -benchmem ./internal/experiments/ >> bench-json.tmp
 	$(GO) run ./cmd/benchjson < bench-json.tmp > BENCH_protosim.json
 	rm -f bench-json.tmp

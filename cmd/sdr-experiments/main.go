@@ -26,7 +26,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "deterministic RNG seed")
 	duration := flag.Float64("duration", 1.0, "seconds per functional throughput point")
 	clockMode := flag.String("clock", "virtual",
-		"clock for the WAN functional figures: 'virtual' (deterministic, simulation speed) or 'real' (wall clock)")
+		"clock for the functional figures (wan-functional, multidc-functional): 'virtual' (deterministic, simulation speed) or 'real' (wall clock)")
 	flag.Parse()
 
 	if *clockMode != "virtual" && *clockMode != "real" {

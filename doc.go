@@ -11,9 +11,13 @@
 //     DPA worker emulation)
 //   - reliability: Selective Repeat and Erasure Coding layers built
 //     on the SDR bitmap
+//   - netem: multi-datacenter network emulation — clocked
+//     finite-buffer queues (tail drop), i.i.d./Gilbert–Elliott loss
+//     processes, and topology builders with reliable flows over routes
 //   - ec, gf256: Reed–Solomon and XOR erasure codes
 //   - model: the completion-time analysis framework (stochastic +
-//     analytic), collective: ring Allreduce (model and functional)
+//     analytic), collective: ring Allreduce and tree broadcast
+//     (model and functional, on either clock backend)
 //   - experiments: regenerates every figure of the paper's evaluation
 //
 // See README.md for a tour and EXPERIMENTS.md for paper-vs-measured

@@ -2,23 +2,36 @@ package collective
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/core"
 	"sdrrdma/internal/fabric"
 	"sdrrdma/internal/nicsim"
 	"sdrrdma/internal/reliability"
 )
 
+// SessionDialer builds the reliable session for one ring link (node
+// i → node (i+1) mod N). Injecting the dialer is what lets the same
+// harness run over plain fabric links or a netem multi-datacenter
+// topology with shared bottleneck queues.
+type SessionDialer func(link int) (*reliability.Session, error)
+
 // FunctionalRing is a ring of simulated datacenters connected by
 // lossy long-haul links, running the real SDR + reliability stack —
 // the functional counterpart of the Fig 13 model. Node i sends to
-// node (i+1) mod N over its own fabric link.
+// node (i+1) mod N over its own reliable session.
+//
+// All sessions share one clock.Clock; on a clock.Virtual, Allreduce
+// is a deterministic discrete-event simulation that finishes at CPU
+// speed regardless of the configured WAN latencies.
 type FunctionalRing struct {
 	N        int
+	clk      clock.Clock
 	sessions []*reliability.Session
 	nodes    []*ringNode
 }
@@ -31,20 +44,34 @@ type ringNode struct {
 	parity  *nicsim.MR // EC parity scratch (on the recv device)
 }
 
-// BuildFunctionalRing wires n datacenters with per-link impairments.
-// maxSegmentBytes bounds the per-stage message size (used to size the
-// staging buffers).
+// BuildFunctionalRing wires n datacenters with per-link fabric
+// impairments. maxSegmentBytes bounds the per-stage message size
+// (used to size the staging buffers). A nil coreCfg.Clock gets one
+// shared real clock for the whole ring.
 func BuildFunctionalRing(n int, coreCfg core.Config, relCfg reliability.Config,
 	linkCfg fabric.Config, oobLatency time.Duration, maxSegmentBytes int) (*FunctionalRing, error) {
+	if coreCfg.Clock == nil {
+		coreCfg.Clock = clock.NewReal()
+	}
+	dial := func(link int) (*reliability.Session, error) {
+		cfg := linkCfg
+		cfg.Seed = linkCfg.Seed + int64(link)*7919
+		return reliability.NewSession(coreCfg, relCfg, cfg, cfg, oobLatency)
+	}
+	return BuildFunctionalRingWith(n, coreCfg.Clock, dial, maxSegmentBytes)
+}
+
+// BuildFunctionalRingWith assembles the ring from dialed sessions.
+// Every session must already run on clk.
+func BuildFunctionalRingWith(n int, clk clock.Clock, dial SessionDialer, maxSegmentBytes int) (*FunctionalRing, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("collective: ring needs >=2 nodes, got %d", n)
 	}
-	r := &FunctionalRing{N: n}
+	r := &FunctionalRing{N: n, clk: clock.Or(clk)}
 	for i := 0; i < n; i++ {
-		cfg := linkCfg
-		cfg.Seed = linkCfg.Seed + int64(i)*7919
-		s, err := reliability.NewSession(coreCfg, relCfg, cfg, cfg, oobLatency)
+		s, err := dial(i)
 		if err != nil {
+			r.Close()
 			return nil, fmt.Errorf("collective: link %d: %w", i, err)
 		}
 		r.sessions = append(r.sessions, s)
@@ -70,18 +97,80 @@ func (r *FunctionalRing) Close() {
 	}
 }
 
-func (n *ringNode) send(data []byte, protocol string) error {
+// Sessions returns the ring's per-link sessions (link i connects node
+// i to node (i+1) mod N) for stats inspection.
+func (r *FunctionalRing) Sessions() []*reliability.Session { return r.sessions }
+
+func send(ep *reliability.Endpoint, data []byte, protocol string) error {
 	if protocol == "ec" {
-		return n.sendEP.WriteEC(data)
+		return ep.WriteEC(data)
 	}
-	return n.sendEP.WriteSR(data)
+	return ep.WriteSR(data)
 }
 
-func (n *ringNode) recv(size int, protocol string) error {
+func recv(ep *reliability.Endpoint, staging, parity *nicsim.MR, size int, protocol string) error {
 	if protocol == "ec" {
-		return n.recvEP.ReceiveEC(n.staging, 0, size, n.parity)
+		return ep.ReceiveEC(staging, 0, size, parity)
 	}
-	return n.recvEP.ReceiveSR(n.staging, 0, size)
+	return ep.ReceiveSR(staging, 0, size)
+}
+
+// gate is the collective's cross-actor synchronization primitive: a
+// monotone counter posted by one actor and awaited by another, built
+// on the clock's epoch-counted Notify so it blocks correctly on both
+// backends. Plain channels would deadlock a clock.Virtual — an actor
+// blocked on a channel is invisible to the scheduler, which then
+// never hands the baton onward — so every inter-actor wait must go
+// through the clock.
+type gate struct {
+	clk     clock.Clock
+	mu      sync.Mutex
+	n       int
+	aborted bool
+}
+
+func (g *gate) post() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.clk.Notify()
+}
+
+func (g *gate) abort() {
+	g.mu.Lock()
+	g.aborted = true
+	g.mu.Unlock()
+	g.clk.Notify()
+}
+
+// wait blocks until the counter reaches target; it reports false when
+// the posting side aborted instead.
+func (g *gate) wait(target int) bool {
+	for {
+		epoch := g.clk.Epoch()
+		g.mu.Lock()
+		n, aborted := g.n, g.aborted
+		g.mu.Unlock()
+		if n >= target {
+			return true
+		}
+		if aborted {
+			return false
+		}
+		g.clk.WaitNotify(epoch, -1)
+	}
+}
+
+// ringStep returns the segment a node sends and receives at global
+// step t of the 2N−2 schedule (reduce-scatter then allgather), plus
+// whether the received segment is reduced (summed) or assigned.
+func ringStep(i, t, n int) (sendIdx, recvIdx int, reduce bool) {
+	mod := func(x int) int { return ((x % n) + n) % n }
+	if t < n-1 {
+		return mod(i - t), mod(i - t - 1), true
+	}
+	s := t - (n - 1)
+	return mod(i + 1 - s), mod(i - s), false
 }
 
 // Allreduce sums the per-node float64 vectors with the ring algorithm
@@ -89,6 +178,14 @@ func (n *ringNode) recv(size int, protocol string) error {
 // reliability protocol ("sr" or "ec") for every point-to-point stage.
 // All inputs must have equal length divisible by N. It returns the
 // reduced vector (identical on every node) or the first error.
+//
+// Each node runs as two clock actors — a sender and a receiver — so
+// the whole collective executes under clock.Join: deterministic
+// discrete-event on a virtual clock, plain goroutines on the real
+// one. The only intra-node ordering constraint is that step t's send
+// payload is the segment step t−1's receive reduced, enforced by a
+// per-node gate; everything else is ordered by the protocol itself
+// (a sender cannot outrun its receiver's CTS).
 func (r *FunctionalRing) Allreduce(inputs [][]float64, protocol string) ([]float64, error) {
 	n := r.N
 	if len(inputs) != n {
@@ -115,75 +212,65 @@ func (r *FunctionalRing) Allreduce(inputs [][]float64, protocol string) ([]float
 		work[i] = append([]float64(nil), inputs[i]...)
 	}
 
-	var wg sync.WaitGroup
-	errs := make([]error, n)
+	steps := 2*n - 2
+	txErrs := make([]error, n)
+	rxErrs := make([]error, n)
+	actors := make([]func(), 0, 2*n)
 	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			node := r.nodes[i]
-			buf := work[i]
-			sendSeg := func(segIdx int) error {
+		i := i
+		node := r.nodes[i]
+		buf := work[i]
+		rxDone := &gate{clk: r.clk}
+		actors = append(actors, func() { // sender
+			for t := 0; t < steps; t++ {
+				if t > 0 && !rxDone.wait(t) {
+					return // receiver failed; its error is reported
+				}
+				sendIdx, _, _ := ringStep(i, t, n)
+				// Fresh payload per step: in-flight copies of step t's
+				// packets (queued retransmits) alias this buffer, and a
+				// late duplicate may still DMA into the peer's staging
+				// during its ACK linger — reusing the buffer would make
+				// that duplicate deliver step t+1's bytes into step t's
+				// message.
 				payload := make([]byte, segBytes)
 				for j := 0; j < seg; j++ {
 					binary.LittleEndian.PutUint64(payload[j*8:],
-						math.Float64bits(buf[segIdx*seg+j]))
+						math.Float64bits(buf[sendIdx*seg+j]))
 				}
-				return node.send(payload, protocol)
+				if err := send(node.sendEP, payload, protocol); err != nil {
+					txErrs[i] = fmt.Errorf("node %d step %d send: %w", i, t, err)
+					return
+				}
 			}
-			recvSeg := func(segIdx int, reduce bool) error {
-				if err := node.recv(segBytes, protocol); err != nil {
-					return err
+		})
+		actors = append(actors, func() { // receiver
+			for t := 0; t < steps; t++ {
+				if err := recv(node.recvEP, node.staging, node.parity, segBytes, protocol); err != nil {
+					rxErrs[i] = fmt.Errorf("node %d step %d recv: %w", i, t, err)
+					rxDone.abort()
+					return
 				}
+				_, recvIdx, reduce := ringStep(i, t, n)
 				raw := node.staging.Bytes()
 				for j := 0; j < seg; j++ {
 					v := math.Float64frombits(binary.LittleEndian.Uint64(raw[j*8:]))
 					if reduce {
-						buf[segIdx*seg+j] += v
+						buf[recvIdx*seg+j] += v
 					} else {
-						buf[segIdx*seg+j] = v
+						buf[recvIdx*seg+j] = v
 					}
 				}
-				return nil
+				rxDone.post()
 			}
-			step := func(sendIdx, recvIdx int, reduce bool) error {
-				var sErr, rErr error
-				var stepWG sync.WaitGroup
-				stepWG.Add(2)
-				go func() { defer stepWG.Done(); sErr = sendSeg(sendIdx) }()
-				go func() { defer stepWG.Done(); rErr = recvSeg(recvIdx, reduce) }()
-				stepWG.Wait()
-				if sErr != nil {
-					return sErr
-				}
-				return rErr
-			}
-			// reduce-scatter: after N−1 steps node i owns the full sum
-			// of segment (i+1) mod n.
-			for s := 0; s < n-1; s++ {
-				sendIdx := ((i-s)%n + n) % n
-				recvIdx := ((i-s-1)%n + n) % n
-				if err := step(sendIdx, recvIdx, true); err != nil {
-					errs[i] = fmt.Errorf("node %d reduce-scatter step %d: %w", i, s, err)
-					return
-				}
-			}
-			// allgather: circulate the finished segments.
-			for s := 0; s < n-1; s++ {
-				sendIdx := ((i+1-s)%n + n) % n
-				recvIdx := ((i-s)%n + n) % n
-				if err := step(sendIdx, recvIdx, false); err != nil {
-					errs[i] = fmt.Errorf("node %d allgather step %d: %w", i, s, err)
-					return
-				}
-			}
-		}(i)
+		})
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	clock.Join(r.clk, actors...)
+	// Report every stuck actor, not just the first: under a shared
+	// bottleneck one failing link starves the whole schedule, and the
+	// full set is what identifies the root link.
+	if err := errors.Join(append(append([]error(nil), rxErrs...), txErrs...)...); err != nil {
+		return nil, err
 	}
 	// all nodes must agree
 	for i := 1; i < n; i++ {
@@ -194,4 +281,119 @@ func (r *FunctionalRing) Allreduce(inputs [][]float64, protocol string) ([]float
 		}
 	}
 	return work[0], nil
+}
+
+// --- functional tree broadcast --------------------------------------------
+
+// TreeDialer builds the reliable session for one tree edge
+// (parent → child).
+type TreeDialer func(parent, child int) (*reliability.Session, error)
+
+// FunctionalTree runs the binomial broadcast of the model Tree on the
+// real SDR stack: ⌈log2 N⌉ rounds, where in round r every node
+// holding the buffer forwards it to one new peer. Like
+// FunctionalRing it executes under clock.Join on either clock
+// backend.
+type FunctionalTree struct {
+	N        int
+	clk      clock.Clock
+	sessions []*reliability.Session
+	nodes    []*treeNode
+}
+
+type treeNode struct {
+	idx     int
+	parent  *reliability.Session // nil at the root
+	staging *nicsim.MR
+	parity  *nicsim.MR
+	// children holds this node's outbound sessions in schedule order.
+	children []*reliability.Session
+}
+
+// BuildFunctionalTreeWith assembles the binomial broadcast tree over
+// dialed sessions: one session per schedule edge (i → i+dist for
+// dist = 1, 2, 4, … while i < dist). maxBytes bounds the broadcast
+// payload.
+func BuildFunctionalTreeWith(n int, clk clock.Clock, dial TreeDialer, maxBytes int) (*FunctionalTree, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("collective: tree needs >=2 nodes, got %d", n)
+	}
+	t := &FunctionalTree{N: n, clk: clock.Or(clk)}
+	t.nodes = make([]*treeNode, n)
+	for i := range t.nodes {
+		t.nodes[i] = &treeNode{idx: i}
+	}
+	for dist := 1; dist < n; dist <<= 1 {
+		for i := 0; i < dist && i+dist < n; i++ {
+			s, err := dial(i, i+dist)
+			if err != nil {
+				t.Close()
+				return nil, fmt.Errorf("collective: tree edge %d→%d: %w", i, i+dist, err)
+			}
+			t.sessions = append(t.sessions, s)
+			t.nodes[i].children = append(t.nodes[i].children, s)
+			child := t.nodes[i+dist]
+			child.parent = s
+			child.staging = s.Pair.B.Ctx.RegMR(make([]byte, maxBytes))
+			child.parity = s.Pair.B.Ctx.RegMR(make([]byte, 4*maxBytes+1<<20))
+		}
+	}
+	return t, nil
+}
+
+// Close tears all edges down.
+func (t *FunctionalTree) Close() {
+	for _, s := range t.sessions {
+		s.Close()
+	}
+}
+
+// Sessions returns the tree's per-edge sessions in schedule order.
+func (t *FunctionalTree) Sessions() []*reliability.Session { return t.sessions }
+
+// Broadcast pushes data from node 0 to every node with the given
+// reliability protocol and returns each node's received copy (the
+// root's entry aliases data). Every non-root node receives from its
+// parent, then forwards to its children in schedule order — the
+// dependency chain whose per-stage reliability cost the tree model
+// samples.
+func (t *FunctionalTree) Broadcast(data []byte, protocol string) ([][]byte, error) {
+	n := t.N
+	for _, node := range t.nodes {
+		if node.parent != nil && uint64(len(data)) > node.staging.Span() {
+			return nil, fmt.Errorf("collective: payload %d B exceeds staging buffer", len(data))
+		}
+	}
+	out := make([][]byte, n)
+	out[0] = data
+	errs := make([]error, n)
+	actors := make([]func(), n)
+	for i := 0; i < n; i++ {
+		i := i
+		node := t.nodes[i]
+		actors[i] = func() {
+			buf := data
+			if node.parent != nil {
+				if err := recv(node.parent.B, node.staging, node.parity, len(data), protocol); err != nil {
+					errs[i] = fmt.Errorf("node %d recv: %w", i, err)
+					return
+				}
+				buf = append([]byte(nil), node.staging.Bytes()[:len(data)]...)
+				out[i] = buf
+			}
+			for c, s := range node.children {
+				if err := send(s.A, buf, protocol); err != nil {
+					errs[i] = fmt.Errorf("node %d child %d send: %w", i, c, err)
+					return
+				}
+			}
+		}
+	}
+	clock.Join(t.clk, actors...)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

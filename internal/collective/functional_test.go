@@ -1,21 +1,26 @@
 package collective
 
 import (
+	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/core"
 	"sdrrdma/internal/fabric"
 	"sdrrdma/internal/reliability"
 )
 
-func funcCoreCfg() core.Config {
+func funcCoreCfg(clk clock.Clock) core.Config {
 	return core.Config{
 		MTU: 1024, ChunkBytes: 4096, MaxMsgBytes: 1 << 20,
 		MsgIDBits: 10, PktOffsetBits: 18, UserImmBits: 4,
 		Generations: 4, Channels: 2,
+		Clock: clk,
 	}
 }
 
@@ -31,14 +36,21 @@ func funcRelCfg() reliability.Config {
 	}
 }
 
-func runFunctionalAllreduce(t *testing.T, n int, vlen int, loss float64, protocol string) {
+// buildRing wires a ring on clk (nil = real clock, the legacy path).
+func buildRing(t *testing.T, clk clock.Clock, n int, loss float64, maxSeg int) *FunctionalRing {
 	t.Helper()
-	ring, err := BuildFunctionalRing(n, funcCoreCfg(), funcRelCfg(),
-		fabric.Config{Latency: time.Millisecond, DropProb: loss, Seed: 42},
-		time.Millisecond, vlen*8)
+	ring, err := BuildFunctionalRing(n, funcCoreCfg(clk), funcRelCfg(),
+		fabric.Config{Latency: time.Millisecond, DropProb: loss, Seed: 42, Clock: clk},
+		time.Millisecond, maxSeg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return ring
+}
+
+func runFunctionalAllreduce(t *testing.T, clk clock.Clock, n, vlen int, loss float64, protocol string) {
+	t.Helper()
+	ring := buildRing(t, clk, n, loss, vlen*8)
 	defer ring.Close()
 
 	rng := rand.New(rand.NewSource(7))
@@ -62,28 +74,77 @@ func runFunctionalAllreduce(t *testing.T, n int, vlen int, loss float64, protoco
 	}
 }
 
+// skipUnderRace documents why the real-clock smokes step aside for
+// `make race`: even lossless, a scheduler stall past the RTO triggers
+// an SR retransmit whose DMA lands in the staging buffer while the
+// collective copies it — exactly the in-flight-write hazard the
+// virtual clock exists to remove. Race coverage of the collectives
+// therefore runs the (serialized-by-construction) virtual harness;
+// the real-clock smokes still run under plain `go test`.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("real-clock smoke: retransmit DMA vs staging copy is the motivating hazard; race coverage uses the virtual harness")
+	}
+}
+
+// Real-clock smoke stays lossless: with loss, in-flight retransmit
+// DMA races user buffers by design (the motivating hazard); the lossy
+// scenarios below run as deterministic virtual-clock simulations.
 func TestFunctionalAllreduceSRLossless(t *testing.T) {
-	runFunctionalAllreduce(t, 4, 4096, 0, "sr")
+	skipUnderRace(t)
+	runFunctionalAllreduce(t, nil, 4, 4096, 0, "sr")
 }
 
-func TestFunctionalAllreduceSRLossy(t *testing.T) {
-	runFunctionalAllreduce(t, 3, 3*1024, 0.05, "sr")
+func TestFunctionalAllreduceSRLossyVirtual(t *testing.T) {
+	runFunctionalAllreduce(t, clock.NewVirtual(), 3, 3*1024, 0.05, "sr")
 }
 
-func TestFunctionalAllreduceECLossy(t *testing.T) {
-	runFunctionalAllreduce(t, 3, 3*1024, 0.05, "ec")
+func TestFunctionalAllreduceECLossyVirtual(t *testing.T) {
+	runFunctionalAllreduce(t, clock.NewVirtual(), 3, 3*1024, 0.05, "ec")
 }
 
-func TestFunctionalAllreduceTwoNodes(t *testing.T) {
-	runFunctionalAllreduce(t, 2, 2048, 0.02, "sr")
+func TestFunctionalAllreduceTwoNodesVirtual(t *testing.T) {
+	runFunctionalAllreduce(t, clock.NewVirtual(), 2, 2048, 0.02, "sr")
+}
+
+// The virtual-clock collective is a pure function of (config, seed):
+// bit-identical completion time and packet counters across runs and
+// GOMAXPROCS settings.
+func TestFunctionalAllreduceVirtualDeterminism(t *testing.T) {
+	trace := func() string {
+		vc := clock.NewVirtual()
+		const n, vlen = 3, 3 * 1024
+		ring := buildRing(t, vc, n, 0.08, vlen*8)
+		defer ring.Close()
+		inputs := make([][]float64, n)
+		for i := range inputs {
+			inputs[i] = make([]float64, vlen)
+			for j := range inputs[i] {
+				inputs[i][j] = float64(i*vlen + j)
+			}
+		}
+		if _, err := ring.Allreduce(inputs, "sr"); err != nil {
+			t.Fatal(err)
+		}
+		var sent uint64
+		for _, s := range ring.Sessions() {
+			sent += s.Pair.A.QP.Stats().PacketsSent
+		}
+		return fmt.Sprintf("t=%v sent=%d", vc.Elapsed(), sent)
+	}
+	first := trace()
+	prev := runtime.GOMAXPROCS(1)
+	second := trace()
+	runtime.GOMAXPROCS(prev)
+	third := trace()
+	if first != second || first != third {
+		t.Fatalf("virtual collective diverged:\n%s\n%s\n%s", first, second, third)
+	}
 }
 
 func TestFunctionalAllreduceValidation(t *testing.T) {
-	ring, err := BuildFunctionalRing(3, funcCoreCfg(), funcRelCfg(),
-		fabric.Config{}, 0, 1<<20)
-	if err != nil {
-		t.Fatal(err)
-	}
+	ring := buildRing(t, nil, 3, 0, 1<<20)
 	defer ring.Close()
 	if _, err := ring.Allreduce(make([][]float64, 2), "sr"); err == nil {
 		t.Fatal("wrong input count accepted")
@@ -92,7 +153,72 @@ func TestFunctionalAllreduceValidation(t *testing.T) {
 	if _, err := ring.Allreduce(bad, "sr"); err == nil {
 		t.Fatal("vector length not divisible by N accepted")
 	}
-	if _, err := BuildFunctionalRing(1, funcCoreCfg(), funcRelCfg(), fabric.Config{}, 0, 1024); err == nil {
+	if _, err := BuildFunctionalRing(1, funcCoreCfg(nil), funcRelCfg(), fabric.Config{}, 0, 1024); err == nil {
 		t.Fatal("1-node ring accepted")
+	}
+}
+
+// --- tree broadcast -------------------------------------------------------
+
+func buildTree(t *testing.T, clk clock.Clock, n int, loss float64, maxBytes int) *FunctionalTree {
+	t.Helper()
+	coreCfg := funcCoreCfg(clk)
+	if coreCfg.Clock == nil {
+		coreCfg.Clock = clock.NewReal()
+	}
+	edge := 0
+	dial := func(parent, child int) (*reliability.Session, error) {
+		cfg := fabric.Config{Latency: time.Millisecond, DropProb: loss,
+			Seed: 42 + int64(edge)*7919, Clock: coreCfg.Clock}
+		edge++
+		return reliability.NewSession(coreCfg, funcRelCfg(), cfg, cfg, time.Millisecond)
+	}
+	tree, err := BuildFunctionalTreeWith(n, coreCfg.Clock, dial, maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func runFunctionalBroadcast(t *testing.T, clk clock.Clock, n, size int, loss float64, protocol string) {
+	t.Helper()
+	tree := buildTree(t, clk, n, loss, size)
+	defer tree.Close()
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*31 + i>>7)
+	}
+	out, err := tree.Broadcast(data, protocol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, buf := range out {
+		if !bytes.Equal(buf, data) {
+			t.Fatalf("node %d received wrong data", i)
+		}
+	}
+}
+
+func TestFunctionalBroadcastSRLossless(t *testing.T) {
+	skipUnderRace(t)
+	runFunctionalBroadcast(t, nil, 4, 64<<10, 0, "sr")
+}
+
+func TestFunctionalBroadcastSRLossyVirtual(t *testing.T) {
+	runFunctionalBroadcast(t, clock.NewVirtual(), 6, 96<<10, 0.05, "sr")
+}
+
+func TestFunctionalBroadcastECLossyVirtual(t *testing.T) {
+	runFunctionalBroadcast(t, clock.NewVirtual(), 5, 64<<10, 0.05, "ec")
+}
+
+func TestFunctionalTreeValidation(t *testing.T) {
+	if _, err := BuildFunctionalTreeWith(1, nil, nil, 1024); err == nil {
+		t.Fatal("1-node tree accepted")
+	}
+	tree := buildTree(t, clock.NewVirtual(), 3, 0, 4096)
+	defer tree.Close()
+	if _, err := tree.Broadcast(make([]byte, 8192), "sr"); err == nil {
+		t.Fatal("payload exceeding staging buffer accepted")
 	}
 }

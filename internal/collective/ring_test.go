@@ -81,6 +81,9 @@ func TestRingRespectsLowerBound(t *testing.T) {
 // Fig 13 shape: EC's p99.9 speedup over SR RTO grows with drop rate
 // (3× to >6× across both panels) and holds across datacenter counts.
 func TestFig13SpeedupShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo model sweep: pure single-threaded sampling, skipped in -short (race) runs")
+	}
 	speedup := func(n int, buf int64, pdrop float64) float64 {
 		ch := ringChannel(pdrop)
 		srRing := Ring{N: n, BufferBytes: buf, Scheme: model.NewSRRTO(ch)}
@@ -110,6 +113,9 @@ func TestFig13SpeedupShape(t *testing.T) {
 // Reliability costs compound: with lossy links, the ratio of ring time
 // to a single stage grows with N (per Appendix C's (2N-2) factor).
 func TestRingCostCompoundsWithN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo model sweep: pure single-threaded sampling, skipped in -short (race) runs")
+	}
 	ch := ringChannel(1e-3)
 	sr := model.NewSRRTO(ch)
 	meanFor := func(n int) float64 {

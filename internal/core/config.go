@@ -132,6 +132,16 @@ func (c Config) immFragments() int {
 	return 32 / c.UserImmBits
 }
 
+// DecodeImm splits a 32-bit transport immediate into (message ID,
+// packet offset, user-immediate fragment) under this configuration's
+// bit split — the inverse of what the send path encodes (§3.2.4).
+// Observability tooling (e.g. netem drop accounting) uses it to map
+// wire packets back onto bitmap chunks without re-implementing the
+// layout.
+func (c Config) DecodeImm(imm uint32) (msgID, pktOff uint32, frag uint8) {
+	return newImmCodec(c).decode(imm)
+}
+
 // immCodec packs (message ID, packet offset, user-imm fragment) into
 // the 32-bit transport immediate: msgID in the high bits, the fragment
 // in the low bits (§3.2.4).

@@ -47,6 +47,22 @@ func NewPair(cfg Config, ab, ba fabric.Config, oobLatency time.Duration) (*Pair,
 	}
 	devA := nicsim.NewDevice("dcA")
 	devB := nicsim.NewDevice("dcB")
+	link := fabric.NewLink(devA, devB, ab, ba)
+	oob := fabric.NewOOB(clk, oobLatency)
+	return NewPairOver(cfg, devA, devB, link, oob)
+}
+
+// NewPairOver wires SDR contexts and QPs over prebuilt devices, data
+// wires and OOB channel — the entry point for deployments whose data
+// path is more than one fabric link, such as netem topologies routing
+// flows through shared bottleneck queues. link.AB must carry packets
+// toward devB and link.BA toward devA; cfg.Clock must be set by the
+// caller (it is what the whole deployment, including the prebuilt
+// wires, should already run on).
+func NewPairOver(cfg Config, devA, devB *nicsim.Device, link *fabric.Link, oob *fabric.OOB) (*Pair, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("sdr: NewPairOver requires an explicit clock")
+	}
 	ctxA, err := NewContext(devA, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("sdr: context A: %w", err)
@@ -57,8 +73,6 @@ func NewPair(cfg Config, ab, ba fabric.Config, oobLatency time.Duration) (*Pair,
 	}
 	qpA := ctxA.NewQP()
 	qpB := ctxB.NewQP()
-	link := fabric.NewLink(devA, devB, ab, ba)
-	oob := fabric.NewOOB(clk, oobLatency)
 	if err := qpA.ConnectViaOOB(link.AB, oob, true, qpB.Info()); err != nil {
 		return nil, err
 	}

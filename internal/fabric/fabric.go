@@ -69,7 +69,7 @@ type Config struct {
 type Direction struct {
 	cfg  Config
 	clk  clock.Clock
-	dst  *nicsim.Device
+	dst  nicsim.Deliverer
 	rmu  sync.Mutex
 	rng  *rand.Rand
 	icpt atomic.Pointer[Interceptor]
@@ -92,6 +92,13 @@ type Direction struct {
 // NewDirection builds a standalone direction toward dst (links are
 // made of two).
 func NewDirection(dst *nicsim.Device, cfg Config) *Direction {
+	return NewDirectionTo(dst, cfg)
+}
+
+// NewDirectionTo builds a direction toward an arbitrary delivery stage
+// — a device, or a forwarding hop such as a netem queue port — so the
+// impairment pipeline composes with multi-hop topologies.
+func NewDirectionTo(dst nicsim.Deliverer, cfg Config) *Direction {
 	return &Direction{
 		cfg: cfg,
 		clk: clock.Or(cfg.Clock),

@@ -1,0 +1,58 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"sdrrdma/internal/clock"
+	"sdrrdma/internal/nicsim"
+)
+
+// counter is a minimal terminal Deliverer.
+type counter struct{ n int }
+
+func (c *counter) Deliver(*nicsim.Packet) { c.n++ }
+
+// BenchmarkNetemQueue measures the per-packet cost of the full queue
+// pipeline on the virtual clock — enqueue, head-of-line departure
+// event, burst-loss draw, propagation event, delivery — the hot path
+// every emulated hop charges per packet. Tracked in
+// BENCH_protosim.json.
+func BenchmarkNetemQueue(b *testing.B) {
+	clk := clock.NewVirtual()
+	loss, err := LossSpec{P: 0.01, BurstLen: 8}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := NewQueue(QueueConfig{
+		BandwidthBps: 400e9,
+		BufferBytes:  1 << 20,
+		Latency:      time.Millisecond,
+		Loss:         loss,
+		Seed:         1,
+		Clock:        clk,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := &counter{}
+	port := q.Port(sink)
+	payload := make([]byte, 4096-nicsim.HeaderBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	clock.Join(clk, func() {
+		for i := 0; i < b.N; i++ {
+			port.Send(&nicsim.Packet{Opcode: nicsim.OpWriteImm, PSN: uint32(i), Payload: payload})
+			if i%128 == 127 {
+				// Let the buffer drain so the benchmark measures the
+				// steady pipeline, not tail-drop of an ever-full queue.
+				clk.Sleep(20 * time.Microsecond)
+			}
+		}
+		clk.Sleep(10 * time.Millisecond)
+	})
+	b.StopTimer()
+	if sink.n == 0 {
+		b.Fatal("nothing delivered")
+	}
+}

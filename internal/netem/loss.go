@@ -1,0 +1,99 @@
+// Package netem is the multi-datacenter network emulator of the
+// functional stack: clocked finite-buffer queues that serialize
+// packets at line rate and tail-drop on overflow (§2.1's ISP
+// behaviour), pluggable loss processes unifying the fabric's i.i.d.
+// drops with internal/wan's Gilbert–Elliott burst channel, and a
+// topology builder that wires N simulated datacenters into named
+// graphs — ring, tree, full mesh, dumbbell with a shared bottleneck —
+// with per-edge distance/bandwidth/buffer/loss parameters.
+//
+// Where internal/fabric models a single impaired point-to-point wire
+// (uplink serialization, i.i.d. loss), netem models the path: every
+// hop is a store-and-forward queue on a clock.Clock, multiple flows
+// can share one queue's finite buffer (the multi-tenant contention
+// that differentiates reliability schemes), and loss processes advance
+// in wire-serialization order, so bursty channels produce the
+// correlated drop clusters the SDR bitmap is designed to mask
+// (§3.1.1). On a clock.Virtual the whole emulation is a deterministic
+// discrete-event simulation; on the real clock it runs against the
+// wall exactly like the fabric does.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sdrrdma/internal/wan"
+)
+
+// LossProcess decides the fate of each packet leaving a queue. It is
+// the packet-level twin of wan.LossModel — wan.IIDLoss and
+// *wan.GilbertElliott satisfy it directly — but stated here so the
+// emulator does not prescribe the statistical library. Implementations
+// are stateful (burst channels carry their Markov state) and are
+// driven under the owning queue's lock, in wire-serialization order,
+// so one instance must never be shared between queues.
+type LossProcess interface {
+	// Drop reports whether the packet about to leave the queue is lost.
+	Drop(rng *rand.Rand) bool
+	// Name identifies the process for experiment output.
+	Name() string
+}
+
+// LossSpec is the declarative form topology configs use: a stationary
+// loss rate plus an optional mean burst length. It exists so scenario
+// tables stay plain data — Build turns one spec into a fresh stateful
+// LossProcess per queue direction.
+type LossSpec struct {
+	// P is the stationary packet loss rate. Zero means lossless (the
+	// queue still tail-drops on buffer overflow).
+	P float64
+	// BurstLen, when > 1, selects a Gilbert–Elliott channel with this
+	// mean burst length in packets; 0 or 1 selects i.i.d. loss.
+	BurstLen float64
+}
+
+// Validate reports specification errors without building anything.
+func (s LossSpec) Validate() error {
+	if s.P == 0 && s.BurstLen == 0 {
+		return nil // lossless
+	}
+	if s.BurstLen > 1 {
+		return wan.ValidateGilbertElliott(s.P, s.BurstLen)
+	}
+	if s.P < 0 || s.P >= 1 {
+		return fmt.Errorf("netem: loss rate %g outside [0,1)", s.P)
+	}
+	if s.BurstLen < 0 {
+		return fmt.Errorf("netem: burst length %g < 0", s.BurstLen)
+	}
+	return nil
+}
+
+// Build returns a fresh LossProcess for one queue direction, or nil
+// for a lossless spec.
+func (s LossSpec) Build() (LossProcess, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch {
+	case s.P == 0:
+		return nil, nil
+	case s.BurstLen > 1:
+		return wan.NewGilbertElliottChecked(s.P, s.BurstLen)
+	default:
+		return wan.IIDLoss{P: s.P}, nil
+	}
+}
+
+// Name labels the spec for experiment output.
+func (s LossSpec) Name() string {
+	switch {
+	case s.P == 0:
+		return "lossless"
+	case s.BurstLen > 1:
+		return fmt.Sprintf("ge(%g,burst=%g)", s.P, s.BurstLen)
+	default:
+		return fmt.Sprintf("iid(%g)", s.P)
+	}
+}

@@ -1,0 +1,244 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdrrdma/internal/clock"
+	"sdrrdma/internal/nicsim"
+)
+
+// DropReason classifies why a queue discarded a packet.
+type DropReason int
+
+const (
+	// TailDrop: the finite buffer was full on arrival — the ISP
+	// congestion signature of §2.1. Tail drops are inherently bursty:
+	// while the buffer stays full every arriving packet is lost, so
+	// consecutive wire packets (and therefore packets of the same
+	// bitmap chunk) cluster into one loss event.
+	TailDrop DropReason = iota
+	// ChannelLoss: the configured LossProcess dropped the packet on the
+	// wire after it left the buffer.
+	ChannelLoss
+)
+
+func (r DropReason) String() string {
+	if r == TailDrop {
+		return "tail-drop"
+	}
+	return "channel-loss"
+}
+
+// QueueConfig describes one direction of an emulated hop.
+type QueueConfig struct {
+	// BandwidthBps is the line rate the queue serializes at (> 0; an
+	// unpaced hop has no meaningful buffer occupancy).
+	BandwidthBps float64
+	// BufferBytes bounds the queue: arrivals that would push the
+	// buffered wire bytes (payload + nicsim.HeaderBytes each) past this
+	// limit are tail-dropped. 0 = unbounded.
+	BufferBytes int
+	// Latency is the propagation delay applied after a packet finishes
+	// transmitting (store-and-forward).
+	Latency time.Duration
+	// Loss is the wire loss process applied to packets leaving the
+	// buffer, in serialization order — so burst channels correlate
+	// drops across consecutive wire packets. nil = lossless wire.
+	Loss LossProcess
+	// Seed drives the loss draws.
+	Seed int64
+	// Clock supplies departure and propagation timing; nil uses the
+	// shared real clock.
+	Clock clock.Clock
+}
+
+// Validate reports configuration errors.
+func (c QueueConfig) Validate() error {
+	switch {
+	case c.BandwidthBps <= 0:
+		return fmt.Errorf("netem: queue bandwidth %g <= 0", c.BandwidthBps)
+	case c.BufferBytes < 0:
+		return fmt.Errorf("netem: queue buffer %d < 0", c.BufferBytes)
+	case c.Latency < 0:
+		return fmt.Errorf("netem: queue latency %v < 0", c.Latency)
+	}
+	return nil
+}
+
+// Queue is one direction of an emulated link: a finite-buffer FIFO
+// that serializes packets at line rate on a clock.Clock, tail-drops on
+// overflow, applies its loss process in transmission order, and then
+// propagates survivors to their per-flow destination.
+//
+// Unlike fabric.Direction's uplink booking — which charges wire time
+// but delivers every packet it keeps — a Queue is a real store-and-
+// forward stage: packets occupy buffer bytes until their transmission
+// completes, and several flows can share one Queue through per-flow
+// Ports, contending for the same buffer. That is what lets a dumbbell
+// bottleneck reproduce multi-tenant tail-drop bursts no single-link
+// model shows.
+type Queue struct {
+	cfg QueueConfig
+	clk clock.Clock
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	q    []queued
+	used int  // buffered wire bytes
+	busy bool // head-of-line transmission in progress
+	high int  // buffer occupancy high-watermark
+
+	onDrop func(pkt *nicsim.Packet, reason DropReason, dst nicsim.Deliverer)
+
+	// Enqueued counts packets accepted into the buffer; TailDrops and
+	// ChannelDrops the two loss classes; Delivered the packets handed
+	// to their destination.
+	Enqueued     atomic.Uint64
+	TailDrops    atomic.Uint64
+	ChannelDrops atomic.Uint64
+	Delivered    atomic.Uint64
+}
+
+type queued struct {
+	pkt  *nicsim.Packet
+	dst  nicsim.Deliverer
+	size int
+}
+
+// NewQueue builds a queue direction.
+func NewQueue(cfg QueueConfig) (*Queue, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Queue{
+		cfg: cfg,
+		clk: clock.Or(cfg.Clock),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// SetDropHook installs fn, called (outside the queue lock) for every
+// dropped packet. dst is the packet's egress destination — the only
+// reliable flow discriminator at a shared queue, since QPNs are
+// per-device and collide across tenants. Experiments use the hook to
+// map drops onto bitmap chunks.
+func (q *Queue) SetDropHook(fn func(pkt *nicsim.Packet, reason DropReason, dst nicsim.Deliverer)) {
+	q.mu.Lock()
+	q.onDrop = fn
+	q.mu.Unlock()
+}
+
+// Drops returns the total packets lost at this queue.
+func (q *Queue) Drops() uint64 { return q.TailDrops.Load() + q.ChannelDrops.Load() }
+
+// HighWatermark returns the peak buffered wire bytes observed.
+func (q *Queue) HighWatermark() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.high
+}
+
+// Port returns this queue's ingress for one flow: packets sent (or
+// delivered) to the port traverse the shared queue and, on survival,
+// continue to dst. A Port is both a nicsim.Wire and a
+// nicsim.Deliverer, so multi-hop paths chain ports back to front.
+func (q *Queue) Port(dst nicsim.Deliverer) *Port { return &Port{q: q, dst: dst} }
+
+// Port is one flow's ingress into a shared Queue.
+type Port struct {
+	q   *Queue
+	dst nicsim.Deliverer
+}
+
+// Send implements nicsim.Wire.
+func (p *Port) Send(pkt *nicsim.Packet) { p.q.enqueue(pkt, p.dst) }
+
+// Deliver implements nicsim.Deliverer (for mid-path hops).
+func (p *Port) Deliver(pkt *nicsim.Packet) { p.q.enqueue(pkt, p.dst) }
+
+// wireBytes is the buffer/serialization footprint of one packet.
+func wireBytes(pkt *nicsim.Packet) int { return len(pkt.Payload) + nicsim.HeaderBytes }
+
+// txTime is the serialization time of size wire bytes at line rate.
+func (q *Queue) txTime(size int) time.Duration {
+	return time.Duration(float64(size) * 8 / q.cfg.BandwidthBps * float64(time.Second))
+}
+
+func (q *Queue) enqueue(pkt *nicsim.Packet, dst nicsim.Deliverer) {
+	q.mu.Lock()
+	size := wireBytes(pkt)
+	if q.cfg.BufferBytes > 0 && q.used+size > q.cfg.BufferBytes {
+		hook := q.onDrop
+		q.mu.Unlock()
+		q.TailDrops.Add(1)
+		if hook != nil {
+			hook(pkt, TailDrop, dst)
+		}
+		return
+	}
+	q.q = append(q.q, queued{pkt: pkt, dst: dst, size: size})
+	q.used += size
+	if q.used > q.high {
+		q.high = q.used
+	}
+	start := !q.busy
+	if start {
+		q.busy = true
+	}
+	d := q.txTime(size)
+	q.mu.Unlock()
+	q.Enqueued.Add(1)
+	if start {
+		// Idle line: this packet goes head-of-line now and departs
+		// after its own transmission time.
+		q.clk.AfterFunc(d, q.depart)
+	}
+}
+
+// depart completes the head-of-line transmission: the packet leaves
+// the buffer, faces the wire loss process, and (on survival)
+// propagates to its destination. The next packet, if any, starts
+// transmitting immediately.
+func (q *Queue) depart() {
+	q.mu.Lock()
+	if len(q.q) == 0 {
+		// Cannot happen: busy is only set with a queued head.
+		q.busy = false
+		q.mu.Unlock()
+		return
+	}
+	head := q.q[0]
+	q.q = q.q[1:]
+	if len(q.q) == 0 {
+		q.q = nil // let the backing array go once drained
+	}
+	q.used -= head.size
+	dropped := q.cfg.Loss != nil && q.cfg.Loss.Drop(q.rng)
+	hook := q.onDrop
+	if len(q.q) > 0 {
+		d := q.txTime(q.q[0].size)
+		q.mu.Unlock()
+		q.clk.AfterFunc(d, q.depart)
+	} else {
+		q.busy = false
+		q.mu.Unlock()
+	}
+	if dropped {
+		q.ChannelDrops.Add(1)
+		if hook != nil {
+			hook(head.pkt, ChannelLoss, head.dst)
+		}
+		return
+	}
+	q.Delivered.Add(1)
+	if q.cfg.Latency > 0 {
+		dst, pkt := head.dst, head.pkt
+		q.clk.AfterFunc(q.cfg.Latency, func() { dst.Deliver(pkt) })
+		return
+	}
+	head.dst.Deliver(head.pkt)
+}

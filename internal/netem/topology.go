@@ -1,0 +1,402 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"sdrrdma/internal/clock"
+	"sdrrdma/internal/core"
+	"sdrrdma/internal/fabric"
+	"sdrrdma/internal/nicsim"
+	"sdrrdma/internal/reliability"
+	"sdrrdma/internal/wan"
+)
+
+// EdgeConfig parameterizes one bidirectional inter-datacenter link.
+type EdgeConfig struct {
+	// DistanceKm is the one-way cable distance; propagation delay is
+	// derived with wan.PropagationSecPerKm, the paper's §2.1
+	// calibration (3750 km ⇔ 25 ms RTT).
+	DistanceKm float64
+	// BandwidthBps is the per-direction line rate.
+	BandwidthBps float64
+	// BufferBytes bounds each direction's queue (tail-drop); 0 =
+	// unbounded.
+	BufferBytes int
+	// Loss is the per-direction wire loss process specification.
+	Loss LossSpec
+}
+
+// delay returns the one-way propagation delay of the edge.
+func (c EdgeConfig) delay() time.Duration {
+	return time.Duration(c.DistanceKm * wan.PropagationSecPerKm * float64(time.Second))
+}
+
+// Edge is one built link of a topology: two independent queue
+// directions sharing nothing but their endpoints. Every flow routed
+// across the edge funnels through these queues, so finite buffers are
+// contended between tenants.
+type Edge struct {
+	// From and To are the node indices the edge connects.
+	From, To int
+	// Cfg echoes the build parameters.
+	Cfg EdgeConfig
+	// Fwd carries From→To traffic, Rev the reverse.
+	Fwd, Rev *Queue
+}
+
+// Hop is one step of a route: an edge plus the traversal direction.
+type Hop struct {
+	Edge *Edge
+	// Forward: traversing From→To (through Edge.Fwd).
+	Forward bool
+}
+
+// Queue returns the queue this hop transits.
+func (h Hop) Queue() *Queue {
+	if h.Forward {
+		return h.Edge.Fwd
+	}
+	return h.Edge.Rev
+}
+
+// Topology is a named multi-datacenter graph on one clock. Build one
+// with New + AddNode/AddEdge or with the shape constructors (Ring,
+// Tree, FullMesh, Dumbbell), then wire reliable flows over it with
+// NewFlow.
+type Topology struct {
+	// Name labels the scenario in experiment output.
+	Name string
+
+	clk   clock.Clock
+	seed  int64
+	nodes []string
+	edges []*Edge
+	// adj[n] lists (edge index) incident to node n, in insertion
+	// order — which makes BFS routes deterministic.
+	adj map[int][]int
+}
+
+// New starts an empty topology on clk (nil = shared real clock). seed
+// derives every queue's loss-draw stream.
+func New(name string, clk clock.Clock, seed int64) *Topology {
+	return &Topology{Name: name, clk: clock.Or(clk), seed: seed, adj: map[int][]int{}}
+}
+
+// Clock returns the clock every queue and flow of this topology runs on.
+func (t *Topology) Clock() clock.Clock { return t.clk }
+
+// AddNode registers a datacenter and returns its index.
+func (t *Topology) AddNode(name string) int {
+	t.nodes = append(t.nodes, name)
+	return len(t.nodes) - 1
+}
+
+// NumNodes returns the datacenter count.
+func (t *Topology) NumNodes() int { return len(t.nodes) }
+
+// NodeName returns the name of node i.
+func (t *Topology) NodeName(i int) string { return t.nodes[i] }
+
+// Edges returns the built edges (shared, do not mutate).
+func (t *Topology) Edges() []*Edge { return t.edges }
+
+// AddEdge builds the two queue directions of a link between existing
+// nodes and registers it. Each direction gets a fresh loss process and
+// a distinct seed, so the two loss streams differ (as fabric.Symmetric
+// does for single links).
+func (t *Topology) AddEdge(from, to int, cfg EdgeConfig) (*Edge, error) {
+	if from < 0 || from >= len(t.nodes) || to < 0 || to >= len(t.nodes) {
+		return nil, fmt.Errorf("netem: edge %d–%d outside %d nodes", from, to, len(t.nodes))
+	}
+	if from == to {
+		return nil, fmt.Errorf("netem: self-edge on node %d", from)
+	}
+	idx := len(t.edges)
+	build := func(dirSeed int64) (*Queue, error) {
+		loss, err := cfg.Loss.Build()
+		if err != nil {
+			return nil, fmt.Errorf("netem: edge %s–%s: %w", t.nodes[from], t.nodes[to], err)
+		}
+		return NewQueue(QueueConfig{
+			BandwidthBps: cfg.BandwidthBps,
+			BufferBytes:  cfg.BufferBytes,
+			Latency:      cfg.delay(),
+			Loss:         loss,
+			Seed:         dirSeed,
+			Clock:        t.clk,
+		})
+	}
+	fwd, err := build(t.seed + int64(idx)*7919)
+	if err != nil {
+		return nil, err
+	}
+	rev, err := build(t.seed + int64(idx)*7919 + 3967)
+	if err != nil {
+		return nil, err
+	}
+	e := &Edge{From: from, To: to, Cfg: cfg, Fwd: fwd, Rev: rev}
+	t.edges = append(t.edges, e)
+	t.adj[from] = append(t.adj[from], idx)
+	t.adj[to] = append(t.adj[to], idx)
+	return e, nil
+}
+
+// Route returns a shortest hop sequence from→to (BFS over hop count;
+// ties broken by edge insertion order, so routes are deterministic).
+func (t *Topology) Route(from, to int) ([]Hop, error) {
+	if from == to {
+		return nil, fmt.Errorf("netem: route from node %d to itself", from)
+	}
+	if from < 0 || from >= len(t.nodes) || to < 0 || to >= len(t.nodes) {
+		return nil, fmt.Errorf("netem: route %d→%d outside %d nodes", from, to, len(t.nodes))
+	}
+	type arrival struct {
+		prevNode int
+		viaEdge  int
+	}
+	seen := map[int]arrival{from: {prevNode: -1, viaEdge: -1}}
+	frontier := []int{from}
+	for len(frontier) > 0 {
+		if _, ok := seen[to]; ok {
+			break
+		}
+		var next []int
+		for _, n := range frontier {
+			for _, ei := range t.adj[n] {
+				e := t.edges[ei]
+				peer := e.From + e.To - n
+				if _, ok := seen[peer]; ok {
+					continue
+				}
+				seen[peer] = arrival{prevNode: n, viaEdge: ei}
+				next = append(next, peer)
+			}
+		}
+		frontier = next
+	}
+	if _, ok := seen[to]; !ok {
+		return nil, fmt.Errorf("netem: no route %s→%s", t.nodes[from], t.nodes[to])
+	}
+	var hops []Hop
+	for n := to; n != from; {
+		a := seen[n]
+		e := t.edges[a.viaEdge]
+		hops = append(hops, Hop{Edge: e, Forward: e.From == a.prevNode})
+		n = a.prevNode
+	}
+	// hops were collected destination-first; reverse in place.
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	return hops, nil
+}
+
+// PathDelay returns the one-way propagation delay along hops
+// (excluding serialization and queueing).
+func PathDelay(hops []Hop) time.Duration {
+	var d time.Duration
+	for _, h := range hops {
+		d += h.Edge.Cfg.delay()
+	}
+	return d
+}
+
+// TailDrops sums buffer-overflow drops across every queue.
+func (t *Topology) TailDrops() uint64 {
+	var n uint64
+	for _, e := range t.edges {
+		n += e.Fwd.TailDrops.Load() + e.Rev.TailDrops.Load()
+	}
+	return n
+}
+
+// ChannelDrops sums wire loss-process drops across every queue.
+func (t *Topology) ChannelDrops() uint64 {
+	var n uint64
+	for _, e := range t.edges {
+		n += e.Fwd.ChannelDrops.Load() + e.Rev.ChannelDrops.Load()
+	}
+	return n
+}
+
+// --- flows ----------------------------------------------------------------
+
+// chain threads a delivery path through the hops' queues back to
+// front, ending at dst: the returned Deliverer is the first hop's
+// ingress port.
+func chain(hops []Hop, dst nicsim.Deliverer) nicsim.Deliverer {
+	d := dst
+	for i := len(hops) - 1; i >= 0; i-- {
+		d = hops[i].Queue().Port(d)
+	}
+	return d
+}
+
+// reverseHops returns the return path of a route: same edges, opposite
+// order and direction.
+func reverseHops(hops []Hop) []Hop {
+	rev := make([]Hop, len(hops))
+	for i, h := range hops {
+		rev[len(hops)-1-i] = Hop{Edge: h.Edge, Forward: !h.Forward}
+	}
+	return rev
+}
+
+// NewFlow wires a full reliability deployment (SDR pair + control
+// planes) between two datacenters: the data and control packets of
+// both directions traverse every queue on the route, sharing buffers
+// with any other flow crossing the same edges. coreCfg.Clock is
+// overridden with the topology clock; relCfg.RTT, when zero, defaults
+// to the route's propagation RTT.
+func (t *Topology) NewFlow(from, to int, coreCfg core.Config, relCfg reliability.Config) (*reliability.Session, error) {
+	fwd, err := t.Route(from, to)
+	if err != nil {
+		return nil, err
+	}
+	rev := reverseHops(fwd)
+	devA := nicsim.NewDevice(fmt.Sprintf("%s/%s", t.Name, t.nodes[from]))
+	devB := nicsim.NewDevice(fmt.Sprintf("%s/%s", t.Name, t.nodes[to]))
+	// The per-flow fabric Directions carry no impairments of their own
+	// — latency, bandwidth, buffers and loss all live in the shared
+	// queues — but keep the interceptor hooks and Tx accounting.
+	ab := fabric.NewDirectionTo(chain(fwd, devB), fabric.Config{Clock: t.clk})
+	ba := fabric.NewDirectionTo(chain(rev, devA), fabric.Config{Clock: t.clk})
+	link := &fabric.Link{AB: ab, BA: ba}
+	oneWay := PathDelay(fwd)
+	coreCfg.Clock = t.clk
+	if relCfg.RTT == 0 && oneWay > 0 {
+		relCfg.RTT = 2 * oneWay
+	}
+	// Burst channels break the independent-ACK-loss assumption behind
+	// the receiver's linger window: one bad-state episode spanning
+	// burstLen packets wipes out burstLen *consecutive* ACKs on the
+	// sparse control path, and a linger of RTO at RTT/4 cadence (the
+	// i.i.d.-tuned default) fits entirely inside it — the receiver then
+	// retires the slot and the sender is stranded until the global
+	// timeout. Flows over emulated WAN paths therefore default to a
+	// denser, longer final-ACK schedule unless the caller tuned their
+	// own.
+	if relCfg.RTT > 0 {
+		if relCfg.AckInterval == 0 {
+			relCfg.AckInterval = relCfg.RTT / 8
+		}
+		if relCfg.Linger == 0 {
+			// 2×RTO under the caller's actual Alpha, not a hardcoded
+			// multiple of RTT — a larger Alpha must stretch the linger
+			// with the RTO or the stranding window reopens.
+			relCfg.Linger = 2 * relCfg.WithDefaults().RTO()
+		}
+	}
+	oob := fabric.NewOOB(t.clk, oneWay)
+	pair, err := core.NewPairOver(coreCfg, devA, devB, link, oob)
+	if err != nil {
+		return nil, err
+	}
+	return reliability.NewSessionOn(pair, relCfg), nil
+}
+
+// --- shape constructors ---------------------------------------------------
+
+// Ring builds n datacenters in a cycle: node i links to (i+1) mod n.
+// n = 2 degenerates to a single edge.
+func Ring(clk clock.Clock, n int, cfg EdgeConfig, seed int64) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("netem: ring needs >= 2 nodes, got %d", n)
+	}
+	t := New(fmt.Sprintf("ring-%d", n), clk, seed)
+	for i := 0; i < n; i++ {
+		t.AddNode(fmt.Sprintf("dc%d", i))
+	}
+	edges := n
+	if n == 2 {
+		edges = 1
+	}
+	for i := 0; i < edges; i++ {
+		if _, err := t.AddEdge(i, (i+1)%n, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Tree builds n datacenters in a binary tree rooted at node 0 (node i
+// links to its children 2i+1 and 2i+2).
+func Tree(clk clock.Clock, n int, cfg EdgeConfig, seed int64) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("netem: tree needs >= 2 nodes, got %d", n)
+	}
+	t := New(fmt.Sprintf("tree-%d", n), clk, seed)
+	for i := 0; i < n; i++ {
+		t.AddNode(fmt.Sprintf("dc%d", i))
+	}
+	for i := 1; i < n; i++ {
+		if _, err := t.AddEdge((i-1)/2, i, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// FullMesh links every datacenter pair directly.
+func FullMesh(clk clock.Clock, n int, cfg EdgeConfig, seed int64) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("netem: mesh needs >= 2 nodes, got %d", n)
+	}
+	t := New(fmt.Sprintf("mesh-%d", n), clk, seed)
+	for i := 0; i < n; i++ {
+		t.AddNode(fmt.Sprintf("dc%d", i))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if _, err := t.AddEdge(i, j, cfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// DumbbellTopo is a Dumbbell build plus its layout: `pairs` leaf
+// datacenters on each side of one shared long-haul bottleneck — the
+// canonical shape for multi-tenant tail-drop contention.
+type DumbbellTopo struct {
+	*Topology
+	// Left and Right are the leaf node indices; flow i runs
+	// Left[i]→Right[i].
+	Left, Right []int
+	// LeftAgg and RightAgg are the aggregation nodes.
+	LeftAgg, RightAgg int
+	// Bottleneck is the shared aggregation edge.
+	Bottleneck *Edge
+}
+
+// Dumbbell builds `pairs` leaves per side around a shared bottleneck:
+// every Left[i]→Right[i] flow crosses access edges of its own but
+// contends for the single Bottleneck queue pair.
+func Dumbbell(clk clock.Clock, pairs int, access, bottleneck EdgeConfig, seed int64) (*DumbbellTopo, error) {
+	if pairs < 1 {
+		return nil, fmt.Errorf("netem: dumbbell needs >= 1 leaf pair, got %d", pairs)
+	}
+	t := New(fmt.Sprintf("dumbbell-%d", pairs), clk, seed)
+	d := &DumbbellTopo{Topology: t}
+	d.LeftAgg = t.AddNode("aggL")
+	d.RightAgg = t.AddNode("aggR")
+	var err error
+	if d.Bottleneck, err = t.AddEdge(d.LeftAgg, d.RightAgg, bottleneck); err != nil {
+		return nil, err
+	}
+	for i := 0; i < pairs; i++ {
+		l := t.AddNode(fmt.Sprintf("dcL%d", i))
+		r := t.AddNode(fmt.Sprintf("dcR%d", i))
+		if _, err := t.AddEdge(l, d.LeftAgg, access); err != nil {
+			return nil, err
+		}
+		if _, err := t.AddEdge(d.RightAgg, r, access); err != nil {
+			return nil, err
+		}
+		d.Left = append(d.Left, l)
+		d.Right = append(d.Right, r)
+	}
+	return d, nil
+}

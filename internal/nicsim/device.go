@@ -14,6 +14,15 @@ type Wire interface {
 	Send(pkt *Packet)
 }
 
+// Deliverer is the receive side of a hop: anything packets can be
+// handed to on arrival. *Device is the terminal Deliverer; forwarding
+// stages (netem queues, impairment pipelines) implement it too, so
+// multi-hop paths compose by chaining Deliverers.
+type Deliverer interface {
+	// Deliver hands an inbound packet to this stage.
+	Deliver(pkt *Packet)
+}
+
 // packetSink is implemented by each QP's receive path.
 type packetSink interface {
 	recvPacket(pkt *Packet)

@@ -25,12 +25,30 @@ type RCQP struct {
 
 	mu       sync.Mutex
 	sendPSN  uint32
-	unacked  []*Packet // retransmission queue, ordered by PSN
+	unacked  []*Packet // transmitted and unacknowledged, ordered by PSN
+	pending  []*Packet // built but not yet transmitted (window pacing)
 	wrs      []rcWR    // in-flight work requests, ordered by lastPSN
 	rto      time.Duration
 	timer    clock.Timer
 	closed   bool
 	ackEvery int
+
+	// window caps the outstanding (transmitted, unacknowledged)
+	// packets, modeling the bounded WQE/PSN window a real ASIC paces
+	// against; 0 = unlimited (the legacy fire-hose behaviour).
+	window int
+	// NAK recovery state: real HCAs restart Go-Back-N once per loss
+	// event, not once per duplicate NAK, or a single gap in a deep
+	// in-flight window triggers a resend storm (each late packet NAKs,
+	// each NAK resends the whole tail). A NAK starts a recovery; while
+	// it is live, further NAKs are ignored unless the cumulative ACK
+	// has advanced since (new loss evidence).
+	recovering bool
+	recoverPSN uint32 // last PSN outstanding when recovery started
+	recoverAck uint32 // ackHigh when recovery started
+	ackHigh    uint32 // highest cumulative ACK seen
+	// NaksSuppressed counts NAKs ignored by the recovery filter.
+	NaksSuppressed atomic.Uint64
 
 	// receive state
 	rxMu      sync.Mutex
@@ -74,6 +92,16 @@ func NewRCQP(dev *Device, clk clock.Clock, mtu int, recvCQ, sendCQ *CQ, rto time
 // QPN returns the queue pair number.
 func (qp *RCQP) QPN() uint32 { return qp.qpn }
 
+// SetSendWindow caps the transmitted-and-unacknowledged packets at
+// pkts (0 = unlimited). Fragments beyond the window wait in the QP and
+// are paced out as ACKs arrive — the ASIC behaviour that keeps a WAN
+// loss event from resending an unbounded in-flight tail.
+func (qp *RCQP) SetSendWindow(pkts int) {
+	qp.mu.Lock()
+	qp.window = pkts
+	qp.mu.Unlock()
+}
+
 // Connect attaches the QP to its wire and peer.
 func (qp *RCQP) Connect(wire Wire, peerQPN uint32) {
 	qp.wire = wire
@@ -101,7 +129,7 @@ func (qp *RCQP) WriteImm(rkey uint32, offset uint64, payload []byte, imm uint32,
 		n = 1
 	}
 	qp.mu.Lock()
-	pkts := make([]*Packet, 0, n)
+	lastPSN := qp.sendPSN
 	for i := 0; i < n; i++ {
 		lo := i * qp.mtu
 		hi := lo + qp.mtu
@@ -122,18 +150,41 @@ func (qp *RCQP) WriteImm(rkey uint32, offset uint64, payload []byte, imm uint32,
 		if pkt.Last {
 			pkt.Imm, pkt.HasImm = imm, true
 		}
+		lastPSN = qp.sendPSN
 		qp.sendPSN++
-		pkts = append(pkts, pkt)
-		qp.unacked = append(qp.unacked, pkt)
+		qp.pending = append(qp.pending, pkt)
 	}
-	qp.wrs = append(qp.wrs, rcWR{wrid: wrid, lastPSN: pkts[len(pkts)-1].PSN})
+	qp.wrs = append(qp.wrs, rcWR{wrid: wrid, lastPSN: lastPSN})
+	inject := qp.pumpLocked()
 	qp.armTimerLocked()
 	qp.mu.Unlock()
 
-	for _, pkt := range pkts {
+	for _, pkt := range inject {
 		qp.wire.Send(pkt)
 	}
 	return n
+}
+
+// pumpLocked moves pending fragments into the outstanding window while
+// the pacing cap allows, returning the batch to transmit. Caller holds
+// qp.mu and sends the batch after unlocking.
+func (qp *RCQP) pumpLocked() []*Packet {
+	if len(qp.pending) == 0 {
+		return nil
+	}
+	n := len(qp.pending)
+	if qp.window > 0 {
+		if room := qp.window - len(qp.unacked); room < n {
+			n = room
+		}
+	}
+	if n <= 0 {
+		return nil
+	}
+	batch := qp.pending[:n:n]
+	qp.pending = qp.pending[n:]
+	qp.unacked = append(qp.unacked, batch...)
+	return batch
 }
 
 func (qp *RCQP) armTimerLocked() {
@@ -155,6 +206,9 @@ func (qp *RCQP) onTimeout() {
 		return
 	}
 	resend := append([]*Packet(nil), qp.unacked...)
+	// The RTO opens a fresh loss round: whatever NAK recovery was live
+	// has evidently failed, so let the next NAK restart one.
+	qp.recovering = false
 	qp.armTimerLocked()
 	qp.mu.Unlock()
 	for _, pkt := range resend {
@@ -178,6 +232,9 @@ func (qp *RCQP) recvPacket(pkt *Packet) {
 func (qp *RCQP) handleAck(cum uint32) {
 	var completed []uint64
 	qp.mu.Lock()
+	if cum > qp.ackHigh {
+		qp.ackHigh = cum
+	}
 	i := 0
 	for i < len(qp.unacked) && qp.unacked[i].PSN < cum {
 		i++
@@ -189,12 +246,19 @@ func (qp *RCQP) handleAck(cum uint32) {
 		j++
 	}
 	qp.wrs = qp.wrs[j:]
+	if qp.recovering && cum > qp.recoverPSN {
+		qp.recovering = false // everything resent by the recovery landed
+	}
+	inject := qp.pumpLocked()
 	if len(qp.unacked) == 0 && qp.timer != nil {
 		qp.timer.Stop()
 	} else {
 		qp.armTimerLocked()
 	}
 	qp.mu.Unlock()
+	for _, pkt := range inject {
+		qp.wire.Send(pkt)
+	}
 	if qp.sendCQ != nil {
 		for _, wrid := range completed {
 			qp.sendCQ.Push(CQE{QPN: qp.qpn, Opcode: CQESend, WRID: wrid})
@@ -204,11 +268,27 @@ func (qp *RCQP) handleAck(cum uint32) {
 
 func (qp *RCQP) handleNak(from uint32) {
 	qp.mu.Lock()
+	if qp.window > 0 && qp.recovering && qp.ackHigh == qp.recoverAck {
+		// Duplicate evidence for the loss event already being repaired:
+		// every late packet behind one gap NAKs the same expected PSN,
+		// and resending the tail once more only multiplies the storm.
+		// Only the ASIC-mode (windowed) sender filters: the filter
+		// assumes order-preserving delivery, which the paced WAN paths
+		// provide but free-running test wires need not.
+		qp.NaksSuppressed.Add(1)
+		qp.mu.Unlock()
+		return
+	}
 	var resend []*Packet
 	for _, pkt := range qp.unacked {
 		if pkt.PSN >= from {
 			resend = append(resend, pkt)
 		}
+	}
+	if len(resend) > 0 {
+		qp.recovering = true
+		qp.recoverPSN = resend[len(resend)-1].PSN
+		qp.recoverAck = qp.ackHigh
 	}
 	qp.armTimerLocked()
 	qp.mu.Unlock()

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"sdrrdma/internal/clock"
 )
 
 // lossyWire drops packets with probability p (seeded) and delivers the
@@ -167,4 +169,114 @@ func (w *filteredAsyncWire) Send(pkt *Packet) {
 		return
 	}
 	go w.dst.Deliver(pkt)
+}
+
+// orderedLossyWire delivers in FIFO order on a virtual clock (equal
+// latencies fire in schedule order) and drops every Nth data packet
+// deterministically — the order-preserving WAN path the windowed
+// sender's NAK-storm filter assumes.
+type orderedLossyWire struct {
+	clk   clock.Clock
+	dst   *Device
+	lat   time.Duration
+	every int
+	sends int
+	drops int
+}
+
+func (w *orderedLossyWire) Send(pkt *Packet) {
+	// Single-threaded by construction: every Send happens inside a
+	// virtual-clock actor or engine callback.
+	if pkt.Opcode == OpWriteImm || pkt.Opcode == OpWrite {
+		w.sends++
+		if w.every > 0 && w.sends%w.every == 0 {
+			w.drops++
+			return
+		}
+	}
+	w.clk.AfterFunc(w.lat, func() { w.dst.Deliver(pkt) })
+}
+
+// runWindowedRC pushes one size-byte message across the deterministic
+// lossy wire with the given outstanding-packet window (0 = legacy
+// unlimited) and returns (data sends, retransmits, suppressed NAKs).
+func runWindowedRC(t *testing.T, window, size int) (int, uint64, uint64) {
+	t.Helper()
+	clk := clock.NewVirtual()
+	lat := time.Millisecond
+	rto := 6 * lat // 3×RTT
+	devA, devB := NewDevice("wa"), NewDevice("wb")
+	sendCQ := NewCQ(1<<12, true)
+	recvCQ := NewCQ(1<<12, true)
+	var completed int
+	recvCQ.SetSink(func(CQE) {})
+	sendCQ.SetSink(func(CQE) { completed++; clk.Notify() })
+	qpA := NewRCQP(devA, clk, 4096, NewCQ(16, false), sendCQ, rto, 4)
+	qpB := NewRCQP(devB, clk, 4096, recvCQ, nil, rto, 4)
+	defer qpA.Close()
+	defer qpB.Close()
+	qpA.SetSendWindow(window)
+	wAB := &orderedLossyWire{clk: clk, dst: devB, lat: lat, every: 37}
+	wBA := &orderedLossyWire{clk: clk, dst: devA, lat: lat}
+	qpA.Connect(wAB, qpB.QPN())
+	qpB.Connect(wBA, qpA.QPN())
+
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*7 + i>>9)
+	}
+	recvBuf := make([]byte, size)
+	mr := devB.RegMR(recvBuf)
+	clock.Join(clk, func() {
+		qpA.WriteImm(mr.Key(), 0, data, 0, 1)
+		if window > 0 && wAB.sends != window {
+			t.Errorf("window %d: %d packets in flight after post, want exactly the window", window, wAB.sends)
+		}
+		for completed == 0 {
+			epoch := clk.Epoch()
+			if completed != 0 {
+				break
+			}
+			clk.WaitNotify(epoch, rto)
+		}
+	})
+	if !bytes.Equal(recvBuf, data) {
+		t.Fatal("windowed RC delivered corrupt data")
+	}
+	return wAB.sends, qpA.Retransmits.Load(), qpA.NaksSuppressed.Load()
+}
+
+// The ASIC-mode sender (outstanding window + one Go-Back-N restart
+// per loss event) must complete lossy transfers with a bounded packet
+// cost, where the legacy fire-hose sender's NAK storm multiplies
+// every loss into a full-tail resend cascade.
+func TestRCWindowBoundsLossRecovery(t *testing.T) {
+	const size = 1 << 20 // 256 packets
+	ideal := size / 4096
+	sends, retrans, suppressed := runWindowedRC(t, 32, size)
+	if retrans == 0 {
+		t.Fatal("lossy run had no retransmissions — wire not lossy?")
+	}
+	if suppressed == 0 {
+		t.Fatal("NAK filter never engaged under windowed loss recovery")
+	}
+	if sends > 6*ideal {
+		t.Fatalf("windowed sender injected %d packets for a %d-packet message — storm not contained", sends, ideal)
+	}
+	legacySends, _, legacySuppressed := runWindowedRC(t, 0, size)
+	if legacySuppressed != 0 {
+		t.Fatalf("legacy (unwindowed) sender suppressed %d NAKs — filter must stay off", legacySuppressed)
+	}
+	if legacySends < 2*sends {
+		t.Fatalf("legacy sender injected %d vs windowed %d — expected the storm the window prevents", legacySends, sends)
+	}
+}
+
+// Determinism: the windowed virtual-clock run replays bit-identically.
+func TestRCWindowDeterministic(t *testing.T) {
+	s1, r1, n1 := runWindowedRC(t, 32, 1<<20)
+	s2, r2, n2 := runWindowedRC(t, 32, 1<<20)
+	if s1 != s2 || r1 != r2 || n1 != n2 {
+		t.Fatalf("windowed RC diverged: (%d,%d,%d) vs (%d,%d,%d)", s1, r1, n1, s2, r2, n2)
+	}
 }

@@ -54,6 +54,16 @@ func (g ecGeometry) subBytes(i, total int) int {
 // parityBytes is the wire size of each parity submessage.
 func (g ecGeometry) parityBytes() int { return g.m * g.chunkBytes }
 
+// ECScratchBytes returns the parity scratch size ReceiveEC requires
+// for a message of msgBytes under this config and chunk size — the
+// single source of truth harnesses should size their scratch MRs
+// with, instead of re-deriving the L·m·chunk geometry.
+func (c Config) ECScratchBytes(chunkBytes, msgBytes int) int {
+	cfg := c.WithDefaults()
+	g := newECGeometry(msgBytes, chunkBytes, cfg.K, cfg.M)
+	return g.L * g.parityBytes()
+}
+
 // WriteEC reliably writes data using the erasure-coding scheme of
 // §4.1.2: each data submessage goes out as a streaming SDR send (kept
 // open for fallback retransmission), its parity as a one-shot send.

@@ -24,6 +24,15 @@ func NewSession(coreCfg core.Config, relCfg Config, ab, ba fabric.Config, oobLat
 	if err != nil {
 		return nil, err
 	}
+	return NewSessionOn(pair, relCfg), nil
+}
+
+// NewSessionOn layers the reliability deployment over an existing
+// pair — the hook netem topologies use after wiring a pair across
+// multi-hop queue paths. The control planes transmit on the pair's
+// link directions, so ACK/NACK traffic crosses the same impaired path
+// as the data (§4.1).
+func NewSessionOn(pair *core.Pair, relCfg Config) *Session {
 	clk := pair.A.Ctx.Clock()
 	mtu := pair.A.Ctx.Config().MTU
 	cpA := NewControlPlane(pair.A.Dev, pair.Link.AB, mtu, clk)
@@ -34,7 +43,7 @@ func NewSession(coreCfg core.Config, relCfg Config, ab, ba fabric.Config, oobLat
 		Pair: pair,
 		A:    NewEndpoint(pair.A.QP, cpA, relCfg),
 		B:    NewEndpoint(pair.B.QP, cpB, relCfg),
-	}, nil
+	}
 }
 
 // Close tears the session down.

@@ -65,3 +65,61 @@ func TestBurstMaskingGrowsWithChunkSize(t *testing.T) {
 		t.Fatalf("64-packet chunks mask bursts only %.2fx, want >2x", prevRatio)
 	}
 }
+
+// Parameter validation: netem configs must fail fast instead of
+// producing NaN transition probabilities or chains whose realized
+// loss rate cannot match pAvg.
+func TestGilbertElliottValidation(t *testing.T) {
+	bad := []struct{ pAvg, burstLen float64 }{
+		{0, 8},              // never enters the bad state
+		{-0.1, 8},           // negative rate
+		{1, 8},              // divides by zero deriving pGoodToBad
+		{1.5, 8},            // negative pGoodToBad
+		{math.NaN(), 8},     // NaN propagates into both transitions
+		{math.Inf(1), 8},    //
+		{0.01, 0.5},         // sub-packet burst
+		{0.01, -1},          //
+		{0.01, math.NaN()},  //
+		{0.01, math.Inf(1)}, // chain frozen in the good state
+	}
+	for _, c := range bad {
+		if err := ValidateGilbertElliott(c.pAvg, c.burstLen); err == nil {
+			t.Errorf("ValidateGilbertElliott(%g, %g) accepted", c.pAvg, c.burstLen)
+		}
+		if _, err := NewGilbertElliottChecked(c.pAvg, c.burstLen); err == nil {
+			t.Errorf("NewGilbertElliottChecked(%g, %g) accepted", c.pAvg, c.burstLen)
+		}
+	}
+	good := []struct{ pAvg, burstLen float64 }{
+		{1e-6, 1}, {0.01, 8}, {0.5, 100}, {0.999, 2},
+	}
+	for _, c := range good {
+		if err := ValidateGilbertElliott(c.pAvg, c.burstLen); err != nil {
+			t.Errorf("ValidateGilbertElliott(%g, %g) rejected: %v", c.pAvg, c.burstLen, err)
+		}
+		g, err := NewGilbertElliottChecked(c.pAvg, c.burstLen)
+		if err != nil || g == nil {
+			t.Errorf("NewGilbertElliottChecked(%g, %g) failed: %v", c.pAvg, c.burstLen, err)
+			continue
+		}
+		if math.IsNaN(g.PGoodToBad) || g.PGoodToBad <= 0 || g.PBadToGood <= 0 {
+			t.Errorf("checked chain (%g, %g) has degenerate transitions %+v", c.pAvg, c.burstLen, g)
+		}
+	}
+	// A checked chain must realize its configured average.
+	g, err := NewGilbertElliottChecked(0.02, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	drops := 0
+	const n = 500000
+	for i := 0; i < n; i++ {
+		if g.Drop(rng) {
+			drops++
+		}
+	}
+	if rate := float64(drops) / n; math.Abs(rate-0.02) > 0.004 {
+		t.Fatalf("checked chain realized loss %g, want ≈0.02", rate)
+	}
+}

@@ -146,8 +146,39 @@ type GilbertElliott struct {
 	bad        bool
 }
 
+// ValidateGilbertElliott reports whether (pAvg, burstLen) define a
+// proper two-state chain: pAvg must lie in (0,1) and burstLen in
+// [1,∞), both finite. Outside that range the derived transition
+// probabilities degenerate — pAvg ≥ 1 divides by ≤0 (NaN/negative
+// pGoodToBad), pAvg ≤ 0 or an infinite burstLen pin the chain in one
+// state so the realized loss rate can never match pAvg. Topology
+// configs (internal/netem) validate through this before building loss
+// processes, so a bad scenario fails at construction instead of
+// producing a silently wrong packet trace.
+func ValidateGilbertElliott(pAvg, burstLen float64) error {
+	switch {
+	case math.IsNaN(pAvg) || math.IsInf(pAvg, 0) || pAvg <= 0 || pAvg >= 1:
+		return fmt.Errorf("wan: gilbert-elliott pAvg %g outside (0,1)", pAvg)
+	case math.IsNaN(burstLen) || math.IsInf(burstLen, 0) || burstLen < 1:
+		return fmt.Errorf("wan: gilbert-elliott burstLen %g outside [1,inf)", burstLen)
+	}
+	return nil
+}
+
+// NewGilbertElliottChecked is NewGilbertElliott with parameter
+// validation: it rejects configurations ValidateGilbertElliott rejects
+// instead of clamping or degenerating.
+func NewGilbertElliottChecked(pAvg, burstLen float64) (*GilbertElliott, error) {
+	if err := ValidateGilbertElliott(pAvg, burstLen); err != nil {
+		return nil, err
+	}
+	return NewGilbertElliott(pAvg, burstLen), nil
+}
+
 // NewGilbertElliott builds a burst channel whose stationary loss rate is
-// pAvg with mean burst length burstLen units.
+// pAvg with mean burst length burstLen units. Out-of-range burst
+// lengths are clamped for backward compatibility; use
+// NewGilbertElliottChecked to reject them instead.
 func NewGilbertElliott(pAvg float64, burstLen float64) *GilbertElliott {
 	if burstLen < 1 {
 		burstLen = 1
