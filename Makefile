@@ -12,7 +12,7 @@ GO ?= go
 # hazard — the lossy coverage runs on the virtual harness).
 RACE_PKGS = ./internal/bitmap/ ./internal/gf256/ ./internal/ec/ \
 	./internal/clock/ ./internal/fabric/ ./internal/core/ ./internal/reliability/ \
-	./internal/netem/
+	./internal/netem/ ./internal/simnet/
 
 .PHONY: ci vet build test race bench bench-kernels bench-json
 
@@ -24,9 +24,12 @@ vet:
 build:
 	$(GO) build ./...
 
+# experiments runs -short under race so the multi-lane sweep path
+# (parallel virtual cells + GOMAXPROCS determinism) is race-checked
+# without paying for the single-threaded model sweeps.
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -short ./internal/protosim/ ./internal/collective/
+	$(GO) test -race -short ./internal/protosim/ ./internal/collective/ ./internal/experiments/
 
 test:
 	$(GO) test ./...
@@ -50,7 +53,9 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkSimnet' -benchmem ./internal/simnet/ > bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkCampaign|BenchmarkDES' -benchmem ./internal/protosim/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkDESValidation|BenchmarkGBNBaseline' -benchtime 2x -benchmem . >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkVirtualHandoff|BenchmarkVirtualSleepChurn' -benchmem ./internal/clock/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkWANVirtual|BenchmarkWANReal' -benchtime 3x -benchmem ./internal/experiments/ >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkWANFunctionalSweep|BenchmarkMultiDCSweep' -benchtime 3x -benchmem ./internal/experiments/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkNetemQueue' -benchmem ./internal/netem/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkFunctionalAllreduceVirtual' -benchtime 5x -benchmem ./internal/collective/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkMultiDCVirtual|BenchmarkMultiDCReal' -benchtime 2x -benchmem ./internal/experiments/ >> bench-json.tmp

@@ -19,6 +19,19 @@ import (
 	"strings"
 )
 
+// isDigits reports whether s is a non-empty decimal number.
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
 // Entry is one benchmark result line.
 type Entry struct {
 	Iterations int64              `json:"iterations"`
@@ -44,8 +57,11 @@ func main() {
 			continue
 		}
 		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			name = name[:i] // strip -GOMAXPROCS suffix
+		// Strip the -GOMAXPROCS suffix, but only when it is numeric:
+		// sub-benchmark names (Benchmark/variant-x) may contain dashes
+		// of their own that must survive into the JSON key.
+		if i := strings.LastIndex(name, "-"); i > 0 && isDigits(name[i+1:]) {
+			name = name[:i]
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {

@@ -27,6 +27,8 @@ func main() {
 	duration := flag.Float64("duration", 1.0, "seconds per functional throughput point")
 	clockMode := flag.String("clock", "virtual",
 		"clock for the functional figures (wan-functional, multidc-functional): 'virtual' (deterministic, simulation speed) or 'real' (wall clock)")
+	sweepWorkers := flag.Int("sweep-workers", 0,
+		"virtual sweep lanes for the functional figures: 0 = GOMAXPROCS, 1 = serial; output is byte-identical either way")
 	flag.Parse()
 
 	if *clockMode != "virtual" && *clockMode != "real" {
@@ -40,11 +42,12 @@ func main() {
 		os.Exit(2)
 	}
 	opts := experiments.Options{
-		Samples:     *samples,
-		TailSamples: *tailSamples,
-		Seed:        *seed,
-		DurationSec: *duration,
-		RealClock:   *clockMode == "real",
+		Samples:      *samples,
+		TailSamples:  *tailSamples,
+		Seed:         *seed,
+		DurationSec:  *duration,
+		RealClock:    *clockMode == "real",
+		SweepWorkers: *sweepWorkers,
 	}
 	ids := []string{*fig}
 	if *fig == "all" {

@@ -14,6 +14,10 @@
 //   - netem: multi-datacenter network emulation — clocked
 //     finite-buffer queues (tail drop), i.i.d./Gilbert–Elliott loss
 //     processes, and topology builders with reliable flows over routes
+//   - clock, simnet: the discrete-event machinery — a pluggable
+//     Real/Virtual clock (alloc-free baton scheduler, pooled actors
+//     and timers) and multi-lane sweep fan-out (clock.Lanes) that
+//     runs independent scenario cells across cores byte-identically
 //   - ec, gf256: Reed–Solomon and XOR erasure codes
 //   - model: the completion-time analysis framework (stochastic +
 //     analytic), collective: ring Allreduce and tree broadcast

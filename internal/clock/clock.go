@@ -112,6 +112,26 @@ func Or(c Clock) Clock {
 	return c
 }
 
+// oneShot is the optional cheap fire-and-forget scheduling interface
+// (implemented by Virtual.RunAfter): schedule fn after d with no
+// cancellable handle and no Timer allocation.
+type oneShot interface {
+	RunAfter(d time.Duration, fn func())
+}
+
+// After schedules fn to run once after d. Callers that never Stop or
+// Reset the timer — per-packet deliveries, queue departures — should
+// prefer this over AfterFunc: on a Virtual clock it is one pooled
+// engine slot (no Timer object per event), on a Real clock it falls
+// back to AfterFunc.
+func After(c Clock, d time.Duration, fn func()) {
+	if o, ok := c.(oneShot); ok {
+		o.RunAfter(d, fn)
+		return
+	}
+	c.AfterFunc(d, fn)
+}
+
 // Now implements Clock.
 func (r *Real) Now() time.Time { return time.Now() }
 

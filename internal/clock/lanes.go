@@ -1,0 +1,119 @@
+package clock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sdrrdma/internal/simnet"
+)
+
+// Lanes fans independent simulation cells across CPU cores. Each
+// worker owns one pooled Virtual engine — its lane — that is Reset
+// between cells, so a sweep of N cells costs N×(cell events) but only
+// W×(engine machinery) allocations for W workers. Because every cell
+// is a self-contained deterministic simulation (its own clock, fabric,
+// sessions and seed), the sweep's results are byte-identical for any
+// worker count, including 1 — which is what lets the functional
+// figures parallelize the way protosim.Sample does without giving up
+// reproducibility.
+//
+// A zero Lanes is ready to use; it may be reused across Run calls and
+// keeps its engines warm in between. Workers <= 0 means GOMAXPROCS.
+type Lanes struct {
+	// Workers caps the concurrent cells (<= 0: GOMAXPROCS).
+	Workers int
+
+	mu   sync.Mutex
+	idle []*Virtual
+}
+
+// lease takes a pooled engine (Reset and ready) or builds a fresh one.
+func (l *Lanes) lease() *Virtual {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := len(l.idle); n > 0 {
+		v := l.idle[n-1]
+		l.idle = l.idle[:n-1]
+		return v
+	}
+	return NewVirtual()
+}
+
+// release returns an engine to the pool, Reset and ready for the next
+// cell. An engine whose cell panicked mid-run (live actors, active
+// Run) is dropped instead: resetting it would panic again and bury
+// the original diagnostic — e.g. a virtual-deadlock report — under a
+// cascading secondary panic.
+func (l *Lanes) release(v *Virtual) {
+	if !v.Idle() {
+		return
+	}
+	v.Reset()
+	l.mu.Lock()
+	l.idle = append(l.idle, v)
+	l.mu.Unlock()
+}
+
+// Run executes cell(v, i) for every i in [0, n) across the configured
+// worker count. The *Virtual passed to each cell is freshly Reset;
+// the cell builds its whole deployment on it (typically finishing with
+// Join) and writes its result into slot i of a pre-sized slice.
+// Iteration order is unspecified; the output must depend only on i.
+func (l *Lanes) Run(n int, cell func(v *Virtual, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := l.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		v := l.lease()
+		defer l.release(v)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				v.Reset()
+			}
+			cell(v, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := l.lease()
+			defer l.release(v)
+			for first := true; ; first = false {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !first {
+					v.Reset()
+				}
+				cell(v, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunLanes is the convenience form of Lanes.Run for one-off sweeps:
+// run n cells across `workers` pooled virtual clocks (<= 0 =
+// GOMAXPROCS).
+func RunLanes(workers, n int, cell func(v *Virtual, i int)) {
+	(&Lanes{Workers: workers}).Run(n, cell)
+}
+
+// CellSeed derives the deterministic per-cell seed for cell i of a
+// sweep rooted at seed (simnet.SplitMix64 — the same derivation
+// protosim.Sample applies per sample), so neighbouring cells get
+// decorrelated RNG streams regardless of which worker runs them.
+func CellSeed(seed int64, i int) int64 { return simnet.SplitMix64(seed, i) }

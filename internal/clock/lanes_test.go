@@ -1,0 +1,206 @@
+package clock
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// laneCell runs one deterministic mini-simulation on v: three named
+// actors interleaving rng-drawn sleeps, AfterFunc timers (exercising
+// the timer pool) and a notify handshake, returning the full execution
+// trace. Two runs with the same seed must produce identical traces —
+// on a fresh clock, on a Reset clock, and on any lane of a sweep.
+func laneCell(v *Virtual, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var trace []string
+	for i := 0; i < 3; i++ {
+		i := i
+		v.GoNamed(fmt.Sprintf("cell-actor%d", i), func() {
+			for s := 0; s < 4; s++ {
+				d := time.Duration(rng.Int63n(int64(time.Millisecond)))
+				v.Sleep(d)
+				v.AfterFunc(d/2, func() {
+					trace = append(trace, fmt.Sprintf("t%d@%v", i, v.Elapsed()))
+				})
+				trace = append(trace, fmt.Sprintf("a%d@%v", i, v.Elapsed()))
+				v.Notify()
+			}
+		})
+	}
+	v.Run()
+	return strings.Join(trace, ",")
+}
+
+// The lane-reuse guarantee: a cell run on a Reset (pooled) engine is
+// byte-identical to the same cell on a fresh engine.
+func TestVirtualResetReuseIdenticalOutput(t *testing.T) {
+	v := NewVirtual()
+	first := laneCell(v, 42)
+	v.Reset()
+	second := laneCell(v, 42)
+	fresh := laneCell(NewVirtual(), 42)
+	if first != second {
+		t.Fatalf("pooled engine diverged from its own first run:\n%s\n%s", first, second)
+	}
+	if first != fresh {
+		t.Fatalf("pooled engine diverged from a fresh engine:\n%s\n%s", first, fresh)
+	}
+	v.Reset()
+	if other := laneCell(v, 43); other == first {
+		t.Fatal("different seeds produced identical traces — cell not actually seeded")
+	}
+}
+
+// Reset must rewind time and the notification epoch so a reused lane
+// starts from the exact initial state.
+func TestVirtualResetRewindsClockState(t *testing.T) {
+	v := NewVirtual()
+	v.Go(func() {
+		v.Sleep(5 * time.Millisecond)
+		v.Notify()
+	})
+	v.Run()
+	if v.Elapsed() == 0 || v.Epoch() == 0 {
+		t.Fatal("run did not advance time/epoch")
+	}
+	v.Reset()
+	if v.Elapsed() != 0 || v.Epoch() != 0 {
+		t.Fatalf("Reset left elapsed=%v epoch=%d", v.Elapsed(), v.Epoch())
+	}
+}
+
+// A sweep's output must not depend on how many lanes compute it.
+func TestRunLanesDeterministicAcrossWorkers(t *testing.T) {
+	const cells = 12
+	render := func(workers int) string {
+		out := make([]string, cells)
+		RunLanes(workers, cells, func(v *Virtual, i int) {
+			out[i] = laneCell(v, CellSeed(7, i))
+		})
+		return strings.Join(out, "\n")
+	}
+	serial := render(1)
+	for _, w := range []int{0, 2, 4, 8} {
+		if got := render(w); got != serial {
+			t.Fatalf("workers=%d diverged from the serial sweep", w)
+		}
+	}
+}
+
+// A Lanes pool reused across Run calls must keep producing the serial
+// results (engines stay warm in between).
+func TestLanesPoolReuseAcrossRuns(t *testing.T) {
+	l := &Lanes{Workers: 3}
+	run := func() string {
+		out := make([]string, 6)
+		l.Run(6, func(v *Virtual, i int) { out[i] = laneCell(v, CellSeed(99, i)) })
+		return strings.Join(out, "\n")
+	}
+	first := run()
+	second := run()
+	if first != second {
+		t.Fatal("pooled lanes diverged across Run calls")
+	}
+}
+
+// CellSeed must match protosim's sample-seed derivation discipline:
+// stable, and decorrelated across neighbouring cells.
+func TestCellSeedStableAndDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := CellSeed(42, i)
+		if s != CellSeed(42, i) {
+			t.Fatal("CellSeed not deterministic")
+		}
+		if seen[s] {
+			t.Fatalf("CellSeed collision at cell %d", i)
+		}
+		seen[s] = true
+	}
+	if CellSeed(1, 0) == CellSeed(2, 0) {
+		t.Fatal("CellSeed ignores the root seed")
+	}
+}
+
+// The all-blocked diagnostic must name the stuck actors and report the
+// pending-timer count — the information a multi-lane deadlock needs to
+// be attributable.
+func TestVirtualDeadlockDiagnosticNamesActors(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run must panic on a blocked-forever actor")
+		}
+		msg := fmt.Sprint(r)
+		for _, want := range []string{"rx-loop", "WaitNotify", "timer(s) pending", "actor-"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("diagnostic %q missing %q", msg, want)
+			}
+		}
+	}()
+	v := NewVirtual()
+	v.GoNamed("rx-loop", func() { v.WaitNotify(v.Epoch(), -1) })
+	v.Go(func() { v.WaitNotify(v.Epoch(), -1) }) // anonymous: actor-N fallback
+	v.Run()
+}
+
+// BenchmarkVirtualHandoff measures the baton cost: two actors
+// ping-ponging through Notify/WaitNotify, i.e. the park-self/
+// grant-next switch that dominates every functional-stack simulation.
+// Tracked in BENCH_protosim.json; the direct-handoff scheduler does
+// one cond signal per switch and allocates nothing.
+func BenchmarkVirtualHandoff(b *testing.B) {
+	v := NewVirtual()
+	b.ReportAllocs()
+	turn := 0
+	actor := func(me int) func() {
+		return func() {
+			for i := 0; i < b.N; i++ {
+				for turn != me {
+					epoch := v.Epoch()
+					if turn == me {
+						break
+					}
+					v.WaitNotify(epoch, -1)
+				}
+				turn = 1 - me
+				v.Notify()
+			}
+		}
+	}
+	v.Go(actor(0))
+	v.Go(actor(1))
+	v.Run()
+}
+
+// BenchmarkVirtualSleepChurn measures the timer-wake path: one actor
+// sleeping in a tight loop (engine lane push + typed wake per
+// iteration, no closures).
+func BenchmarkVirtualSleepChurn(b *testing.B) {
+	v := NewVirtual()
+	b.ReportAllocs()
+	v.Go(func() {
+		for i := 0; i < b.N; i++ {
+			v.Sleep(time.Microsecond)
+		}
+	})
+	v.Run()
+}
+
+// BenchmarkLanesSweep is the multi-lane scaling probe: GOMAXPROCS
+// lanes vs one lane over the same 16-cell bundle of mini-simulations.
+func BenchmarkLanesSweep(b *testing.B) {
+	bench := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			RunLanes(workers, 16, func(v *Virtual, i int) {
+				laneCell(v, CellSeed(42, i))
+			})
+		}
+	}
+	b.Run("serial", func(b *testing.B) { bench(b, 1) })
+	b.Run("parallel", func(b *testing.B) { bench(b, 0) })
+}

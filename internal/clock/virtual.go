@@ -2,6 +2,7 @@ package clock
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -27,31 +28,84 @@ import (
 // pure function of its configuration and seeds: bit-identical across
 // runs and GOMAXPROCS values, and free of data races by construction.
 //
+// # Hot path
+//
+// The scheduler is built so the dominant operations are allocation
+// free after warm-up:
+//
+//   - Actors live in a slab and are pooled: an actor finishing returns
+//     its (cond, links, lane) state to a free list, so a sweep reusing
+//     one clock across many cells (see Lanes) registers thousands of
+//     actors with a handful of allocations.
+//   - The ready queue and the WaitNotify waiter list are intrusive
+//     linked lists threaded through the actor structs — no slice
+//     growth, no O(n) waiter-removal scans on timeout.
+//   - Wake timers (Sleep deadlines, WaitNotify timeouts) are typed
+//     (kind, actor) engine events dispatched through HandleEvent — no
+//     per-wait closure — and ride each actor's monotone engine lane,
+//     so the common wait is an O(1) ring push instead of a heap sift.
+//   - A parking actor hands the baton directly to the next ready
+//     actor: one cond signal per switch. The scheduler goroutine wakes
+//     only when no actor is runnable (to fire engine events) — the
+//     park-self/grant-next switch no longer round-trips through Run.
+//
+// # Reuse
+//
+// Reset rewinds a finished clock (no live actors) to its initial
+// state — virtual time zero, notification epoch zero, no pending
+// events — while keeping the engine slab, the actor pool and the
+// timer pool, so one Virtual can run an entire sweep of independent
+// cells without reallocating its machinery. Outstanding Timer handles
+// are invalidated by Reset and must not be used afterwards.
+//
 // # Deadlock
 //
 // If every actor is blocked without a time bound and no engine event
 // is pending, no wakeup can ever arrive; Run panics with a diagnostic
-// rather than hanging, turning a protocol bug into a test failure.
+// — including per-actor labels (see GoNamed) and the pending-timer
+// count — rather than hanging, turning a protocol bug into a test
+// failure.
 type Virtual struct {
 	mu       sync.Mutex
-	rootCond *sync.Cond // Run waits here for the baton to come back
+	rootCond sync.Cond // Run waits here until no actor is runnable
 	eng      *simnet.Engine
 	base     time.Time
 	gen      uint64 // notification epoch
 	actors   int    // registered and not yet finished
 	current  *actor // actor holding the baton (nil: scheduler owns it)
-	ready    []*actor
-	waiters  []*actor // actors parked in WaitNotify, wake on Notify
 	running  bool
+
+	// ready is an intrusive FIFO of runnable actors.
+	readyHead, readyTail *actor
+	// waiters is an intrusive doubly-linked FIFO of actors parked in
+	// WaitNotify (wake on Notify, in registration order).
+	waitHead, waitTail *actor
+
+	slab      []*actor // every actor ever registered (index = actor.id)
+	freeActor []*actor // finished actors available for reuse
+
+	timerPool []*virtualTimer // AfterFunc timers reclaimed by Reset
+	timerLive []*virtualTimer // timers handed out since the last Reset
 }
+
+// evWake is the typed engine event that readies a parked actor; the
+// event's a-payload is the actor's slab index.
+const evWake = 1
 
 // actor is one registered goroutine's scheduling state.
 type actor struct {
-	cond     *sync.Cond // tied to Virtual.mu
-	granted  bool       // baton handed over, actor may run
-	parked   bool       // inside a clock wait
-	queued   bool       // in the ready FIFO
-	notified bool       // wake cause was Notify, not a timeout
+	id       int32
+	cond     sync.Cond // tied to Virtual.mu
+	name     string    // optional label for deadlock diagnostics
+	inUse    bool      // registered and not yet finished
+	granted  bool      // baton handed over, actor may run
+	parked   bool      // inside a clock wait
+	queued   bool      // in the ready FIFO
+	waiting  bool      // on the WaitNotify waiter list
+	notified bool      // wake cause was Notify, not a timeout
+
+	nextReady          *actor // intrusive ready-FIFO link
+	nextWait, prevWait *actor // intrusive waiter-list links
 }
 
 // NewVirtual creates a virtual clock at a fixed, wall-independent base
@@ -61,8 +115,21 @@ func NewVirtual() *Virtual {
 		eng:  simnet.New(),
 		base: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC),
 	}
-	v.rootCond = sync.NewCond(&v.mu)
+	v.rootCond.L = &v.mu
+	v.eng.SetHandler(v)
 	return v
+}
+
+// HandleEvent dispatches typed engine events (actor wakeups). It runs
+// on the scheduler goroutine with v.mu released (engine callbacks are
+// invoked outside the lock).
+func (v *Virtual) HandleEvent(kind, a, _ int32) {
+	if kind != evWake {
+		return
+	}
+	v.mu.Lock()
+	v.readyLocked(v.slab[a])
+	v.mu.Unlock()
 }
 
 // Now implements Clock: base + virtual offset.
@@ -79,7 +146,8 @@ func (v *Virtual) nowLocked() time.Time {
 // Since implements Clock.
 func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
 
-// Elapsed returns the virtual time consumed since construction.
+// Elapsed returns the virtual time consumed since construction (or the
+// last Reset).
 func (v *Virtual) Elapsed() time.Duration { return v.Now().Sub(v.base) }
 
 // IsVirtual implements Clock.
@@ -98,28 +166,67 @@ func (v *Virtual) Notify() {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.gen++
-	for _, a := range v.waiters {
+	for a := v.waitHead; a != nil; {
+		next := a.nextWait
+		a.nextWait, a.prevWait = nil, nil
+		a.waiting = false
 		a.notified = true
 		v.readyLocked(a)
+		a = next
 	}
-	v.waiters = v.waiters[:0]
+	v.waitHead, v.waitTail = nil, nil
 }
 
 // readyLocked moves a parked actor to the ready FIFO (idempotent).
 func (v *Virtual) readyLocked(a *actor) {
-	if !a.parked || a.queued {
+	if !a.parked || a.queued || a.granted {
 		return
 	}
 	a.queued = true
-	v.ready = append(v.ready, a)
+	a.nextReady = nil
+	if v.readyTail == nil {
+		v.readyHead = a
+	} else {
+		v.readyTail.nextReady = a
+	}
+	v.readyTail = a
 }
 
-// park blocks the calling actor until the scheduler grants the baton
-// back. v.mu must be held; it is held again on return.
+// popReadyLocked takes the next runnable actor off the ready FIFO.
+func (v *Virtual) popReadyLocked() *actor {
+	a := v.readyHead
+	if a == nil {
+		return nil
+	}
+	v.readyHead = a.nextReady
+	if v.readyHead == nil {
+		v.readyTail = nil
+	}
+	a.nextReady = nil
+	a.queued = false
+	return a
+}
+
+// grantLocked hands the baton to a and signals it awake.
+func (v *Virtual) grantLocked(a *actor) {
+	a.granted = true
+	v.current = a
+	a.cond.Signal()
+}
+
+// park blocks the calling actor until it is granted the baton again.
+// The baton is handed directly to the next ready actor — one signal
+// per switch — and only falls back to the scheduler goroutine when no
+// actor is runnable (so it can fire engine events). v.mu must be
+// held; it is held again on return.
 func (v *Virtual) park(a *actor) {
 	a.parked = true
 	v.current = nil
-	v.rootCond.Signal()
+	if n := v.popReadyLocked(); n != nil {
+		v.grantLocked(n)
+	} else {
+		v.rootCond.Signal()
+	}
 	for !a.granted {
 		a.cond.Wait()
 	}
@@ -138,39 +245,76 @@ func (v *Virtual) currentActor(op string) *actor {
 	return a
 }
 
+// allocActorLocked takes an actor from the pool (or grows the slab)
+// and gives it a dedicated monotone engine lane for wake timers.
+func (v *Virtual) allocActorLocked(name string) *actor {
+	var a *actor
+	if n := len(v.freeActor); n > 0 {
+		a = v.freeActor[n-1]
+		v.freeActor = v.freeActor[:n-1]
+	} else {
+		a = &actor{id: int32(len(v.slab))}
+		a.cond.L = &v.mu
+		v.slab = append(v.slab, a)
+	}
+	a.name = name
+	a.inUse = true
+	return a
+}
+
 // Go implements Clock: fn becomes an actor, initially ready. Run
 // returns once every actor has finished.
-func (v *Virtual) Go(fn func()) {
+func (v *Virtual) Go(fn func()) { v.GoNamed("", fn) }
+
+// GoNamed registers fn as an actor labelled name. The label appears in
+// the all-blocked deadlock diagnostic, which is what makes multi-actor
+// (and multi-lane) stalls attributable to a protocol role instead of
+// an anonymous goroutine.
+func (v *Virtual) GoNamed(name string, fn func()) {
 	v.mu.Lock()
-	a := &actor{cond: sync.NewCond(&v.mu)}
+	a := v.allocActorLocked(name)
 	v.actors++
 	a.parked = true // waiting for its first baton grant
 	v.readyLocked(a)
 	v.mu.Unlock()
-	go func() {
-		v.mu.Lock()
-		for !a.granted {
-			a.cond.Wait()
-		}
-		a.granted = false
-		a.parked = false
-		v.mu.Unlock()
-		defer func() {
-			v.mu.Lock()
-			v.actors--
-			v.current = nil
-			v.rootCond.Signal()
-			v.mu.Unlock()
-		}()
-		fn()
-	}()
+	go v.runActor(a, fn)
 }
 
-// Run drives the simulation: it grants the baton to ready actors one
-// at a time and, when all actors are blocked, advances virtual time by
-// firing engine events. It returns when every actor has finished.
-// Only one Run may be active at a time; actors may keep spawning more
-// actors with Go while it runs.
+// runActor is the actor goroutine body: wait for the first grant, run
+// fn, then recycle the actor and hand the baton onward.
+func (v *Virtual) runActor(a *actor, fn func()) {
+	v.mu.Lock()
+	for !a.granted {
+		a.cond.Wait()
+	}
+	a.granted = false
+	a.parked = false
+	v.mu.Unlock()
+	defer v.finishActor(a)
+	fn()
+}
+
+func (v *Virtual) finishActor(a *actor) {
+	v.mu.Lock()
+	v.actors--
+	v.current = nil
+	a.inUse = false
+	a.name = ""
+	v.freeActor = append(v.freeActor, a)
+	if n := v.popReadyLocked(); n != nil {
+		v.grantLocked(n)
+	} else {
+		v.rootCond.Signal()
+	}
+	v.mu.Unlock()
+}
+
+// Run drives the simulation: it grants the baton to ready actors and,
+// when all actors are blocked, advances virtual time by firing engine
+// events. It returns when every actor has finished. Only one Run may
+// be active at a time; actors may keep spawning more actors with Go
+// while it runs. Between actor switches Run mostly sleeps: parking
+// actors grant the baton to their successor directly.
 func (v *Virtual) Run() {
 	v.mu.Lock()
 	if v.running {
@@ -179,16 +323,12 @@ func (v *Virtual) Run() {
 	}
 	v.running = true
 	for {
-		if len(v.ready) > 0 {
-			a := v.ready[0]
-			v.ready = v.ready[1:]
-			a.queued = false
-			a.granted = true
-			v.current = a
-			a.cond.Signal()
-			for v.current != nil {
-				v.rootCond.Wait()
-			}
+		if v.current != nil {
+			v.rootCond.Wait()
+			continue
+		}
+		if a := v.popReadyLocked(); a != nil {
+			v.grantLocked(a)
 			continue
 		}
 		if v.actors == 0 {
@@ -200,17 +340,40 @@ func (v *Virtual) Run() {
 		v.mu.Unlock()
 		progressed := v.eng.Step()
 		v.mu.Lock()
-		if !progressed && len(v.ready) == 0 {
-			n, at := v.actors, v.nowLocked()
+		if !progressed && v.readyHead == nil && v.current == nil {
+			diag := v.deadlockLocked()
 			v.running = false
 			v.mu.Unlock()
-			panic(fmt.Sprintf(
-				"clock: virtual deadlock at %v: %d actor(s) blocked with no pending events",
-				at, n))
+			panic(diag)
 		}
 	}
 	v.running = false
 	v.mu.Unlock()
+}
+
+// deadlockLocked renders the all-blocked diagnostic: when, how many
+// actors, who they are (with wait kind), and how many timers are still
+// pending (a nonzero count here means events exist but none can fire —
+// impossible by construction — so it is reported to expose scheduler
+// bugs too).
+func (v *Virtual) deadlockLocked() string {
+	var names []string
+	for _, a := range v.slab {
+		if !a.inUse {
+			continue
+		}
+		n := a.name
+		if n == "" {
+			n = fmt.Sprintf("actor-%d", a.id)
+		}
+		if a.waiting {
+			n += " (WaitNotify)"
+		}
+		names = append(names, n)
+	}
+	return fmt.Sprintf(
+		"clock: virtual deadlock at %v: %d actor(s) blocked with no pending events (%d timer(s) pending): %s",
+		v.nowLocked(), v.actors, v.eng.Pending(), strings.Join(names, ", "))
 }
 
 // Sleep implements Clock: parks the actor until a timer event at
@@ -221,11 +384,7 @@ func (v *Virtual) Sleep(d time.Duration) {
 	}
 	v.mu.Lock()
 	a := v.currentActor("Sleep")
-	v.eng.After(d.Seconds(), func() {
-		v.mu.Lock()
-		v.readyLocked(a)
-		v.mu.Unlock()
-	})
+	v.eng.ScheduleLaneAfter(a.id, d.Seconds(), evWake, a.id, 0)
 	v.park(a)
 	v.mu.Unlock()
 }
@@ -239,14 +398,10 @@ func (v *Virtual) WaitNotify(epoch uint64, d time.Duration) bool {
 		return true
 	}
 	a.notified = false
-	v.waiters = append(v.waiters, a)
+	v.pushWaiterLocked(a)
 	var timeout simnet.Timer
 	if d >= 0 {
-		timeout = v.eng.After(d.Seconds(), func() {
-			v.mu.Lock()
-			v.readyLocked(a)
-			v.mu.Unlock()
-		})
+		timeout = v.eng.ScheduleLaneAfter(a.id, d.Seconds(), evWake, a.id, 0)
 	}
 	v.park(a)
 	if a.notified {
@@ -258,35 +413,86 @@ func (v *Virtual) WaitNotify(epoch uint64, d time.Duration) bool {
 	return a.notified
 }
 
-func (v *Virtual) removeWaiterLocked(a *actor) {
-	for i, w := range v.waiters {
-		if w == a {
-			v.waiters = append(v.waiters[:i], v.waiters[i+1:]...)
-			return
-		}
+// pushWaiterLocked appends a to the WaitNotify waiter list.
+func (v *Virtual) pushWaiterLocked(a *actor) {
+	a.waiting = true
+	a.nextWait = nil
+	a.prevWait = v.waitTail
+	if v.waitTail == nil {
+		v.waitHead = a
+	} else {
+		v.waitTail.nextWait = a
 	}
+	v.waitTail = a
 }
 
-// virtualTimer implements Timer on the engine.
+// removeWaiterLocked unlinks a from the waiter list in O(1).
+func (v *Virtual) removeWaiterLocked(a *actor) {
+	if !a.waiting {
+		return
+	}
+	if a.prevWait != nil {
+		a.prevWait.nextWait = a.nextWait
+	} else {
+		v.waitHead = a.nextWait
+	}
+	if a.nextWait != nil {
+		a.nextWait.prevWait = a.prevWait
+	} else {
+		v.waitTail = a.prevWait
+	}
+	a.nextWait, a.prevWait = nil, nil
+	a.waiting = false
+}
+
+// RunAfter schedules fn to run once after d on the scheduler
+// goroutine, without a cancellable handle: one pooled engine slot, no
+// Timer allocation. It is the cheap path packet pipelines use for
+// fire-and-forget deliveries (see clock.After).
+func (v *Virtual) RunAfter(d time.Duration, fn func()) {
+	v.mu.Lock()
+	v.eng.After(max(0, d.Seconds()), fn)
+	v.mu.Unlock()
+}
+
+// virtualTimer implements Timer on the engine. The objects are pooled:
+// Reset (on the Virtual) reclaims every timer handed out since the
+// previous Reset, so sweep cells reusing one clock do not reallocate
+// timer state.
 type virtualTimer struct {
-	v  *Virtual
-	fn func()
-	t  simnet.Timer
+	v    *Virtual
+	fn   func()
+	fire func() // bound once; engine slots store it without allocating
+	t    simnet.Timer
 }
 
 // AfterFunc implements Clock. fn runs on the scheduler goroutine while
 // every actor is parked, serialized with actors and other callbacks.
 func (v *Virtual) AfterFunc(d time.Duration, fn func()) Timer {
-	t := &virtualTimer{v: v, fn: fn}
 	v.mu.Lock()
+	t := v.allocTimerLocked()
+	t.fn = fn
 	t.t = v.eng.After(max(0, d.Seconds()), t.fire)
 	v.mu.Unlock()
 	return t
 }
 
-// fire runs on the scheduler goroutine (engine callback); the callback
-// itself may take v.mu, so fire must not hold it.
-func (t *virtualTimer) fire() { t.fn() }
+func (v *Virtual) allocTimerLocked() *virtualTimer {
+	var t *virtualTimer
+	if n := len(v.timerPool); n > 0 {
+		t = v.timerPool[n-1]
+		v.timerPool = v.timerPool[:n-1]
+	} else {
+		t = &virtualTimer{v: v}
+		t.fire = t.doFire
+	}
+	v.timerLive = append(v.timerLive, t)
+	return t
+}
+
+// doFire runs on the scheduler goroutine (engine callback); the
+// callback itself may take v.mu, so doFire must not hold it.
+func (t *virtualTimer) doFire() { t.fn() }
 
 // Stop implements Timer.
 func (t *virtualTimer) Stop() bool {
@@ -307,6 +513,46 @@ func (t *virtualTimer) Reset(d time.Duration) bool {
 	return active
 }
 
+// Idle reports whether the clock is quiescent — no live actors, no
+// active Run — i.e. the state in which Reset is legal. Lanes uses it
+// to drop an engine whose cell panicked mid-run instead of cascading
+// a second panic out of the deferred release.
+func (v *Virtual) Idle() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return !v.running && v.actors == 0 && v.current == nil
+}
+
+// Reset rewinds a finished clock for reuse: virtual time and the
+// notification epoch return to zero and every pending engine event is
+// discarded, while the engine slab, actor pool and timer pool are
+// retained. A cell run on a Reset clock is bit-identical to the same
+// cell on a fresh clock (see Lanes). Reset panics if actors are still
+// live or a Run is active; Timer handles from before the Reset are
+// invalidated and must not be touched again.
+func (v *Virtual) Reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.running || v.actors != 0 || v.current != nil {
+		panic("clock: Virtual.Reset with live actors or an active Run")
+	}
+	v.eng.Reset()
+	v.gen = 0
+	v.readyHead, v.readyTail = nil, nil
+	v.waitHead, v.waitTail = nil, nil
+	for _, t := range v.timerLive {
+		t.fn = nil // don't pin the retired cell's closures until reuse
+		v.timerPool = append(v.timerPool, t)
+	}
+	v.timerLive = v.timerLive[:0]
+}
+
+// NamedFunc labels one Join participant for deadlock diagnostics.
+type NamedFunc struct {
+	Name string
+	Fn   func()
+}
+
 // Join runs fns to completion on the clock: registered actors plus a
 // scheduler Run on a Virtual clock, plain goroutines plus a WaitGroup
 // otherwise. It is the bridge test harnesses and experiments use to
@@ -320,6 +566,29 @@ func Join(c Clock, fns ...func()) {
 		v.Run()
 		return
 	}
+	joinReal(c, fns...)
+}
+
+// JoinNamed is Join with per-actor labels: on a Virtual clock each fn
+// becomes a named actor, so an all-blocked panic reports which
+// protocol roles were stuck instead of anonymous actor indices. Real
+// clocks ignore the labels.
+func JoinNamed(c Clock, fns ...NamedFunc) {
+	if v, ok := c.(*Virtual); ok {
+		for _, nf := range fns {
+			v.GoNamed(nf.Name, nf.Fn)
+		}
+		v.Run()
+		return
+	}
+	plain := make([]func(), len(fns))
+	for i, nf := range fns {
+		plain[i] = nf.Fn
+	}
+	joinReal(c, plain...)
+}
+
+func joinReal(c Clock, fns ...func()) {
 	var wg sync.WaitGroup
 	for _, fn := range fns {
 		wg.Add(1)

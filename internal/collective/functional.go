@@ -215,13 +215,13 @@ func (r *FunctionalRing) Allreduce(inputs [][]float64, protocol string) ([]float
 	steps := 2*n - 2
 	txErrs := make([]error, n)
 	rxErrs := make([]error, n)
-	actors := make([]func(), 0, 2*n)
+	actors := make([]clock.NamedFunc, 0, 2*n)
 	for i := 0; i < n; i++ {
 		i := i
 		node := r.nodes[i]
 		buf := work[i]
 		rxDone := &gate{clk: r.clk}
-		actors = append(actors, func() { // sender
+		actors = append(actors, clock.NamedFunc{Name: fmt.Sprintf("ring-node%d/tx", i), Fn: func() { // sender
 			for t := 0; t < steps; t++ {
 				if t > 0 && !rxDone.wait(t) {
 					return // receiver failed; its error is reported
@@ -243,8 +243,8 @@ func (r *FunctionalRing) Allreduce(inputs [][]float64, protocol string) ([]float
 					return
 				}
 			}
-		})
-		actors = append(actors, func() { // receiver
+		}})
+		actors = append(actors, clock.NamedFunc{Name: fmt.Sprintf("ring-node%d/rx", i), Fn: func() { // receiver
 			for t := 0; t < steps; t++ {
 				if err := recv(node.recvEP, node.staging, node.parity, segBytes, protocol); err != nil {
 					rxErrs[i] = fmt.Errorf("node %d step %d recv: %w", i, t, err)
@@ -263,9 +263,9 @@ func (r *FunctionalRing) Allreduce(inputs [][]float64, protocol string) ([]float
 				}
 				rxDone.post()
 			}
-		})
+		}})
 	}
-	clock.Join(r.clk, actors...)
+	clock.JoinNamed(r.clk, actors...)
 	// Report every stuck actor, not just the first: under a shared
 	// bottleneck one failing link starves the whole schedule, and the
 	// full set is what identifies the root link.
@@ -367,11 +367,11 @@ func (t *FunctionalTree) Broadcast(data []byte, protocol string) ([][]byte, erro
 	out := make([][]byte, n)
 	out[0] = data
 	errs := make([]error, n)
-	actors := make([]func(), n)
+	actors := make([]clock.NamedFunc, n)
 	for i := 0; i < n; i++ {
 		i := i
 		node := t.nodes[i]
-		actors[i] = func() {
+		actors[i] = clock.NamedFunc{Name: fmt.Sprintf("tree-node%d", i), Fn: func() {
 			buf := data
 			if node.parent != nil {
 				if err := recv(node.parent.B, node.staging, node.parity, len(data), protocol); err != nil {
@@ -387,9 +387,9 @@ func (t *FunctionalTree) Broadcast(data []byte, protocol string) ([][]byte, erro
 					return
 				}
 			}
-		}
+		}}
 	}
-	clock.Join(t.clk, actors...)
+	clock.JoinNamed(t.clk, actors...)
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -106,6 +106,25 @@ type QP struct {
 	duplicates      atomic.Uint64
 	ctsSent         atomic.Uint64
 	ctsReceived     atomic.Uint64
+
+	// lateSink, when set, observes every data packet absorbed by the
+	// late-packet protection (§3.3.2): the slot and generation the
+	// packet addressed. Reliability layers use it to re-ACK senders
+	// still retransmitting into recently retired receives.
+	lateSink atomic.Pointer[func(slot int, gen uint32)]
+}
+
+// SetLateSink registers fn (nil clears) to be called for every late
+// data packet discarded by the generation / active-slot check — a
+// retransmission that arrived after the receive retired. fn runs on
+// the packet-delivery path (the scheduler goroutine under a virtual
+// clock, a fabric timer goroutine otherwise) and must not block.
+func (qp *QP) SetLateSink(fn func(slot int, gen uint32)) {
+	if fn == nil {
+		qp.lateSink.Store(nil)
+		return
+	}
+	qp.lateSink.Store(&fn)
 }
 
 // NewQP creates an SDR QP within the context, allocating its internal

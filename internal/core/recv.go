@@ -100,6 +100,14 @@ func (h *RecvHandle) PacketBitmap() *bitmap.Bitmap { return h.msg.Packets }
 // Seq returns the message sequence number of this receive.
 func (h *RecvHandle) Seq() uint64 { return h.seq }
 
+// Slot returns the message-table slot this receive occupies and Gen
+// the generation it delivers under — the pair a late packet for this
+// message is identified by after the slot retires (see QP.SetLateSink).
+func (h *RecvHandle) Slot() int { return h.slot }
+
+// Gen returns the receive's delivery generation.
+func (h *RecvHandle) Gen() uint32 { return h.gen }
+
 // Size returns the posted buffer size in bytes.
 func (h *RecvHandle) Size() int { return h.size }
 
@@ -164,9 +172,16 @@ func (qp *QP) backendHandle(gen uint32, cqe *nicsim.CQE) {
 	s := &qp.slots[msgID]
 	h := s.handle.Load()
 	// Stage-2 late protection: the slot must hold a live message of
-	// this worker's generation (§3.3.2).
+	// this worker's generation (§3.3.2). The packet is absorbed, but a
+	// registered late sink still observes it: a retransmission landing
+	// in a retired slot means the sender never saw the final ACK, and
+	// the reliability layer can re-ACK instead of letting it retry
+	// until its global timeout.
 	if h == nil || s.gen.Load() != gen || h.gen != gen {
 		qp.lateDiscarded.Add(1)
+		if sink := qp.lateSink.Load(); sink != nil {
+			(*sink)(int(msgID), gen)
+		}
 		return
 	}
 	if int(pktOff) >= h.npackets {

@@ -80,6 +80,10 @@ type Options struct {
 	// instead of the default deterministic virtual clock — the
 	// before/after comparison for the virtual-clock migration.
 	RealClock bool
+	// SweepWorkers caps how many virtual-clock sweep cells run
+	// concurrently (clock.Lanes): 0 = GOMAXPROCS, 1 = the serial
+	// reference path. Output is byte-identical for every setting.
+	SweepWorkers int
 }
 
 // WithDefaults fills zero fields.

@@ -280,13 +280,21 @@ func wanPattern(n int, seed byte) []byte {
 	return data
 }
 
-// newWANClock picks the experiment clock: virtual by default, wall
-// clock when the caller asked to demonstrate the real-time path.
-func newWANClock(o Options) clock.Clock {
+// runSweep executes n independent scenario cells. On the default
+// virtual path the cells fan across clock.Lanes — every cell is a
+// self-contained deterministic simulation on a pooled engine, so the
+// figure is byte-identical for any worker count (Options.SweepWorkers)
+// and any GOMAXPROCS. The real-clock path stays serial: wall-clock
+// scenarios on one shared machine would contend for CPU and distort
+// each other's timings.
+func runSweep(o Options, n int, cell func(clk clock.Clock, i int)) {
 	if o.RealClock {
-		return clock.Realtime()
+		for i := 0; i < n; i++ {
+			cell(clock.Realtime(), i)
+		}
+		return
 	}
-	return clock.NewVirtual()
+	clock.RunLanes(o.SweepWorkers, n, func(v *clock.Virtual, i int) { cell(v, i) })
 }
 
 // runWANReliability runs one reliable 25 ms-RTT transfer of the SDR
@@ -474,41 +482,65 @@ func WANFunctional(o Options) (*Result, error) {
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"rc-gbn runs windowed (%d outstanding packets + one GBN restart per loss event, the ASIC pacing behaviour) — without it the P>=1e-2 red region injects tens of millions of packets (the §2.2 pathology; protosim's gbn figure sweeps the unwindowed variant in the chunk-level DES); sweep capped at P=%.0e",
 		wanRCWindow, rcDrops[len(rcDrops)-1]))
-	schemes := []string{"sr", "sr-nack", "ec", "rc-gbn"}
-	idealData := uint64((size + 4095) / 4096)
-	for si, scheme := range schemes {
+	// Flatten the (scheme, drop) grid into independent sweep cells;
+	// each cell draws its seed with the splitmix64 mix, so the figure
+	// does not depend on which lane (or how many) computes it.
+	type wanCell struct {
+		scheme string
+		drop   float64
+	}
+	var cells []wanCell
+	for _, scheme := range []string{"sr", "sr-nack", "ec", "rc-gbn"} {
 		schemeDrops := drops
 		if scheme == "rc-gbn" {
 			schemeDrops = rcDrops
 		}
-		for di, drop := range schemeDrops {
-			clk := newWANClock(o)
-			seed := o.Seed + int64(si*100+di*10)
-			var (
-				r   wanResult
-				err error
-			)
-			if scheme == "rc-gbn" {
-				r, err = runWANRC(clk, drop, size, seed)
-			} else {
-				r, err = runWANReliability(clk, scheme, drop, size, seed)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("wan-functional %s @%g: %w", scheme, drop, err)
-			}
-			ideal := idealData
-			if scheme == "ec" {
-				ideal = idealData + idealData/4 // + m/k = 8/32 parity
-			}
-			res.Rows = append(res.Rows, []string{
-				scheme,
-				fmt.Sprintf("%.0e", drop),
-				fmt.Sprintf("%.3f", float64(r.completion)/float64(time.Millisecond)),
-				fmt.Sprintf("%d", r.packets),
-				fmt.Sprintf("%.3fx", float64(r.packets)/float64(ideal)),
-			})
+		for _, drop := range schemeDrops {
+			cells = append(cells, wanCell{scheme: scheme, drop: drop})
 		}
 	}
+	idealData := uint64((size + 4095) / 4096)
+	rows := make([][]string, len(cells))
+	errs := make([]error, len(cells))
+	var failed atomic.Bool // fail fast: skip remaining cells after the first error
+	runSweep(o, len(cells), func(clk clock.Clock, i int) {
+		if failed.Load() {
+			return
+		}
+		c := cells[i]
+		seed := clock.CellSeed(o.Seed, i)
+		var (
+			r   wanResult
+			err error
+		)
+		if c.scheme == "rc-gbn" {
+			r, err = runWANRC(clk, c.drop, size, seed)
+		} else {
+			r, err = runWANReliability(clk, c.scheme, c.drop, size, seed)
+		}
+		if err != nil {
+			errs[i] = fmt.Errorf("wan-functional %s @%g: %w", c.scheme, c.drop, err)
+			failed.Store(true)
+			return
+		}
+		ideal := idealData
+		if c.scheme == "ec" {
+			ideal = idealData + idealData/4 // + m/k = 8/32 parity
+		}
+		rows[i] = []string{
+			c.scheme,
+			fmt.Sprintf("%.0e", c.drop),
+			fmt.Sprintf("%.3f", float64(r.completion)/float64(time.Millisecond)),
+			fmt.Sprintf("%d", r.packets),
+			fmt.Sprintf("%.3fx", float64(r.packets)/float64(ideal)),
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -11,7 +11,10 @@ import (
 // clock pays only the CPU cost of the packet events. Tracked in
 // BENCH_protosim.json.
 func benchMultiDC(b *testing.B, real bool) {
-	opts := Options{Samples: 100, TailSamples: 100, Seed: 42, DurationSec: 0.1, RealClock: real}
+	// SweepWorkers pins the serial path so the tracked number stays the
+	// per-scenario cost; the multi-lane speedup is tracked separately by
+	// BenchmarkMultiDCSweepSerial/Parallel.
+	opts := Options{Samples: 100, TailSamples: 100, Seed: 42, DurationSec: 0.1, RealClock: real, SweepWorkers: 1}
 	for i := 0; i < b.N; i++ {
 		if _, err := MultiDCFunctional(opts); err != nil {
 			b.Fatal(err)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdrrdma/internal/clock"
@@ -18,15 +19,15 @@ func init() {
 	registry["multidc-functional"] = MultiDCFunctional
 }
 
-// newMultiDCClock picks the scenario clock: a fresh virtual clock by
-// default, a dedicated real clock when the caller wants the wall-time
-// comparison (each scenario gets its own instance so notify domains
-// stay per-deployment).
-func newMultiDCClock(o Options) clock.Clock {
+// multidcClock adapts the sweep-provided clock for a scenario: on the
+// real-clock path every scenario gets its own Real instance so notify
+// domains stay per-deployment; the virtual path uses the lane's pooled
+// engine as-is.
+func multidcClock(o Options, clk clock.Clock) clock.Clock {
 	if o.RealClock {
 		return clock.NewReal()
 	}
-	return clock.NewVirtual()
+	return clk
 }
 
 // multidcCoreCfg is the SDR stack configuration shared by every
@@ -158,13 +159,12 @@ func sessionsPacketsSent(ss []*reliability.Session) uint64 {
 // runMultiDCRing runs a ring allreduce across nDC datacenters joined
 // by bursty long-haul edges (Gilbert–Elliott wire loss), the
 // functional counterpart of the Fig 13 ring model on a real topology.
-func runMultiDCRing(o Options, scheme string, nDC, vlen int) (multidcStats, error) {
-	clk := newMultiDCClock(o)
+func runMultiDCRing(clk clock.Clock, scheme string, nDC, vlen int, seed int64) (multidcStats, error) {
 	edge := netem.EdgeConfig{
 		DistanceKm: 3000, BandwidthBps: 50e9, BufferBytes: 4 << 20,
 		Loss: netem.LossSpec{P: 0.05, BurstLen: 8},
 	}
-	topo, err := netem.Ring(clk, nDC, edge, o.Seed)
+	topo, err := netem.Ring(clk, nDC, edge, seed)
 	if err != nil {
 		return multidcStats{}, err
 	}
@@ -212,13 +212,12 @@ func runMultiDCRing(o Options, scheme string, nDC, vlen int) (multidcStats, erro
 // runMultiDCTree broadcasts across a binary-tree physical topology
 // with the binomial logical schedule: several logical edges share
 // physical links, so their packets interleave in the same queues.
-func runMultiDCTree(o Options, scheme string, nDC, size int) (multidcStats, error) {
-	clk := newMultiDCClock(o)
+func runMultiDCTree(clk clock.Clock, scheme string, nDC, size int, seed int64) (multidcStats, error) {
 	edge := netem.EdgeConfig{
 		DistanceKm: 1800, BandwidthBps: 50e9, BufferBytes: 4 << 20,
 		Loss: netem.LossSpec{P: 0.05, BurstLen: 8},
 	}
-	topo, err := netem.Tree(clk, nDC, edge, o.Seed+101)
+	topo, err := netem.Tree(clk, nDC, edge, seed)
 	if err != nil {
 		return multidcStats{}, err
 	}
@@ -234,7 +233,7 @@ func runMultiDCTree(o Options, scheme string, nDC, size int) (multidcStats, erro
 	}
 	defer tree.Close()
 
-	data := wanPattern(size, byte(o.Seed))
+	data := wanPattern(size, byte(seed))
 	start := clk.Now()
 	out, err := tree.Broadcast(data, multidcProto(scheme))
 	if err != nil {
@@ -264,11 +263,10 @@ func runMultiDCTree(o Options, scheme string, nDC, size int) (multidcStats, erro
 // long-haul edge, so the bottleneck buffer overflows and tail-drops in
 // bursts — §2.1's ISP congestion — which the chunk bitmap then masks
 // (several consecutive packet drops per lost chunk).
-func runMultiDCDumbbell(o Options, scheme string, size int) (multidcStats, error) {
-	clk := newMultiDCClock(o)
+func runMultiDCDumbbell(clk clock.Clock, scheme string, size int, seed int64) (multidcStats, error) {
 	access := netem.EdgeConfig{DistanceKm: 100, BandwidthBps: 100e9, BufferBytes: 8 << 20}
 	bottleneck := netem.EdgeConfig{DistanceKm: 3000, BandwidthBps: 80e9, BufferBytes: 512 << 10}
-	d, err := netem.Dumbbell(clk, 2, access, bottleneck, o.Seed+202)
+	d, err := netem.Dumbbell(clk, 2, access, bottleneck, seed)
 	if err != nil {
 		return multidcStats{}, err
 	}
@@ -294,7 +292,7 @@ func runMultiDCDumbbell(o Options, scheme string, size int) (multidcStats, error
 			return multidcStats{}, err
 		}
 		defer s.Close()
-		f := &flow{s: s, data: wanPattern(size, byte(o.Seed+int64(i)))}
+		f := &flow{s: s, data: wanPattern(size, byte(seed+int64(i)))}
 		f.recvBuf = make([]byte, size)
 		f.mr = s.Pair.B.Ctx.RegMR(f.recvBuf)
 		if scheme == "ec" {
@@ -304,27 +302,27 @@ func runMultiDCDumbbell(o Options, scheme string, size int) (multidcStats, error
 	}
 
 	start := clk.Now()
-	var actors []func()
-	for _, f := range flows {
+	var actors []clock.NamedFunc
+	for fi, f := range flows {
 		f := f
 		actors = append(actors,
-			func() {
+			clock.NamedFunc{Name: fmt.Sprintf("dumbbell-flow%d/send", fi), Fn: func() {
 				if scheme == "ec" {
 					f.sendErr = f.s.A.WriteEC(f.data)
 				} else {
 					f.sendErr = f.s.A.WriteSR(f.data)
 				}
 				f.sendDone = clk.Since(start)
-			},
-			func() {
+			}},
+			clock.NamedFunc{Name: fmt.Sprintf("dumbbell-flow%d/recv", fi), Fn: func() {
 				if scheme == "ec" {
 					f.recvErr = f.s.B.ReceiveEC(f.mr, 0, size, f.scratch)
 				} else {
 					f.recvErr = f.s.B.ReceiveSR(f.mr, 0, size)
 				}
-			})
+			}})
 	}
-	clock.Join(clk, actors...)
+	clock.JoinNamed(clk, actors...)
 	var st multidcStats
 	var sessions []*reliability.Session
 	for i, f := range flows {
@@ -384,26 +382,58 @@ func MultiDCFunctional(o Options) (*Result, error) {
 			"drops/lost chunk > 1 is §3.1.1's burst masking observed at the chunk level: the bitmap absorbs consecutive drops as a single chunk retransmission",
 		},
 	}
-	for _, scheme := range []string{"sr-nack", "ec"} {
-		st, err := runMultiDCRing(o, scheme, ringN, ringVlen)
-		if err != nil {
-			return nil, fmt.Errorf("multidc ring %s: %w", scheme, err)
-		}
-		res.Rows = append(res.Rows, st.row(fmt.Sprintf("ring-%d", ringN), scheme))
+	// The scenario × scheme grid flattens into independent sweep cells
+	// (own topology, sessions and splitmix64 seed each) fanned across
+	// clock.Lanes — the multi-DC figure scales across cores exactly
+	// like the WAN sweep, with byte-identical output for any worker
+	// count.
+	type dcCell struct {
+		kind, scheme string
 	}
-	for _, scheme := range []string{"sr-nack", "ec"} {
-		st, err := runMultiDCTree(o, scheme, treeN, treeBytes)
-		if err != nil {
-			return nil, fmt.Errorf("multidc tree %s: %w", scheme, err)
+	var cells []dcCell
+	for _, kind := range []string{"ring", "tree", "dumbbell"} {
+		for _, scheme := range []string{"sr-nack", "ec"} {
+			cells = append(cells, dcCell{kind: kind, scheme: scheme})
 		}
-		res.Rows = append(res.Rows, st.row(fmt.Sprintf("tree-%d", treeN), scheme))
 	}
-	for _, scheme := range []string{"sr-nack", "ec"} {
-		st, err := runMultiDCDumbbell(o, scheme, dumbbellBytes)
-		if err != nil {
-			return nil, fmt.Errorf("multidc dumbbell %s: %w", scheme, err)
+	rows := make([][]string, len(cells))
+	errs := make([]error, len(cells))
+	var failed atomic.Bool // fail fast: skip remaining cells after the first error
+	runSweep(o, len(cells), func(clk clock.Clock, i int) {
+		if failed.Load() {
+			return
 		}
-		res.Rows = append(res.Rows, st.row("dumbbell", scheme))
+		c := cells[i]
+		seed := clock.CellSeed(o.Seed, i)
+		sclk := multidcClock(o, clk)
+		var (
+			st       multidcStats
+			scenario string
+			err      error
+		)
+		switch c.kind {
+		case "ring":
+			scenario = fmt.Sprintf("ring-%d", ringN)
+			st, err = runMultiDCRing(sclk, c.scheme, ringN, ringVlen, seed)
+		case "tree":
+			scenario = fmt.Sprintf("tree-%d", treeN)
+			st, err = runMultiDCTree(sclk, c.scheme, treeN, treeBytes, seed)
+		default:
+			scenario = "dumbbell"
+			st, err = runMultiDCDumbbell(sclk, c.scheme, dumbbellBytes, seed)
+		}
+		if err != nil {
+			errs[i] = fmt.Errorf("multidc %s %s: %w", c.kind, c.scheme, err)
+			failed.Store(true)
+			return
+		}
+		rows[i] = st.row(scenario, c.scheme)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
+	res.Rows = rows
 	return res, nil
 }

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// renderFig runs one figure with an explicit lane count and returns
+// the formatted table.
+func renderFig(t *testing.T, id string, workers int) string {
+	t.Helper()
+	opts := quickOpts
+	opts.SweepWorkers = workers
+	res, err := Run(id, opts)
+	if err != nil {
+		t.Fatalf("figure %s (workers=%d): %v", id, workers, err)
+	}
+	return res.Format()
+}
+
+// sweepDeterminism asserts the multi-lane guarantee for one figure:
+// the parallel sweep is byte-identical to the serial virtual path for
+// every worker count, and stays so across GOMAXPROCS ∈ {1, 4, 8}.
+func sweepDeterminism(t *testing.T, id string) {
+	t.Helper()
+	serial := renderFig(t, id, 1)
+	for _, workers := range []int{0, 2, 4, 8} {
+		if got := renderFig(t, id, workers); got != serial {
+			t.Fatalf("%s: workers=%d diverged from serial:\n%s\n---\n%s", id, workers, got, serial)
+		}
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		if got := renderFig(t, id, 0); got != serial {
+			t.Fatalf("%s: GOMAXPROCS=%d diverged from serial:\n%s\n---\n%s", id, procs, got, serial)
+		}
+	}
+}
+
+func TestWANFunctionalSweepParallelMatchesSerial(t *testing.T) {
+	sweepDeterminism(t, "wan-functional")
+}
+
+func TestMultiDCSweepParallelMatchesSerial(t *testing.T) {
+	sweepDeterminism(t, "multidc-functional")
+}
+
+// benchSweep times one figure's reduced sweep at a fixed lane count —
+// the serial-vs-parallel pair the README quotes. On a multi-core host
+// the parallel variant approaches cells/min(cells, cores) of the
+// serial wall-clock; the cells share nothing but the lane pool.
+func benchSweep(b *testing.B, id string, workers int) {
+	opts := Options{Samples: 100, TailSamples: 100, Seed: 42, DurationSec: 0.1, SweepWorkers: workers}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(id, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWANFunctionalSweepSerial(b *testing.B)   { benchSweep(b, "wan-functional", 1) }
+func BenchmarkWANFunctionalSweepParallel(b *testing.B) { benchSweep(b, "wan-functional", 0) }
+func BenchmarkMultiDCSweepSerial(b *testing.B)         { benchSweep(b, "multidc-functional", 1) }
+func BenchmarkMultiDCSweepParallel(b *testing.B)       { benchSweep(b, "multidc-functional", 0) }

@@ -81,6 +81,10 @@ type Direction struct {
 	heldMu sync.Mutex
 	held   []*nicsim.Packet
 
+	// pool recycles the clocked-delivery envelopes so the per-packet
+	// path allocates nothing (netem queues share the same machinery).
+	pool DeliveryPool
+
 	// Tx counts packets offered to the wire; Dropped, Duplicated and
 	// HeldCount are impairment statistics.
 	Tx         atomic.Uint64
@@ -185,11 +189,68 @@ func (d *Direction) occupyLocked(tx time.Duration) time.Duration {
 }
 
 func (d *Direction) deliver(pkt *nicsim.Packet, delay time.Duration) {
+	d.pool.DeliverAfter(d.clk, delay, d.dst, pkt)
+}
+
+// DeliveryPool schedules fire-and-forget clocked packet deliveries
+// through pooled envelopes whose run closures are bound once at
+// allocation: scheduling a delivery allocates neither a closure nor
+// (on a virtual clock, via clock.After) a Timer — per-packet wire
+// latency is pure engine-slot traffic. The zero value is ready to
+// use; fabric Directions and netem Queues each embed one.
+type DeliveryPool struct {
+	mu   sync.Mutex
+	free *delivery
+}
+
+// DeliverAfter hands pkt to dst after delay on clk (immediately, in
+// the caller's goroutine, when delay <= 0).
+func (p *DeliveryPool) DeliverAfter(clk clock.Clock, delay time.Duration, dst nicsim.Deliverer, pkt *nicsim.Packet) {
 	if delay <= 0 {
-		d.dst.Deliver(pkt)
+		dst.Deliver(pkt)
 		return
 	}
-	d.clk.AfterFunc(delay, func() { d.dst.Deliver(pkt) })
+	env := p.get(dst, pkt)
+	clock.After(clk, delay, env.run)
+}
+
+// delivery is one pooled in-flight envelope.
+type delivery struct {
+	pool *DeliveryPool
+	dst  nicsim.Deliverer
+	pkt  *nicsim.Packet
+	run  func() // == doRun, bound once
+	next *delivery
+}
+
+func (env *delivery) doRun() {
+	dst, pkt := env.dst, env.pkt
+	env.dst, env.pkt = nil, nil
+	// Recycle before delivering: the delivery may synchronously trigger
+	// a response send through the same pool, which can then reuse the
+	// slot.
+	p := env.pool
+	p.mu.Lock()
+	env.next = p.free
+	p.free = env
+	p.mu.Unlock()
+	dst.Deliver(pkt)
+}
+
+func (p *DeliveryPool) get(dst nicsim.Deliverer, pkt *nicsim.Packet) *delivery {
+	p.mu.Lock()
+	env := p.free
+	if env != nil {
+		p.free = env.next
+		env.next = nil
+	}
+	p.mu.Unlock()
+	if env == nil {
+		env = &delivery{pool: p}
+		env.run = env.doRun
+	}
+	env.dst, env.pkt = dst, pkt
+	return env
 }
 
 // ReleaseHeld delivers every held packet immediately (late arrival)
@@ -242,6 +303,9 @@ type OOB struct {
 // oobEnd is one delivery direction's state.
 type oobEnd struct {
 	handler func([]byte)
+	// pump is the bound delivery-timer callback for this end (created
+	// once in NewOOB so arming a timer never allocates a closure).
+	pump func()
 	// backlog holds messages whose latency elapsed before a handler
 	// registered.
 	backlog [][]byte
@@ -262,7 +326,10 @@ type oobPending struct {
 // NewOOB creates an out-of-band channel with the given one-way latency
 // on the given clock (nil = shared real clock).
 func NewOOB(clk clock.Clock, latency time.Duration) *OOB {
-	return &OOB{clk: clock.Or(clk), latency: latency}
+	o := &OOB{clk: clock.Or(clk), latency: latency}
+	o.a.pump = func() { o.pump(&o.a) }
+	o.b.pump = func() { o.pump(&o.b) }
+	return o
 }
 
 // HandleA registers the receive callback for endpoint A and flushes
@@ -299,7 +366,7 @@ func (o *OOB) send(e *oobEnd, msg []byte) {
 		o.drainLocked(e)
 	} else if !e.timerArmed && !e.dispatching {
 		e.timerArmed = true
-		o.clk.AfterFunc(o.latency, func() { o.pump(e) })
+		clock.After(o.clk, o.latency, e.pump)
 	}
 	o.mu.Unlock()
 }
@@ -347,7 +414,7 @@ func (o *OOB) drainLocked(e *oobEnd) {
 				if delay < time.Nanosecond {
 					delay = time.Nanosecond
 				}
-				o.clk.AfterFunc(delay, func() { o.pump(e) })
+				clock.After(o.clk, delay, e.pump)
 			}
 			return
 		}

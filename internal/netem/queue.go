@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sdrrdma/internal/clock"
+	"sdrrdma/internal/fabric"
 	"sdrrdma/internal/nicsim"
 )
 
@@ -94,6 +95,14 @@ type Queue struct {
 
 	onDrop func(pkt *nicsim.Packet, reason DropReason, dst nicsim.Deliverer)
 
+	// departFn is the bound head-of-line departure callback (created
+	// once in NewQueue) and pool the shared envelope machinery for
+	// propagation-delayed deliveries: together they make the per-packet
+	// store-and-forward path schedule its clock events without
+	// allocating closures.
+	departFn func()
+	pool     fabric.DeliveryPool
+
 	// Enqueued counts packets accepted into the buffer; TailDrops and
 	// ChannelDrops the two loss classes; Delivered the packets handed
 	// to their destination.
@@ -114,11 +123,13 @@ func NewQueue(cfg QueueConfig) (*Queue, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Queue{
+	q := &Queue{
 		cfg: cfg,
 		clk: clock.Or(cfg.Clock),
 		rng: rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	q.departFn = q.depart
+	return q, nil
 }
 
 // SetDropHook installs fn, called (outside the queue lock) for every
@@ -195,7 +206,7 @@ func (q *Queue) enqueue(pkt *nicsim.Packet, dst nicsim.Deliverer) {
 	if start {
 		// Idle line: this packet goes head-of-line now and departs
 		// after its own transmission time.
-		q.clk.AfterFunc(d, q.depart)
+		clock.After(q.clk, d, q.departFn)
 	}
 }
 
@@ -222,7 +233,7 @@ func (q *Queue) depart() {
 	if len(q.q) > 0 {
 		d := q.txTime(q.q[0].size)
 		q.mu.Unlock()
-		q.clk.AfterFunc(d, q.depart)
+		clock.After(q.clk, d, q.departFn)
 	} else {
 		q.busy = false
 		q.mu.Unlock()
@@ -235,10 +246,5 @@ func (q *Queue) depart() {
 		return
 	}
 	q.Delivered.Add(1)
-	if q.cfg.Latency > 0 {
-		dst, pkt := head.dst, head.pkt
-		q.clk.AfterFunc(q.cfg.Latency, func() { dst.Deliver(pkt) })
-		return
-	}
-	head.dst.Deliver(head.pkt)
+	q.pool.DeliverAfter(q.clk, q.cfg.Latency, head.dst, head.pkt)
 }

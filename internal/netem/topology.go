@@ -270,21 +270,19 @@ func (t *Topology) NewFlow(from, to int, coreCfg core.Config, relCfg reliability
 	}
 	// Burst channels break the independent-ACK-loss assumption behind
 	// the receiver's linger window: one bad-state episode spanning
-	// burstLen packets wipes out burstLen *consecutive* ACKs on the
-	// sparse control path, and a linger of RTO at RTT/4 cadence (the
-	// i.i.d.-tuned default) fits entirely inside it — the receiver then
-	// retires the slot and the sender is stranded until the global
-	// timeout. Flows over emulated WAN paths therefore default to a
-	// denser, longer final-ACK schedule unless the caller tuned their
-	// own.
-	if relCfg.RTT > 0 {
+	// burstLen packets can wipe out every final ACK of the linger.
+	// That used to force WAN flows onto a denser, longer final-ACK
+	// schedule (RTT/8 cadence, 2×RTO linger) so at least one ACK
+	// outlived the burst; since the receiver re-ACKs late data for
+	// recently retired slots (reliability/reack.go), a swallowed
+	// linger only costs the sender one extra RTO round-trip, and flows
+	// run the protocol's own defaults. The workaround survives solely
+	// for deployments that opt out of the re-ACK.
+	if relCfg.NoLateReAck && relCfg.RTT > 0 {
 		if relCfg.AckInterval == 0 {
 			relCfg.AckInterval = relCfg.RTT / 8
 		}
 		if relCfg.Linger == 0 {
-			// 2×RTO under the caller's actual Alpha, not a hardcoded
-			// multiple of RTT — a larger Alpha must stretch the linger
-			// with the RTO or the stranding window reopens.
 			relCfg.Linger = 2 * relCfg.WithDefaults().RTO()
 		}
 	}

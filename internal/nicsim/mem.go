@@ -78,6 +78,13 @@ type IndirectMR struct {
 	key        uint32
 	entryBytes uint64
 	entries    []atomic.Pointer[indirectEntry]
+	// lastSet caches the most recently stored entry. Entry values are
+	// immutable once published, so identical consecutive stores — the
+	// retire-to-NULL storm that re-points every slot of every
+	// generation at the same (NullMR, 0) pair on QP construction and
+	// on each recv_complete — share one object instead of allocating
+	// per slot.
+	lastSet atomic.Pointer[indirectEntry]
 }
 
 type indirectEntry struct {
@@ -104,7 +111,13 @@ func (ix *IndirectMR) SetEntry(i int, target MemoryTarget, base uint64) {
 		ix.entries[i].Store(nil)
 		return
 	}
-	ix.entries[i].Store(&indirectEntry{target: target, base: base})
+	if e := ix.lastSet.Load(); e != nil && e.target == target && e.base == base {
+		ix.entries[i].Store(e)
+		return
+	}
+	e := &indirectEntry{target: target, base: base}
+	ix.lastSet.Store(e)
+	ix.entries[i].Store(e)
 }
 
 // DMAWrite implements MemoryTarget with offset translation.

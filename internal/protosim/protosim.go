@@ -221,18 +221,11 @@ func Sample(cfg Config, msgBytes int64, n int, seed int64) ([]float64, error) {
 	return out, nil
 }
 
-// sampleSeed derives a per-sample rng seed from (seed, i) via
-// splitmix64 so neighbouring samples get decorrelated streams and the
-// derivation is independent of which worker runs the sample.
-func sampleSeed(seed int64, i int) int64 {
-	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
-	return int64(z)
-}
+// sampleSeed derives a per-sample rng seed from (seed, i)
+// (simnet.SplitMix64, shared with clock.Lanes' per-cell seeds) so
+// neighbouring samples get decorrelated streams and the derivation is
+// independent of which worker runs the sample.
+func sampleSeed(seed int64, i int) int64 { return simnet.SplitMix64(seed, i) }
 
 // runner bundles a reusable engine with per-scheme simulator state so
 // one warm-up serves a whole campaign.

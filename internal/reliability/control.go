@@ -68,10 +68,15 @@ func NewControlPlane(dev *nicsim.Device, wire nicsim.Wire, mtu int, clk clock.Cl
 		handlers: make(map[uint64]chan ctrlMsg),
 	}
 	cp.ud.Attach(wire)
-	// Keep a pool of receive buffers posted.
-	for i := 0; i < 1024; i++ {
-		buf := make([]byte, mtu)
-		cp.bufs = append(cp.bufs, buf)
+	// Keep a pool of receive buffers posted, carved from one slab (a
+	// control plane per session side makes per-buffer allocations the
+	// dominant construction cost of a multi-session sweep otherwise).
+	const nbufs = 1024
+	slab := make([]byte, nbufs*mtu)
+	cp.bufs = make([][]byte, nbufs)
+	for i := 0; i < nbufs; i++ {
+		buf := slab[i*mtu : (i+1)*mtu : (i+1)*mtu]
+		cp.bufs[i] = buf
 		cp.ud.PostRecv(buf, uint64(i))
 	}
 	cq.SetSink(cp.handleCQE)

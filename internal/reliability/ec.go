@@ -357,6 +357,15 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 			e.CP.send(ctrlMsg{typ: msgECAck, opID: opID})
 			clk.Sleep(cfg.AckInterval)
 		}
+		// Late fallback retransmissions into any retired slot of this
+		// message re-pull the positive ACK (see reack.go): the whole
+		// operation — every data and parity slot — is one table entry,
+		// so even an L≫1 message cannot evict its own slots.
+		handles := make([]*core.RecvHandle, 0, 2*len(subs))
+		for i := range subs {
+			handles = append(handles, subs[i].dataH, subs[i].parityH)
+		}
+		e.rememberRetired(ctrlMsg{typ: msgECAck, opID: opID}, handles...)
 		for i := range subs {
 			subs[i].dataH.Complete()
 			subs[i].parityH.Complete()

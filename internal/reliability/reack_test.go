@@ -1,0 +1,194 @@
+package reliability
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"sdrrdma/internal/clock"
+	"sdrrdma/internal/core"
+	"sdrrdma/internal/fabric"
+	"sdrrdma/internal/nicsim"
+)
+
+// runSwallowedLinger reproduces the PR-4 netem pathology in isolation:
+// a loss burst on the control path swallows every final ACK of the
+// receiver's linger window (the interceptor drops the first
+// `burst` completion ACKs), the receiver retires the slot, and the
+// sender keeps RTO-retransmitting into it. With the late re-ACK the
+// sender completes once the burst clears; without it (NoLateReAck) it
+// is stranded until GlobalTimeout — the regression this test pins.
+func runSwallowedLinger(t *testing.T, noReAck bool, burst int) (sendErr error) {
+	t.Helper()
+	clk := clock.NewVirtual()
+	coreCfg := core.Config{
+		MTU: 1024, ChunkBytes: 4096, MaxMsgBytes: 1 << 20,
+		MsgIDBits: 10, PktOffsetBits: 18, UserImmBits: 4,
+		Generations: 2, Channels: 2, CQDepth: 1 << 12,
+		Clock: clk,
+	}
+	relCfg := Config{
+		RTT: 2 * time.Millisecond, Alpha: 2,
+		PollInterval:  250 * time.Microsecond,
+		AckInterval:   500 * time.Microsecond,
+		Linger:        2 * time.Millisecond, // ~4 final ACKs, all eaten by the burst
+		GlobalTimeout: 120 * time.Millisecond,
+		K:             4, M: 2, Code: "mds",
+		NoLateReAck: noReAck,
+	}
+	fabCfg := fabric.Config{Latency: time.Millisecond, Clock: clk}
+	s, err := NewSession(coreCfg, relCfg, fabCfg, fabCfg, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const size = 16 * 4096 // 16 chunks
+	nchunks := size / coreCfg.ChunkBytes
+	// Drop the first `burst` completion ACKs (cumulative count == all
+	// chunks) on the receiver→sender control path: a Gilbert–Elliott
+	// bad-state episode pinned, deterministically, to exactly the ACKs
+	// whose loss used to strand the sender.
+	dropped := 0
+	s.Pair.Link.BA.SetInterceptor(func(pkt *nicsim.Packet) fabric.Verdict {
+		if pkt.Opcode != nicsim.OpSend {
+			return fabric.Pass
+		}
+		m, err := decodeCtrl(pkt.Payload)
+		if err != nil || m.typ != msgSRAck || int(m.cumAck) < nchunks {
+			return fabric.Pass
+		}
+		if dropped < burst {
+			dropped++
+			return fabric.Drop
+		}
+		return fabric.Pass
+	})
+
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*13 + i>>8)
+	}
+	recvBuf := make([]byte, size)
+	mr := s.Pair.B.Ctx.RegMR(recvBuf)
+
+	var recvErr error
+	clock.JoinNamed(clk,
+		clock.NamedFunc{Name: "sender", Fn: func() { sendErr = s.A.WriteSR(data) }},
+		clock.NamedFunc{Name: "receiver", Fn: func() { recvErr = s.B.ReceiveSR(mr, 0, size) }},
+	)
+	if recvErr != nil {
+		t.Fatalf("receiver failed: %v", recvErr)
+	}
+	if dropped < 4 {
+		t.Fatalf("interceptor ate %d completion ACKs — burst never covered the linger window", dropped)
+	}
+	if !bytes.Equal(recvBuf, data) {
+		t.Fatal("received data corrupted")
+	}
+	return sendErr
+}
+
+// Without the re-ACK, the swallowed linger strands the sender until
+// its global timeout — the stall netem.NewFlow used to paper over with
+// a denser, longer linger.
+func TestSwallowedLingerStrandsSenderWithoutReAck(t *testing.T) {
+	err := runSwallowedLinger(t, true, 1<<30) // burst outlives everything
+	if !errors.Is(err, ErrGlobalTimeout) {
+		t.Fatalf("sender error = %v, want ErrGlobalTimeout (the pre-fix stall)", err)
+	}
+}
+
+// With the re-ACK (the default), the sender's first retransmission
+// after the burst clears pulls a fresh final ACK out of the retired
+// slot and the write completes.
+func TestLateReAckRescuesSwallowedLinger(t *testing.T) {
+	if err := runSwallowedLinger(t, false, 8); err != nil {
+		t.Fatalf("sender failed despite late re-ACK: %v", err)
+	}
+}
+
+// A late data packet arriving in a retired EC slot must pull the
+// positive ACK back out of the re-ACK table. EC has no sender-side
+// RTO (fallback is NACK-driven), so the late packet is staged with a
+// fabric Hold: one chunk's packets are parked on the wire, parity
+// recovery completes the receive and retires every slot, and
+// releasing the held packets afterwards must re-emit msgECAck.
+func TestLateDataIntoRetiredECSlotReAcks(t *testing.T) {
+	clk := clock.NewVirtual()
+	coreCfg := core.Config{
+		MTU: 1024, ChunkBytes: 4096, MaxMsgBytes: 1 << 20,
+		MsgIDBits: 10, PktOffsetBits: 18, UserImmBits: 4,
+		Generations: 2, Channels: 2, CQDepth: 1 << 12,
+		Clock: clk,
+	}
+	relCfg := Config{
+		RTT: 2 * time.Millisecond, Alpha: 2,
+		PollInterval:  250 * time.Microsecond,
+		AckInterval:   500 * time.Microsecond,
+		Linger:        2 * time.Millisecond,
+		GlobalTimeout: 120 * time.Millisecond,
+		K:             4, M: 2, Code: "mds",
+	}
+	fabCfg := fabric.Config{Latency: time.Millisecond, Clock: clk}
+	s, err := NewSession(coreCfg, relCfg, fabCfg, fabCfg, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const size = 16 * 4096
+	// Hold the four MTU packets of the first data chunk; parity (m=2)
+	// recovers the chunk, so the receive completes without them.
+	pktsPerChunk := coreCfg.ChunkBytes / coreCfg.MTU
+	held := 0
+	s.Pair.Link.AB.SetInterceptor(func(pkt *nicsim.Packet) fabric.Verdict {
+		if pkt.Opcode == nicsim.OpWriteImm && held < pktsPerChunk {
+			held++
+			return fabric.Hold
+		}
+		return fabric.Pass
+	})
+	var ecAcks int
+	s.Pair.Link.BA.SetInterceptor(func(pkt *nicsim.Packet) fabric.Verdict {
+		if pkt.Opcode == nicsim.OpSend {
+			if m, err := decodeCtrl(pkt.Payload); err == nil && m.typ == msgECAck {
+				ecAcks++
+			}
+		}
+		return fabric.Pass
+	})
+
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	recvBuf := make([]byte, size)
+	mr := s.Pair.B.Ctx.RegMR(recvBuf)
+	scratch := s.Pair.B.Ctx.RegMR(make([]byte, relCfg.ECScratchBytes(coreCfg.ChunkBytes, size)))
+
+	var sendErr, recvErr error
+	clock.JoinNamed(clk,
+		clock.NamedFunc{Name: "ec-sender", Fn: func() { sendErr = s.A.WriteEC(data) }},
+		clock.NamedFunc{Name: "ec-receiver", Fn: func() { recvErr = s.B.ReceiveEC(mr, 0, size, scratch) }},
+	)
+	if sendErr != nil || recvErr != nil {
+		t.Fatalf("exchange failed: send=%v recv=%v", sendErr, recvErr)
+	}
+	if held != pktsPerChunk {
+		t.Fatalf("held %d packets, want %d", held, pktsPerChunk)
+	}
+	if !bytes.Equal(recvBuf, data) {
+		t.Fatal("received (parity-recovered) data corrupted")
+	}
+	// Every slot is retired now. The held packets arrive late; the
+	// first must trigger a fresh positive ACK from the re-ACK table.
+	before := ecAcks
+	if n := s.Pair.Link.AB.ReleaseHeld(); n != pktsPerChunk {
+		t.Fatalf("released %d packets, want %d", n, pktsPerChunk)
+	}
+	if ecAcks <= before {
+		t.Fatalf("late data into retired EC slot produced no re-ACK (%d before, %d after)", before, ecAcks)
+	}
+}

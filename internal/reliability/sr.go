@@ -31,11 +31,19 @@ type Endpoint struct {
 	CP   *ControlPlane
 	Cfg  Config
 	opMu sync.Mutex
+
+	// reack answers late retransmissions into retired receive slots
+	// with a copy of the slot's final ACK (see reack.go).
+	reack reackTable
 }
 
 // NewEndpoint bundles a connected SDR QP and control plane.
 func NewEndpoint(qp *core.QP, cp *ControlPlane, cfg Config) *Endpoint {
-	return &Endpoint{QP: qp, CP: cp, Cfg: cfg.WithDefaults()}
+	e := &Endpoint{QP: qp, CP: cp, Cfg: cfg.WithDefaults()}
+	if !e.Cfg.NoLateReAck {
+		qp.SetLateSink(e.handleLate)
+	}
+	return e
 }
 
 // clock returns the deployment clock.
@@ -238,5 +246,15 @@ func (e *Endpoint) ReceiveSR(mr *nicsim.MR, offset uint64, size int) error {
 		sendAck()
 		clk.Sleep(cfg.AckInterval)
 	}
+	// Arm the late re-ACK before retiring: should a control-path burst
+	// have eaten the whole linger window, the sender's next
+	// retransmission into the retired slot pulls a fresh final ACK.
+	bm := h.Bitmap()
+	e.rememberRetired(ctrlMsg{
+		typ:    msgSRAck,
+		opID:   opID,
+		cumAck: uint32(bm.CumulativeCount()),
+		sack:   bm.Snapshot(nil),
+	}, h)
 	return h.Complete()
 }

@@ -96,6 +96,21 @@ type Engine struct {
 // New creates an engine with the clock at zero.
 func New() *Engine { return &Engine{} }
 
+// SplitMix64 derives the deterministic per-unit seed for unit i of a
+// campaign rooted at seed — the shared discipline behind
+// protosim.Sample's per-sample rngs and clock.Lanes' per-cell seeds:
+// neighbouring units get decorrelated streams, and the derivation is
+// independent of which worker (or worker count) runs the unit.
+func SplitMix64(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
@@ -209,7 +224,14 @@ func (e *Engine) Lanes(n int) {
 // simulator that schedules at now+const (link serialization, one-way
 // delay, RTO backstops). A push that would violate lane monotonicity
 // falls back to the heap transparently, so ordering is always exact.
+// Lanes grow on demand (an out-of-range ln allocates up to it), and
+// lane storage — like the slot slab — survives Reset, so callers that
+// address lanes by a stable id (e.g. one lane per clock actor) reuse
+// the same rings across an entire campaign.
 func (e *Engine) ScheduleLane(ln int32, at float64, kind, a, b int32) Timer {
+	if int(ln) >= len(e.lanes) {
+		e.Lanes(int(ln) + 1)
+	}
 	l := &e.lanes[ln]
 	if at < l.lastAt {
 		return e.Schedule(at, kind, a, b)
