@@ -12,9 +12,9 @@ GO ?= go
 # hazard — the lossy coverage runs on the virtual harness).
 RACE_PKGS = ./internal/bitmap/ ./internal/gf256/ ./internal/ec/ \
 	./internal/clock/ ./internal/fabric/ ./internal/core/ ./internal/reliability/ \
-	./internal/netem/ ./internal/simnet/
+	./internal/netem/ ./internal/simnet/ ./internal/session/
 
-.PHONY: ci vet build test race bench bench-kernels bench-json
+.PHONY: ci vet build test race bench bench-kernels bench-json smoke-flows
 
 ci: vet build race test
 
@@ -53,7 +53,8 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkSimnet' -benchmem ./internal/simnet/ > bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkCampaign|BenchmarkDES' -benchmem ./internal/protosim/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkDESValidation|BenchmarkGBNBaseline' -benchtime 2x -benchmem . >> bench-json.tmp
-	$(GO) test -run xxx -bench 'BenchmarkVirtualHandoff|BenchmarkVirtualSleepChurn' -benchmem ./internal/clock/ >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkVirtualHandoff|BenchmarkVirtualSleepChurn|BenchmarkRealWaitNotify' -benchmem ./internal/clock/ >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkSessionChurn' -benchmem ./internal/session/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkWANVirtual|BenchmarkWANReal' -benchtime 3x -benchmem ./internal/experiments/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkWANFunctionalSweep|BenchmarkMultiDCSweep' -benchtime 3x -benchmem ./internal/experiments/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkNetemQueue' -benchmem ./internal/netem/ >> bench-json.tmp
@@ -61,3 +62,8 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkMultiDCVirtual|BenchmarkMultiDCReal' -benchtime 2x -benchmem ./internal/experiments/ >> bench-json.tmp
 	$(GO) run ./cmd/benchjson < bench-json.tmp > BENCH_protosim.json
 	rm -f bench-json.tmp
+
+# Thousand-flow smoke: the elastic session fabric must sustain 1000
+# sequential + 100 concurrent dumbbell flows from its deployment pool.
+smoke-flows:
+	$(GO) test -count=1 -run 'TestDumbbellThousandSequentialFlows|TestDumbbellHundredConcurrentFlows' -v ./internal/netem/

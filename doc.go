@@ -10,10 +10,16 @@
 //     pairs, indirect and NULL memory keys, lossy long-haul wire,
 //     DPA worker emulation)
 //   - reliability: Selective Repeat and Erasure Coding layers built
-//     on the SDR bitmap
+//     on the SDR bitmap, with background (asynchronous) final-ACK
+//     linger so completed receives leave the collective critical path
+//   - session: the elastic session fabric — pools of fully built
+//     reliability deployments leased and reset per flow, so
+//     thousand-flow multi-tenant topologies pay a rebind, not a
+//     rebuild, per session
 //   - netem: multi-datacenter network emulation — clocked
 //     finite-buffer queues (tail drop), i.i.d./Gilbert–Elliott loss
-//     processes, and topology builders with reliable flows over routes
+//     processes, and topology builders whose flows lease pooled
+//     deployments over routes
 //   - clock, simnet: the discrete-event machinery — a pluggable
 //     Real/Virtual clock (alloc-free baton scheduler, pooled actors
 //     and timers) and multi-lane sweep fan-out (clock.Lanes) that

@@ -166,6 +166,12 @@ func (r *Real) Epoch() uint64 {
 	return r.gen
 }
 
+// wnTimers recycles the bounded-wait timers of Real.WaitNotify. The
+// reliability loops take this path on every poll tick, so per-wait
+// timer allocation shows up directly in steady-state allocs/session;
+// pooling keeps the hot wait path allocation-free.
+var wnTimers sync.Pool
+
 // WaitNotify implements Clock.
 func (r *Real) WaitNotify(epoch uint64, d time.Duration) bool {
 	r.mu.Lock()
@@ -179,18 +185,33 @@ func (r *Real) WaitNotify(epoch uint64, d time.Duration) bool {
 		<-ch
 		return true
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
+	t, _ := wnTimers.Get().(*time.Timer)
+	if t == nil {
+		t = time.NewTimer(d)
+	} else {
+		t.Reset(d)
+	}
+	notified := false
 	select {
 	case <-ch:
-		return true
+		notified = true
 	case <-t.C:
 		// The notify may have raced the timeout; report it if so.
 		r.mu.Lock()
-		notified := r.gen != epoch
+		notified = r.gen != epoch
 		r.mu.Unlock()
-		return notified
 	}
+	if !t.Stop() {
+		// A fired-but-unread timer must be drained before reuse, or the
+		// next wait on this pooled timer would wake instantly on the
+		// stale tick.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	wnTimers.Put(t)
+	return notified
 }
 
 // Notify implements Clock.

@@ -1,0 +1,59 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+// The bounded WaitNotify path runs once per reliability poll tick —
+// it is the hottest real-clock wait in the stack, so its timer must
+// come from the pool, not a fresh allocation per wait.
+
+func TestRealWaitNotifyTimeoutDoesNotAllocate(t *testing.T) {
+	r := NewReal()
+	// Average over many runs: the first wait (or a post-GC one) may
+	// populate the pool, steady state must be allocation-free.
+	allocs := testing.AllocsPerRun(200, func() {
+		r.WaitNotify(r.Epoch(), time.Nanosecond)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("bounded WaitNotify allocates %.2f/op, want pooled-timer steady state (~0)", allocs)
+	}
+}
+
+// A pooled timer that fired must not leak its tick into the next wait:
+// a wait after a timed-out wait must still last its full bound.
+func TestRealWaitNotifyPooledTimerDrained(t *testing.T) {
+	r := NewReal()
+	for i := 0; i < 50; i++ {
+		r.WaitNotify(r.Epoch(), time.Nanosecond) // times out, fires timer
+		start := time.Now()
+		if r.WaitNotify(r.Epoch(), 3*time.Millisecond) {
+			t.Fatal("unnotified wait reported a notification")
+		}
+		if e := time.Since(start); e < time.Millisecond {
+			t.Fatalf("wait returned after %v, want ~3ms — stale tick leaked from pooled timer", e)
+		}
+	}
+}
+
+// And a notification racing the pooled timer must still win.
+func TestRealWaitNotifyNotifyBeatsPooledTimer(t *testing.T) {
+	r := NewReal()
+	for i := 0; i < 50; i++ {
+		r.WaitNotify(r.Epoch(), time.Nanosecond) // cycle a timer through the pool
+		epoch := r.Epoch()
+		go r.Notify()
+		if !r.WaitNotify(epoch, time.Second) {
+			t.Fatal("wait timed out despite a pending notification")
+		}
+	}
+}
+
+func BenchmarkRealWaitNotifyTimeout(b *testing.B) {
+	r := NewReal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.WaitNotify(r.Epoch(), time.Nanosecond)
+	}
+}

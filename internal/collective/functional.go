@@ -13,6 +13,7 @@ import (
 	"sdrrdma/internal/fabric"
 	"sdrrdma/internal/nicsim"
 	"sdrrdma/internal/reliability"
+	"sdrrdma/internal/session"
 )
 
 // SessionDialer builds the reliable session for one ring link (node
@@ -34,6 +35,9 @@ type FunctionalRing struct {
 	clk      clock.Clock
 	sessions []*reliability.Session
 	nodes    []*ringNode
+	// pool, when the ring owns one (BuildFunctionalRing), leases the
+	// per-link deployments; Close returns and tears them down.
+	pool *session.Pool
 }
 
 type ringNode struct {
@@ -53,12 +57,26 @@ func BuildFunctionalRing(n int, coreCfg core.Config, relCfg reliability.Config,
 	if coreCfg.Clock == nil {
 		coreCfg.Clock = clock.NewReal()
 	}
+	// Link deployments come from an elastic session pool the ring owns:
+	// each link is a lease, so rebuilding a ring on the same pool-backed
+	// harness (netem rings share their topology's pool the same way)
+	// reuses deployments instead of reconstructing them.
+	pool, err := session.NewPool(session.Config{Core: coreCfg, Name: "ring"})
+	if err != nil {
+		return nil, err
+	}
 	dial := func(link int) (*reliability.Session, error) {
 		cfg := linkCfg
 		cfg.Seed = linkCfg.Seed + int64(link)*7919
-		return reliability.NewSession(coreCfg, relCfg, cfg, cfg, oobLatency)
+		return pool.LeaseLinked(relCfg, cfg, cfg, oobLatency)
 	}
-	return BuildFunctionalRingWith(n, coreCfg.Clock, dial, maxSegmentBytes)
+	r, err := BuildFunctionalRingWith(n, coreCfg.Clock, dial, maxSegmentBytes)
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	r.pool = pool
+	return r, nil
 }
 
 // BuildFunctionalRingWith assembles the ring from dialed sessions.
@@ -90,10 +108,14 @@ func BuildFunctionalRingWith(n int, clk clock.Clock, dial SessionDialer, maxSegm
 	return r, nil
 }
 
-// Close tears all links down.
+// Close tears all links down (and, for a pool-owning ring, the pooled
+// deployments behind them).
 func (r *FunctionalRing) Close() {
 	for _, s := range r.sessions {
 		s.Close()
+	}
+	if r.pool != nil {
+		r.pool.Close()
 	}
 }
 

@@ -1,0 +1,77 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sdrrdma/internal/clock"
+	"sdrrdma/internal/fabric"
+)
+
+// runRing4Allreduce executes the ring-4 allreduce figure scenario on a
+// fresh virtual clock with the given retire mode and returns its
+// completion time plus the reduced vector.
+func runRing4Allreduce(t *testing.T, syncRetire bool) (time.Duration, []float64) {
+	t.Helper()
+	vc := clock.NewVirtual()
+	relCfg := funcRelCfg()
+	relCfg.SyncRetire = syncRetire
+	ring, err := BuildFunctionalRing(4, funcCoreCfg(vc), relCfg,
+		fabric.Config{Latency: time.Millisecond, DropProb: 0.03, Seed: 42, Clock: vc},
+		time.Millisecond, 4096*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ring.Close()
+
+	const n, vlen = 4, 4096
+	rng := rand.New(rand.NewSource(7))
+	inputs := make([][]float64, n)
+	for i := range inputs {
+		inputs[i] = make([]float64, vlen)
+		for j := range inputs[i] {
+			inputs[i][j] = math.Round(rng.Float64() * 1000)
+		}
+	}
+	got, err := ring.Allreduce(inputs, "sr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vc.Elapsed(), got
+}
+
+// Async receive retire (reliability/retire.go) moves the final-ACK
+// linger off the collective critical path: with 2N−2 dependent stages,
+// the synchronous linger serialized ~one full linger window per stage.
+// This regression test pins the ring-4 allreduce figure: the async
+// path must produce the identical reduction and complete strictly
+// earlier in virtual time than the legacy synchronous mode
+// (Config.SyncRetire), and by at least one linger per pipeline depth.
+func TestRing4AllreduceAsyncRetireFigure(t *testing.T) {
+	syncT, syncRes := runRing4Allreduce(t, true)
+	asyncT, asyncRes := runRing4Allreduce(t, false)
+
+	if len(syncRes) != len(asyncRes) {
+		t.Fatalf("result lengths differ: %d vs %d", len(syncRes), len(asyncRes))
+	}
+	for j := range syncRes {
+		if syncRes[j] != asyncRes[j] {
+			t.Fatalf("async retire changed the reduction at element %d: %g vs %g",
+				j, asyncRes[j], syncRes[j])
+		}
+	}
+	if asyncT >= syncT {
+		t.Fatalf("async retire did not shorten the ring-4 allreduce: async %v vs sync %v",
+			asyncT, syncT)
+	}
+	// The win must be structural, not noise: the synchronous path pays
+	// the linger on dependent stages, so asyncT should undercut syncT
+	// by at least one full linger window.
+	if syncT-asyncT < funcRelCfg().Linger {
+		t.Fatalf("async retire saved only %v, want at least one linger (%v): figure regressed",
+			syncT-asyncT, funcRelCfg().Linger)
+	}
+	t.Logf("ring-4 allreduce: sync=%v async=%v (saved %v)", syncT, asyncT, syncT-asyncT)
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"sdrrdma/internal/clock"
 	"sdrrdma/internal/dpa"
@@ -18,6 +19,13 @@ type Context struct {
 	clk    clock.Clock
 	pool   *dpa.Pool
 	nullMR *nicsim.NullMR
+
+	// Session-scoped MR tracking (see SetMRTracking): with tracking on,
+	// every RegMR key is recorded so ResetLeaseMRs can deregister the
+	// batch when a pooled deployment's lease is released.
+	trackMu  sync.Mutex
+	trackMRs bool
+	leaseMRs []uint32
 }
 
 // NewContext allocates a context on dev.
@@ -56,7 +64,37 @@ func (c *Context) Pool() *dpa.Pool { return c.pool }
 
 // RegMR registers a user buffer for send/receive via QPs in the
 // context (Table 1: mr_reg).
-func (c *Context) RegMR(buf []byte) *nicsim.MR { return c.dev.RegMR(buf) }
+func (c *Context) RegMR(buf []byte) *nicsim.MR {
+	mr := c.dev.RegMR(buf)
+	c.trackMu.Lock()
+	if c.trackMRs {
+		c.leaseMRs = append(c.leaseMRs, mr.Key())
+	}
+	c.trackMu.Unlock()
+	return mr
+}
+
+// SetMRTracking toggles session-scoped MR tracking. The session fabric
+// enables it on pooled deployments: registrations a flow makes during
+// its lease (staging buffers, parity scratch) are deregistered by
+// ResetLeaseMRs on release instead of accumulating in the device's
+// memory table across thousands of leases.
+func (c *Context) SetMRTracking(on bool) {
+	c.trackMu.Lock()
+	c.trackMRs = on
+	c.trackMu.Unlock()
+}
+
+// ResetLeaseMRs deregisters every registration recorded since the last
+// reset. MRs handed out during the lease are invalid afterwards.
+func (c *Context) ResetLeaseMRs() {
+	c.trackMu.Lock()
+	for _, key := range c.leaseMRs {
+		c.dev.DeregMR(key)
+	}
+	c.leaseMRs = c.leaseMRs[:0]
+	c.trackMu.Unlock()
+}
 
 // Close stops the DPA workers. QPs created from this context must not
 // be used afterwards.

@@ -60,8 +60,24 @@ func NewPair(cfg Config, ab, ba fabric.Config, oobLatency time.Duration) (*Pair,
 // caller (it is what the whole deployment, including the prebuilt
 // wires, should already run on).
 func NewPairOver(cfg Config, devA, devB *nicsim.Device, link *fabric.Link, oob *fabric.OOB) (*Pair, error) {
+	p, err := NewPairDetached(cfg, devA, devB)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Bind(link, oob); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewPairDetached builds both SDR endpoints — contexts, QPs, DPA
+// workers, root keys — without binding them to any data path. This is
+// the expensive half of deployment construction, the part the session
+// fabric pools: a detached (or Reset) pair is re-routed onto a fresh
+// link with Bind, which costs only the QP reconnect.
+func NewPairDetached(cfg Config, devA, devB *nicsim.Device) (*Pair, error) {
 	if cfg.Clock == nil {
-		return nil, fmt.Errorf("sdr: NewPairOver requires an explicit clock")
+		return nil, fmt.Errorf("sdr: NewPairDetached requires an explicit clock")
 	}
 	ctxA, err := NewContext(devA, cfg)
 	if err != nil {
@@ -71,20 +87,35 @@ func NewPairOver(cfg Config, devA, devB *nicsim.Device, link *fabric.Link, oob *
 	if err != nil {
 		return nil, fmt.Errorf("sdr: context B: %w", err)
 	}
-	qpA := ctxA.NewQP()
-	qpB := ctxB.NewQP()
-	if err := qpA.ConnectViaOOB(link.AB, oob, true, qpB.Info()); err != nil {
-		return nil, err
-	}
-	if err := qpB.ConnectViaOOB(link.BA, oob, false, qpA.Info()); err != nil {
-		return nil, err
-	}
 	return &Pair{
-		A:    &Endpoint{Dev: devA, Ctx: ctxA, QP: qpA},
-		B:    &Endpoint{Dev: devB, Ctx: ctxB, QP: qpB},
-		Link: link,
-		OOB:  oob,
+		A: &Endpoint{Dev: devA, Ctx: ctxA, QP: ctxA.NewQP()},
+		B: &Endpoint{Dev: devB, Ctx: ctxB, QP: ctxB.NewQP()},
 	}, nil
+}
+
+// Bind connects the pair across link and oob: link.AB must carry
+// packets toward B's device and link.BA toward A's. Calling Bind again
+// (after Reset) re-routes the pair onto a new data path — the
+// per-lease rebind of a pooled deployment.
+func (p *Pair) Bind(link *fabric.Link, oob *fabric.OOB) error {
+	if err := p.A.QP.ConnectViaOOB(link.AB, oob, true, p.B.QP.Info()); err != nil {
+		return err
+	}
+	if err := p.B.QP.ConnectViaOOB(link.BA, oob, false, p.A.QP.Info()); err != nil {
+		return err
+	}
+	p.Link = link
+	p.OOB = oob
+	return nil
+}
+
+// Reset reverts both endpoints' per-session state (see QP.Reset) and
+// deregisters session-scoped MRs, readying the pair for another Bind.
+func (p *Pair) Reset() {
+	p.A.QP.Reset()
+	p.B.QP.Reset()
+	p.A.Ctx.ResetLeaseMRs()
+	p.B.Ctx.ResetLeaseMRs()
 }
 
 // Close tears both endpoints down.

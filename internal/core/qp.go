@@ -85,6 +85,10 @@ type QP struct {
 	connected atomic.Bool
 	peer      QPInfo
 	sendCTS   func([]byte)
+	// info is the connection blob, computed once at construction — keys
+	// and QPNs never change, and caching it keeps the per-lease rebind
+	// of a pooled deployment allocation-free on this path.
+	info QPInfo
 
 	// receiver state
 	recvMu  sync.Mutex
@@ -157,16 +161,13 @@ func (c *Context) NewQP() *QP {
 	// All slots of every generation start retired: late packets land
 	// in the NULL key.
 	for g := 0; g < cfg.Generations; g++ {
-		for i := 0; i < cfg.Slots(); i++ {
-			qp.rootMRs[g].SetEntry(i, c.nullMR, 0)
-		}
+		qp.rootMRs[g].Fill(c.nullMR, 0)
 	}
+	qp.info = qp.buildInfo()
 	return qp
 }
 
-// Info returns the connection blob for out-of-band exchange (Table 1:
-// qp_info_get).
-func (qp *QP) Info() QPInfo {
+func (qp *QP) buildInfo() QPInfo {
 	info := QPInfo{RootKeys: make([]uint32, len(qp.rootMRs))}
 	for g, mr := range qp.rootMRs {
 		info.RootKeys[g] = mr.Key()
@@ -180,6 +181,10 @@ func (qp *QP) Info() QPInfo {
 	}
 	return info
 }
+
+// Info returns the connection blob for out-of-band exchange (Table 1:
+// qp_info_get). The blob is immutable; callers must not modify it.
+func (qp *QP) Info() QPInfo { return qp.info }
 
 // Connect establishes the data path toward the remote QP (Table 1:
 // qp_connect): wire carries data packets, sendCTS transmits
@@ -241,6 +246,52 @@ func (qp *QP) Stats() Stats {
 		CTSSent:         qp.ctsSent.Load(),
 		CTSReceived:     qp.ctsReceived.Load(),
 	}
+}
+
+// Reset prepares the QP for a new session lease on the same hardware:
+// outstanding receives are force-retired (every generation's root table
+// re-points at the NULL key in bulk), pending CTS matches are dropped,
+// the late sink is cleared, the channel QPs abandon any half-delivered
+// message, and the counters zero.
+//
+// Sequence numbers, CTS high-water mark and channel PSNs are
+// deliberately preserved: message IDs and control opIDs stay unique
+// for the lifetime of the deployment, so traffic still in flight from
+// a previous lease — late retransmissions, delayed CTS or control
+// datagrams — lands in NULL-retired slots or unmatched routing tables
+// instead of colliding with the next session's operations.
+func (qp *QP) Reset() {
+	qp.lateSink.Store(nil)
+	qp.recvMu.Lock()
+	live := false
+	for i := range qp.slots {
+		if h := qp.slots[i].handle.Load(); h != nil {
+			h.completed.Store(true)
+			qp.slots[i].handle.Store(nil)
+			live = true
+		}
+	}
+	if live || qp.recvSeq > 0 {
+		for g := range qp.rootMRs {
+			qp.rootMRs[g].Fill(qp.ctx.nullMR, 0)
+		}
+	}
+	qp.recvMu.Unlock()
+	qp.sendMu.Lock()
+	clear(qp.ctsSize)
+	qp.sendMu.Unlock()
+	for g := range qp.chQPs {
+		for ch := range qp.chQPs[g] {
+			qp.chQPs[g][ch].Reset()
+		}
+	}
+	qp.packetsSent.Store(0)
+	qp.packetsReceived.Store(0)
+	qp.lateDiscarded.Store(0)
+	qp.duplicates.Store(0)
+	qp.ctsSent.Store(0)
+	qp.ctsReceived.Store(0)
+	qp.ctx.dev.ResetCounters()
 }
 
 // Close detaches the QP's channel queue pairs from the device. The

@@ -2,6 +2,7 @@ package netem
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"sdrrdma/internal/clock"
@@ -9,6 +10,7 @@ import (
 	"sdrrdma/internal/fabric"
 	"sdrrdma/internal/nicsim"
 	"sdrrdma/internal/reliability"
+	"sdrrdma/internal/session"
 	"sdrrdma/internal/wan"
 )
 
@@ -68,6 +70,12 @@ type Topology struct {
 	// Name labels the scenario in experiment output.
 	Name string
 
+	// CtrlRecvBufs, when non-zero, sizes the control planes' receive
+	// slabs of flow deployments pooled after it is set (0 = the
+	// ControlPlane default of 1024). Thousand-flow topologies shrink it
+	// to keep the concurrent-deployment footprint bounded.
+	CtrlRecvBufs int
+
 	clk   clock.Clock
 	seed  int64
 	nodes []string
@@ -75,6 +83,13 @@ type Topology struct {
 	// adj[n] lists (edge index) incident to node n, in insertion
 	// order — which makes BFS routes deterministic.
 	adj map[int][]int
+
+	// pools leases flow deployments, one pool per distinct SDR config:
+	// a closed flow's devices, QPs and control planes are reset and
+	// re-leased by the next NewFlow instead of rebuilt (see
+	// internal/session). Lazily populated; guarded by poolMu.
+	poolMu sync.Mutex
+	pools  map[core.Config]*session.Pool
 }
 
 // New starts an empty topology on clk (nil = shared real clock). seed
@@ -243,26 +258,78 @@ func reverseHops(hops []Hop) []Hop {
 	return rev
 }
 
+// flowPool returns (building on first use) the deployment pool for one
+// SDR config. coreCfg must already carry the topology clock, so the
+// map key ties the pool to this topology's run.
+func (t *Topology) flowPool(coreCfg core.Config) (*session.Pool, error) {
+	t.poolMu.Lock()
+	defer t.poolMu.Unlock()
+	if p, ok := t.pools[coreCfg]; ok {
+		return p, nil
+	}
+	p, err := session.NewPool(session.Config{
+		Core:         coreCfg,
+		CtrlRecvBufs: t.CtrlRecvBufs,
+		Name:         t.Name,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if t.pools == nil {
+		t.pools = map[core.Config]*session.Pool{}
+	}
+	t.pools[coreCfg] = p
+	return p, nil
+}
+
+// PoolStats sums deployment-pool counters across the topology's flow
+// pools: how many deployments were ever built and how many are leased
+// to open flows right now. built staying flat while flows churn is the
+// elastic-fabric property the thousand-flow tests pin.
+func (t *Topology) PoolStats() (built, leased int) {
+	t.poolMu.Lock()
+	defer t.poolMu.Unlock()
+	for _, p := range t.pools {
+		b, l := p.Stats()
+		built += b
+		leased += l
+	}
+	return built, leased
+}
+
+// ClosePools tears down the topology's pooled flow deployments. It
+// errors if any flow is still open (its session not closed) — the
+// topology-level leak check.
+func (t *Topology) ClosePools() error {
+	t.poolMu.Lock()
+	pools := t.pools
+	t.pools = nil
+	t.poolMu.Unlock()
+	var firstErr error
+	for _, p := range pools {
+		if err := p.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // NewFlow wires a full reliability deployment (SDR pair + control
 // planes) between two datacenters: the data and control packets of
 // both directions traverse every queue on the route, sharing buffers
 // with any other flow crossing the same edges. coreCfg.Clock is
 // overridden with the topology clock; relCfg.RTT, when zero, defaults
 // to the route's propagation RTT.
+//
+// Deployments are leased from the topology's per-config pool: closing
+// the returned session resets the deployment and returns it for the
+// next flow, so flow churn costs a rebind, not a rebuild.
 func (t *Topology) NewFlow(from, to int, coreCfg core.Config, relCfg reliability.Config) (*reliability.Session, error) {
 	fwd, err := t.Route(from, to)
 	if err != nil {
 		return nil, err
 	}
 	rev := reverseHops(fwd)
-	devA := nicsim.NewDevice(fmt.Sprintf("%s/%s", t.Name, t.nodes[from]))
-	devB := nicsim.NewDevice(fmt.Sprintf("%s/%s", t.Name, t.nodes[to]))
-	// The per-flow fabric Directions carry no impairments of their own
-	// — latency, bandwidth, buffers and loss all live in the shared
-	// queues — but keep the interceptor hooks and Tx accounting.
-	ab := fabric.NewDirectionTo(chain(fwd, devB), fabric.Config{Clock: t.clk})
-	ba := fabric.NewDirectionTo(chain(rev, devA), fabric.Config{Clock: t.clk})
-	link := &fabric.Link{AB: ab, BA: ba}
 	oneWay := PathDelay(fwd)
 	coreCfg.Clock = t.clk
 	if relCfg.RTT == 0 && oneWay > 0 {
@@ -286,12 +353,27 @@ func (t *Topology) NewFlow(from, to int, coreCfg core.Config, relCfg reliability
 			relCfg.Linger = 2 * relCfg.WithDefaults().RTO()
 		}
 	}
-	oob := fabric.NewOOB(t.clk, oneWay)
-	pair, err := core.NewPairOver(coreCfg, devA, devB, link, oob)
+	pool, err := t.flowPool(coreCfg)
 	if err != nil {
 		return nil, err
 	}
-	return reliability.NewSessionOn(pair, relCfg), nil
+	dep, err := pool.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	// The per-flow fabric Directions carry no impairments of their own
+	// — latency, bandwidth, buffers and loss all live in the shared
+	// queues — but keep the interceptor hooks and Tx accounting.
+	ab := fabric.NewDirectionTo(chain(fwd, dep.DevB()), fabric.Config{Clock: t.clk})
+	ba := fabric.NewDirectionTo(chain(rev, dep.DevA()), fabric.Config{Clock: t.clk})
+	link := &fabric.Link{AB: ab, BA: ba}
+	oob := fabric.NewOOB(t.clk, oneWay)
+	sess, err := dep.Bind(link, oob, relCfg)
+	if err != nil {
+		dep.Release()
+		return nil, err
+	}
+	return sess, nil
 }
 
 // --- shape constructors ---------------------------------------------------

@@ -78,6 +78,18 @@ func (d *Device) AllocIndirectMR(entries int, entryBytes uint64) *IndirectMR {
 // DeregMR removes a memory registration by key.
 func (d *Device) DeregMR(key uint32) { d.mem.deregister(key) }
 
+// NumMRs returns the count of live memory registrations — the leak
+// observable pooled-deployment tests watch: session-scoped buffers
+// must not accumulate in the table across thousands of leases.
+func (d *Device) NumMRs() int { return d.mem.size() }
+
+// ResetCounters zeroes the device delivery counters for a new
+// measurement window (pooled deployments reset them per lease).
+func (d *Device) ResetCounters() {
+	d.RxPackets.Store(0)
+	d.RxDropNoQP.Store(0)
+}
+
 // dmaWrite resolves key and writes data — the RDMA engine's receive
 // data path.
 func (d *Device) dmaWrite(key uint32, offset uint64, data []byte) error {

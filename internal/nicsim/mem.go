@@ -120,6 +120,28 @@ func (ix *IndirectMR) SetEntry(i int, target MemoryTarget, base uint64) {
 	ix.entries[i].Store(e)
 }
 
+// Fill points every entry at target — the bulk form of SetEntry used
+// to retire all slots at once, on QP construction and when a pooled
+// deployment is reset between session leases. All entries share one
+// immutable entry object, so a Fill is len(entries) pointer stores and
+// at most one allocation.
+func (ix *IndirectMR) Fill(target MemoryTarget, base uint64) {
+	if target == nil {
+		for i := range ix.entries {
+			ix.entries[i].Store(nil)
+		}
+		return
+	}
+	e := ix.lastSet.Load()
+	if e == nil || e.target != target || e.base != base {
+		e = &indirectEntry{target: target, base: base}
+		ix.lastSet.Store(e)
+	}
+	for i := range ix.entries {
+		ix.entries[i].Store(e)
+	}
+}
+
 // DMAWrite implements MemoryTarget with offset translation.
 func (ix *IndirectMR) DMAWrite(offset uint64, data []byte) error {
 	idx := offset / ix.entryBytes
@@ -162,6 +184,12 @@ func (t *memTable) deregister(key uint32) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.regions, key)
+}
+
+func (t *memTable) size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.regions)
 }
 
 func (t *memTable) lookup(key uint32) (MemoryTarget, bool) {

@@ -74,6 +74,20 @@ func (qp *UCQP) Connect(wire Wire, peerQPN uint32) {
 	qp.peer = peerQPN
 }
 
+// Reset abandons any in-flight receive message and zeroes the
+// observability counters — the per-lease reset of a pooled deployment.
+// PSNs are deliberately NOT reset: the send side keeps numbering from
+// where it left off and the receive side resynchronizes its ePSN on
+// every First packet (§3.2.1), which is what keeps stale in-flight
+// packets from a previous lease distinguishable from fresh traffic.
+func (qp *UCQP) Reset() {
+	qp.rxMu.Lock()
+	qp.inMsg = false
+	qp.rxMu.Unlock()
+	qp.MsgsKilled.Store(0)
+	qp.DMAErrors.Store(0)
+}
+
 // WriteImm posts an RDMA Write-with-immediate of payload to the
 // peer's (rkey, offset). The payload is fragmented at the MTU; the
 // immediate travels with the last fragment. Returns the number of

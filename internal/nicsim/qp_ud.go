@@ -48,8 +48,13 @@ func NewUDQP(dev *Device, mtu int, recvCQ *CQ) *UDQP {
 func (qp *UDQP) QPN() uint32 { return qp.qpn }
 
 // Attach binds the QP to its wire (UD has no fixed peer; the
-// destination QPN travels with each send).
+// destination QPN travels with each send). A nil wire detaches: sends
+// fail until the QP is attached again — the state a pooled control
+// plane sits in between leases.
 func (qp *UDQP) Attach(wire Wire) { qp.wire = wire }
+
+// ResetCounters zeroes the drop counter for a new measurement window.
+func (qp *UDQP) ResetCounters() { qp.RNRDrops.Store(0) }
 
 // PostRecv queues a receive buffer. Buffers are consumed in FIFO order.
 func (qp *UDQP) PostRecv(buf []byte, wrid uint64) {

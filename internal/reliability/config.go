@@ -46,6 +46,11 @@ type Config struct {
 	// exists to fix; the flag is for regression tests and A/B
 	// measurements of that behaviour.
 	NoLateReAck bool
+	// SyncRetire restores the pre-elastic-fabric behaviour of blocking
+	// a completed receive through the whole final-ACK linger window
+	// instead of retiring in the background (retire.go). Kept for A/B
+	// regression measurements of the async retire path.
+	SyncRetire bool
 
 	// K and M are the erasure-code split (data and parity chunks per
 	// submessage; paper's balanced choice is 32, 8).

@@ -59,6 +59,15 @@ type ControlPlane struct {
 // wire, waking clock waiters (nil = shared real clock) as messages
 // arrive. Call ConnectCtrl with the peer's QPN before use.
 func NewControlPlane(dev *nicsim.Device, wire nicsim.Wire, mtu int, clk clock.Clock) *ControlPlane {
+	return NewControlPlaneBufs(dev, wire, mtu, clk, 0)
+}
+
+// NewControlPlaneBufs is NewControlPlane with an explicit receive-slab
+// size (nbufs <= 0 selects the default of 1024 buffers). The session
+// fabric builds pooled control planes with wire == nil — detached, to
+// be attached per lease via Rebind — and topologies hosting hundreds
+// of concurrent deployments size the slab down to keep memory bounded.
+func NewControlPlaneBufs(dev *nicsim.Device, wire nicsim.Wire, mtu int, clk clock.Clock, nbufs int) *ControlPlane {
 	cq := nicsim.NewCQ(4096, false)
 	cp := &ControlPlane{
 		ud:       nicsim.NewUDQP(dev, mtu, cq),
@@ -71,7 +80,9 @@ func NewControlPlane(dev *nicsim.Device, wire nicsim.Wire, mtu int, clk clock.Cl
 	// Keep a pool of receive buffers posted, carved from one slab (a
 	// control plane per session side makes per-buffer allocations the
 	// dominant construction cost of a multi-session sweep otherwise).
-	const nbufs = 1024
+	if nbufs <= 0 {
+		nbufs = 1024
+	}
 	slab := make([]byte, nbufs*mtu)
 	cp.bufs = make([][]byte, nbufs)
 	for i := 0; i < nbufs; i++ {
@@ -88,6 +99,20 @@ func (cp *ControlPlane) QPN() uint32 { return cp.ud.QPN() }
 
 // ConnectCtrl sets the peer control QPN.
 func (cp *ControlPlane) ConnectCtrl(peerQPN uint32) { cp.peer = peerQPN }
+
+// Rebind attaches the control plane to a new wire and drops all
+// per-operation routing state — the per-lease reset of a pooled
+// deployment. The receive slab stays posted and the UD QPN is stable
+// across leases; control datagrams still in flight from a previous
+// lease route to unregistered opIDs and are dropped.
+func (cp *ControlPlane) Rebind(wire nicsim.Wire) {
+	cp.mu.Lock()
+	clear(cp.handlers)
+	cp.stopped = false
+	cp.mu.Unlock()
+	cp.ud.ResetCounters()
+	cp.ud.Attach(wire)
+}
 
 // Close stops dispatch: completions arriving afterwards are dropped.
 func (cp *ControlPlane) Close() {

@@ -350,26 +350,34 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 
 	clk := e.clock()
 	complete := func() error {
-		// Positive ACK with linger against control loss, then retire
-		// every slot.
-		lingerEnd := clk.Now().Add(cfg.Linger)
-		for clk.Now().Before(lingerEnd) {
-			e.CP.send(ctrlMsg{typ: msgECAck, opID: opID})
-			clk.Sleep(cfg.AckInterval)
-		}
-		// Late fallback retransmissions into any retired slot of this
-		// message re-pull the positive ACK (see reack.go): the whole
-		// operation — every data and parity slot — is one table entry,
-		// so even an L≫1 message cannot evict its own slots.
+		// Positive ACK at the completion instant; the linger against
+		// control loss runs in the background (retire.go). Late fallback
+		// retransmissions into any retired slot of this message re-pull
+		// the positive ACK (see reack.go): the whole operation — every
+		// data and parity slot — is one table entry, so even an L≫1
+		// message cannot evict its own slots.
+		final := ctrlMsg{typ: msgECAck, opID: opID}
+		e.CP.send(final)
 		handles := make([]*core.RecvHandle, 0, 2*len(subs))
 		for i := range subs {
 			handles = append(handles, subs[i].dataH, subs[i].parityH)
 		}
-		e.rememberRetired(ctrlMsg{typ: msgECAck, opID: opID}, handles...)
-		for i := range subs {
-			subs[i].dataH.Complete()
-			subs[i].parityH.Complete()
+		if cfg.SyncRetire {
+			lingerEnd := clk.Now().Add(cfg.Linger)
+			for {
+				clk.Sleep(cfg.AckInterval)
+				if !clk.Now().Before(lingerEnd) {
+					break
+				}
+				e.CP.send(final)
+			}
+			e.rememberRetired(final, handles...)
+			for _, h := range handles {
+				h.Complete()
+			}
+			return nil
 		}
+		e.retire(final, handles...)
 		return nil
 	}
 

@@ -182,6 +182,11 @@ func TestLateDataIntoRetiredECSlotReAcks(t *testing.T) {
 	if !bytes.Equal(recvBuf, data) {
 		t.Fatal("received (parity-recovered) data corrupted")
 	}
+	// The receive returned at its completion instant; the final-ACK
+	// linger runs in the background (retire.go). Sleep out the linger
+	// on the virtual clock so the retire timers fire and the slots
+	// actually retire into the re-ACK table.
+	clock.Join(clk, func() { clk.Sleep(relCfg.Linger + 2*relCfg.AckInterval) })
 	// Every slot is retired now. The held packets arrive late; the
 	// first must trigger a fresh positive ACK from the re-ACK table.
 	before := ecAcks

@@ -13,6 +13,11 @@ import (
 type Session struct {
 	Pair *core.Pair
 	A, B *Endpoint
+
+	// release, when set, runs on Close in place of teardown — the hook
+	// the session fabric uses to return a pooled deployment to its
+	// pool. See SetRelease.
+	release func()
 }
 
 // NewSession builds a connected client/server reliability deployment.
@@ -37,6 +42,15 @@ func NewSessionOn(pair *core.Pair, relCfg Config) *Session {
 	mtu := pair.A.Ctx.Config().MTU
 	cpA := NewControlPlane(pair.A.Dev, pair.Link.AB, mtu, clk)
 	cpB := NewControlPlane(pair.B.Dev, pair.Link.BA, mtu, clk)
+	return NewSessionOnCPs(pair, cpA, cpB, relCfg)
+}
+
+// NewSessionOnCPs layers fresh endpoints over an existing pair and
+// prebuilt control planes — the pooled-deployment path, where the
+// control planes (and their receive slabs) outlive individual
+// sessions. The control planes must already transmit on the pair's
+// current link directions (see ControlPlane.Rebind).
+func NewSessionOnCPs(pair *core.Pair, cpA, cpB *ControlPlane, relCfg Config) *Session {
 	cpA.ConnectCtrl(cpB.QPN())
 	cpB.ConnectCtrl(cpA.QPN())
 	return &Session{
@@ -46,8 +60,22 @@ func NewSessionOn(pair *core.Pair, relCfg Config) *Session {
 	}
 }
 
-// Close tears the session down.
+// SetRelease registers fn to run on Close instead of tearing the
+// deployment down. The session fabric uses it so a leased session's
+// Close transparently resets and releases the pooled deployment.
+func (s *Session) SetRelease(fn func()) { s.release = fn }
+
+// Close finishes any background receive retires (their slots retire
+// immediately, without waiting out the remaining linger), then either
+// releases the session's pooled deployment or tears the deployment
+// down.
 func (s *Session) Close() {
+	s.A.flushRetires()
+	s.B.flushRetires()
+	if s.release != nil {
+		s.release()
+		return
+	}
 	s.A.CP.Close()
 	s.B.CP.Close()
 	s.Pair.Close()

@@ -35,6 +35,11 @@ type Endpoint struct {
 	// reack answers late retransmissions into retired receive slots
 	// with a copy of the slot's final ACK (see reack.go).
 	reack reackTable
+
+	// retires tracks receives whose final-ACK linger runs in the
+	// background (see retire.go); Session.Close joins them.
+	retMu   sync.Mutex
+	retires []*pendingRetire
 }
 
 // NewEndpoint bundles a connected SDR QP and control plane.
@@ -239,22 +244,33 @@ func (e *Endpoint) ReceiveSR(mr *nicsim.MR, offset uint64, size int) error {
 		}
 		clk.WaitNotify(epoch, nextAck.Sub(now))
 	}
-	// Completion: keep re-sending the final ACK during the linger
-	// window so a lost ACK cannot strand the sender.
-	lingerEnd := clk.Now().Add(cfg.Linger)
-	for clk.Now().Before(lingerEnd) {
-		sendAck()
-		clk.Sleep(cfg.AckInterval)
-	}
-	// Arm the late re-ACK before retiring: should a control-path burst
-	// have eaten the whole linger window, the sender's next
-	// retransmission into the retired slot pulls a fresh final ACK.
+	// Completion: the final ACK goes out at the completion instant; the
+	// linger — re-sending it so a lost ACK cannot strand the sender —
+	// runs in the background (retire.go), so the caller can post its
+	// next receive immediately instead of paying the linger on the
+	// collective critical path. The slot stays live until the linger
+	// elapses; once retired, the re-ACK table answers any still-later
+	// retransmission with a fresh copy of this final ACK.
 	bm := h.Bitmap()
-	e.rememberRetired(ctrlMsg{
+	final := ctrlMsg{
 		typ:    msgSRAck,
 		opID:   opID,
 		cumAck: uint32(bm.CumulativeCount()),
 		sack:   bm.Snapshot(nil),
-	}, h)
-	return h.Complete()
+	}
+	e.CP.send(final)
+	if cfg.SyncRetire {
+		lingerEnd := clk.Now().Add(cfg.Linger)
+		for {
+			clk.Sleep(cfg.AckInterval)
+			if !clk.Now().Before(lingerEnd) {
+				break
+			}
+			e.CP.send(final)
+		}
+		e.rememberRetired(final, h)
+		return h.Complete()
+	}
+	e.retire(final, h)
+	return nil
 }

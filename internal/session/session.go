@@ -1,0 +1,268 @@
+// Package session implements the elastic session fabric: a pool of
+// fully built reliability deployments — devices, SDR contexts and QPs,
+// control planes with their posted receive slabs — leased to
+// individual flows and reset on release, the way clock.Lanes leases
+// virtual engines to sweep cells.
+//
+// Construction is the expensive half of a deployment: per-channel CQ
+// rings, the root-key retire pass, DPA workers, and the control
+// planes' receive slabs. A Pool pays it once per deployment; a lease
+// costs only the per-session rebind — connecting the QPs over the
+// flow's link and OOB channel, re-attaching the control planes, and
+// fresh reliability endpoints. That is what lets one netem dumbbell
+// host thousands of sequential and hundreds of live concurrent flows
+// without rebuilding the world per flow.
+//
+// Stale traffic from a previous lease is harmless by construction:
+// message sequence numbers, UC PSNs and control opIDs are monotonic
+// over the deployment lifetime (core.Pair.Reset deliberately preserves
+// them), so late data packets land in NULL-retired root-table slots
+// and late control datagrams route to unregistered operation IDs.
+//
+// Determinism: a pool is deterministic state. The first lease of each
+// deployment is exactly a cold build, and later leases reset all
+// protocol-visible state, so a figure cell that leases instead of
+// building stays byte-identical per seed — provided the pool is owned
+// by the cell's topology (never shared across concurrently running
+// cells, where lease order would depend on worker scheduling).
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sdrrdma/internal/core"
+	"sdrrdma/internal/fabric"
+	"sdrrdma/internal/nicsim"
+	"sdrrdma/internal/reliability"
+)
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Core is the SDR configuration every pooled deployment is built
+	// with. Core.Clock must be set: the pool's deployments all run on
+	// it, and pooling across clocks would leak state between runs.
+	Core core.Config
+	// CtrlRecvBufs overrides the per-side control-plane receive-buffer
+	// count (0 = the ControlPlane default of 1024). Topologies hosting
+	// hundreds of concurrent deployments size the slab down to keep
+	// memory bounded.
+	CtrlRecvBufs int
+	// Name prefixes pooled device names (diagnostics only; defaults to
+	// "session").
+	Name string
+}
+
+// Pool leases reusable reliability deployments. All methods are safe
+// for concurrent use; under a virtual clock, concurrent use only
+// happens within one serialized simulation anyway.
+type Pool struct {
+	cfg Config
+
+	mu     sync.Mutex
+	free   []*Deployment
+	built  int // deployments ever constructed
+	leased int // deployments currently out
+	closed bool
+}
+
+// NewPool validates cfg and returns an empty pool; deployments are
+// built lazily on first Acquire.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.Core.Clock == nil {
+		return nil, fmt.Errorf("session: pool requires an explicit Core.Clock")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "session"
+	}
+	return &Pool{cfg: cfg}, nil
+}
+
+// Deployment is one pooled build: two devices with their SDR pair and
+// control planes. Between Acquire and Bind the caller terminates its
+// delivery chains at DevA/DevB; Bind then produces the lease's
+// session, whose Close releases the deployment back to the pool.
+type Deployment struct {
+	pool     *Pool
+	pair     *core.Pair
+	cpA, cpB *reliability.ControlPlane
+	leased   bool
+	// releaseFn caches the release method value so per-lease Bind does
+	// not allocate a fresh closure.
+	releaseFn func()
+}
+
+// Acquire leases a deployment: a reset one off the free list, or a
+// fresh build when the pool is empty. Release it by closing the
+// session obtained from Bind.
+func (p *Pool) Acquire() (*Deployment, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("session: Acquire on closed pool")
+	}
+	if n := len(p.free); n > 0 {
+		d := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		d.leased = true
+		p.leased++
+		p.mu.Unlock()
+		return d, nil
+	}
+	idx := p.built
+	p.built++
+	p.leased++
+	p.mu.Unlock()
+
+	d, err := p.build(idx)
+	if err != nil {
+		p.mu.Lock()
+		p.built--
+		p.leased--
+		p.mu.Unlock()
+		return nil, err
+	}
+	d.leased = true
+	return d, nil
+}
+
+// build constructs one deployment: the cold path every lease of it
+// afterwards amortizes.
+func (p *Pool) build(idx int) (*Deployment, error) {
+	devA := nicsim.NewDevice(fmt.Sprintf("%s/pool%da", p.cfg.Name, idx))
+	devB := nicsim.NewDevice(fmt.Sprintf("%s/pool%db", p.cfg.Name, idx))
+	pair, err := core.NewPairDetached(p.cfg.Core, devA, devB)
+	if err != nil {
+		return nil, fmt.Errorf("session: deployment %d: %w", idx, err)
+	}
+	mtu := pair.A.Ctx.Config().MTU
+	clk := pair.A.Ctx.Clock()
+	// Control planes are built detached (nil wire) and re-attached per
+	// lease; their receive slabs survive across leases.
+	cpA := reliability.NewControlPlaneBufs(devA, nil, mtu, clk, p.cfg.CtrlRecvBufs)
+	cpB := reliability.NewControlPlaneBufs(devB, nil, mtu, clk, p.cfg.CtrlRecvBufs)
+	// Per-flow registrations (staging buffers, parity scratch) must not
+	// accumulate across leases; track them so Reset deregisters.
+	pair.A.Ctx.SetMRTracking(true)
+	pair.B.Ctx.SetMRTracking(true)
+	d := &Deployment{pool: p, pair: pair, cpA: cpA, cpB: cpB}
+	d.releaseFn = d.release
+	return d, nil
+}
+
+// DevA returns the deployment's A-side device — the terminal Deliverer
+// for the lease's B→A delivery chain.
+func (d *Deployment) DevA() *nicsim.Device { return d.pair.A.Dev }
+
+// DevB returns the B-side device (terminal for the A→B chain).
+func (d *Deployment) DevB() *nicsim.Device { return d.pair.B.Dev }
+
+// Bind wires the leased deployment across link and oob and returns the
+// lease's reliability session: QPs reconnect over the new data path,
+// control planes re-attach, endpoints (with fresh re-ACK tables) layer
+// on top. Closing the session resets the deployment and releases it
+// back to the pool.
+func (d *Deployment) Bind(link *fabric.Link, oob *fabric.OOB, relCfg reliability.Config) (*reliability.Session, error) {
+	if !d.leased {
+		return nil, fmt.Errorf("session: Bind on a deployment that is not leased")
+	}
+	if err := d.pair.Bind(link, oob); err != nil {
+		return nil, err
+	}
+	d.cpA.Rebind(link.AB)
+	d.cpB.Rebind(link.BA)
+	s := reliability.NewSessionOnCPs(d.pair, d.cpA, d.cpB, relCfg)
+	s.SetRelease(d.releaseFn)
+	return s, nil
+}
+
+// release resets the deployment's per-session state and returns it to
+// the pool (Session.Close calls it after flushing pending retires).
+// Releasing a deployment that is not leased panics: it means two
+// owners believed they held the lease.
+func (d *Deployment) release() {
+	p := d.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !d.leased {
+		panic("session: deployment released twice")
+	}
+	d.leased = false
+	p.leased--
+	d.pair.Reset()
+	if p.closed {
+		d.teardown()
+		return
+	}
+	p.free = append(p.free, d)
+}
+
+// Release returns an acquired deployment to the pool without a Bind —
+// the error-path counterpart of closing the bound session. Releasing a
+// deployment whose session was already closed panics (double release).
+func (d *Deployment) Release() { d.release() }
+
+// teardown permanently destroys the deployment's resources.
+func (d *Deployment) teardown() {
+	d.cpA.Close()
+	d.cpB.Close()
+	d.pair.Close()
+}
+
+// LeaseLinked acquires a deployment and wires it across a standalone
+// fabric link with per-direction impairment configs ab/ba and an OOB
+// channel of oobLatency — the pooled counterpart of
+// reliability.NewSession, for harnesses whose data path is a single
+// link rather than a netem route.
+func (p *Pool) LeaseLinked(relCfg reliability.Config, ab, ba fabric.Config, oobLatency time.Duration) (*reliability.Session, error) {
+	d, err := p.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	clk := p.cfg.Core.Clock
+	if ab.Clock == nil {
+		ab.Clock = clk
+	}
+	if ba.Clock == nil {
+		ba.Clock = clk
+	}
+	link := fabric.NewLink(d.DevA(), d.DevB(), ab, ba)
+	oob := fabric.NewOOB(clk, oobLatency)
+	s, err := d.Bind(link, oob, relCfg)
+	if err != nil {
+		d.release()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Stats reports how many deployments the pool has ever built and how
+// many are currently leased. built bounds steady-state memory; leased
+// > 0 at teardown time is a leak.
+func (p *Pool) Stats() (built, leased int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.built, p.leased
+}
+
+// Close tears down every free deployment and marks the pool closed
+// (further Acquires fail; outstanding leases tear their deployments
+// down on release). It returns an error when leases are still
+// outstanding — the leak detector pool-lifecycle tests assert on.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	free := p.free
+	p.free = nil
+	leaked := p.leased
+	p.mu.Unlock()
+	for _, d := range free {
+		d.teardown()
+	}
+	if leaked > 0 {
+		return fmt.Errorf("session: %d deployment(s) still leased at pool close", leaked)
+	}
+	return nil
+}
