@@ -14,7 +14,7 @@ RACE_PKGS = ./internal/bitmap/ ./internal/gf256/ ./internal/ec/ \
 	./internal/clock/ ./internal/fabric/ ./internal/core/ ./internal/reliability/ \
 	./internal/netem/ ./internal/simnet/ ./internal/session/
 
-.PHONY: ci vet build test race bench bench-kernels bench-json smoke-flows
+.PHONY: ci vet build test race bench bench-kernels bench-json smoke-flows smoke-adaptive
 
 ci: vet build race test
 
@@ -56,7 +56,7 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkVirtualHandoff|BenchmarkVirtualSleepChurn|BenchmarkRealWaitNotify' -benchmem ./internal/clock/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkSessionChurn' -benchmem ./internal/session/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkWANVirtual|BenchmarkWANReal' -benchtime 3x -benchmem ./internal/experiments/ >> bench-json.tmp
-	$(GO) test -run xxx -bench 'BenchmarkWANFunctionalSweep|BenchmarkMultiDCSweep' -benchtime 3x -benchmem ./internal/experiments/ >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkWANFunctionalSweep|BenchmarkMultiDCSweep|BenchmarkAdaptiveSweep' -benchtime 3x -benchmem ./internal/experiments/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkNetemQueue' -benchmem ./internal/netem/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkFunctionalAllreduceVirtual' -benchtime 5x -benchmem ./internal/collective/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkMultiDCVirtual|BenchmarkMultiDCReal' -benchtime 2x -benchmem ./internal/experiments/ >> bench-json.tmp
@@ -67,3 +67,12 @@ bench-json:
 # sequential + 100 concurrent dumbbell flows from its deployment pool.
 smoke-flows:
 	$(GO) test -count=1 -run 'TestDumbbellThousandSequentialFlows|TestDumbbellHundredConcurrentFlows' -v ./internal/netem/
+
+# Adaptive-reliability smoke: dynamic faults land mid-transfer (flap +
+# reroute with data in flight), the mid-flight adaptor switches rungs
+# deterministically, and the adaptive figure strictly beats every
+# static scheme through the regime sweep.
+smoke-adaptive:
+	$(GO) test -count=1 -run 'TestFlapRerouteInFlightTransfer' -v ./internal/netem/
+	$(GO) test -count=1 -run 'TestAdaptiveSwitchoverDeterministic' -v ./internal/reliability/
+	$(GO) test -count=1 -run 'TestAdaptiveBeatsStaticSchemes|TestAdaptiveFunctionalSweepParallelMatchesSerial' -v ./internal/experiments/

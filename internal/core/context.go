@@ -52,6 +52,16 @@ func NewContext(dev *nicsim.Device, cfg Config) (*Context, error) {
 // runs on.
 func (c *Context) Clock() clock.Clock { return c.clk }
 
+// SetClock re-homes the context (and every QP created from it) onto
+// clk. The session fabric uses this to move a pooled deployment onto a
+// sweep lane's virtual clock so cells can lease instead of cold-
+// building a per-lane session. Must only be called while the context
+// is quiescent — no in-flight operations or scheduled timers.
+func (c *Context) SetClock(clk clock.Clock) {
+	c.clk = clock.Or(clk)
+	c.pool.SetSynchronous(c.clk.IsVirtual())
+}
+
 // Config returns the context configuration (with defaults applied).
 func (c *Context) Config() Config { return c.cfg }
 

@@ -347,6 +347,19 @@ func (qp *QP) DeliverCTS(msg []byte) {
 	qp.ctx.clk.Notify()
 }
 
+// SendReady reports whether the peer has already posted the receive
+// matching this QP's NEXT send — i.e. whether SendStreamStart/SendPost
+// would proceed without blocking on a clear-to-send. Windowed senders
+// (the adaptive reliability controller) use it to start new operations
+// only when doing so cannot stall the pump loop that services
+// retransmissions of operations already in flight.
+func (qp *QP) SendReady() bool {
+	qp.sendMu.Lock()
+	_, ok := qp.ctsSize[qp.sendSeq]
+	qp.sendMu.Unlock()
+	return ok
+}
+
 // waitCTS blocks until the peer posted the receive matching seq and
 // returns its size. The epoch is snapshotted before each check, so a
 // CTS that lands between the check and the wait wakes it immediately.

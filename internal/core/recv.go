@@ -35,6 +35,15 @@ type RecvHandle struct {
 	immSeen   atomic.Uint32 // bitmask of received user-imm fragments
 	immVal    atomic.Uint32 // reconstructed user immediate
 	completed atomic.Bool
+
+	// markedPkts counts accepted packets carrying the ECN
+	// congestion-experienced bit; dupPkts counts accepted packets that
+	// hit an already-set bitmap bit (retransmission overlap). Both are
+	// per-receive, so a reliability layer can attribute congestion and
+	// loss signals to individual operations (the adaptive controller's
+	// inputs).
+	markedPkts atomic.Uint64
+	dupPkts    atomic.Uint64
 }
 
 // RecvPost posts size bytes of the registered region mr (starting at
@@ -117,6 +126,15 @@ func (h *RecvHandle) NumChunks() int { return h.msg.NumChunks() }
 // Done reports whether every chunk has arrived.
 func (h *RecvHandle) Done() bool { return h.msg.Complete() }
 
+// MarkedPackets returns how many accepted packets of this receive
+// carried the ECN congestion-experienced bit.
+func (h *RecvHandle) MarkedPackets() uint64 { return h.markedPkts.Load() }
+
+// DuplicatePackets returns how many accepted packets of this receive
+// hit an already-set bitmap bit — the receiver-side signature of chunk
+// retransmission after loss.
+func (h *RecvHandle) DuplicatePackets() uint64 { return h.dupPkts.Load() }
+
 // Imm reconstructs the 32-bit user immediate from the per-packet
 // fragments (Table 1: recv_imm_get). It returns ErrImmNotReady until
 // either all fragment positions have been observed or the message is
@@ -189,6 +207,9 @@ func (qp *QP) backendHandle(gen uint32, cqe *nicsim.CQE) {
 		return
 	}
 	qp.packetsReceived.Add(1)
+	if cqe.Marked {
+		h.markedPkts.Add(1)
+	}
 
 	if bits := qp.cfg.UserImmBits; bits > 0 {
 		frags := qp.cfg.immFragments()
@@ -201,6 +222,7 @@ func (qp *QP) backendHandle(gen uint32, cqe *nicsim.CQE) {
 	if !newlySet {
 		// Retransmission overlap or wire duplication.
 		qp.duplicates.Add(1)
+		h.dupPkts.Add(1)
 		return
 	}
 	if chunkDone {

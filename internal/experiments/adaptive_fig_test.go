@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The adaptive-functional sweep must hold the same multi-lane
+// guarantee as the other virtual-clock figures: byte-identical output
+// for any worker count and any GOMAXPROCS.
+func TestAdaptiveFunctionalSweepParallelMatchesSerial(t *testing.T) {
+	sweepDeterminism(t, "adaptive-functional")
+}
+
+// The figure's headline claim: through the clean → burst → flap →
+// recovery regime sweep, the adaptive transfer strictly beats every
+// static scheme on completion time, while actually riding the fault
+// program (it reroutes over the flap and switches rungs mid-flight).
+func TestAdaptiveBeatsStaticSchemes(t *testing.T) {
+	res, err := Run("adaptive-functional", quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Format())
+	completion := func(row []string) float64 {
+		ms, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("row %v: completion %q: %v", row, row[1], err)
+		}
+		return ms
+	}
+	var adaptive float64
+	var adaptiveRow []string
+	for _, row := range res.Rows {
+		if row[0] == "adaptive" {
+			adaptive = completion(row)
+			adaptiveRow = row
+		}
+	}
+	if adaptiveRow == nil {
+		t.Fatalf("no adaptive row in %v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if row[0] == "adaptive" {
+			continue
+		}
+		if c := completion(row); adaptive >= c {
+			t.Errorf("adaptive (%.3f ms) does not strictly beat %s (%.3f ms)", adaptive, row[0], c)
+		}
+	}
+	// The win must come from the dynamics, not a degenerate scenario:
+	// the flap rerouted the adaptive flow and the ladder moved.
+	if reroutes := adaptiveRow[7]; reroutes == "0" {
+		t.Errorf("adaptive row took no path reroutes; the flap regime never engaged")
+	}
+	if !strings.Contains(adaptiveRow[8], ">") {
+		t.Errorf("adaptive trajectory %q shows no rung switches", adaptiveRow[8])
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sdrrdma/internal/fabric"
 	"sdrrdma/internal/nicsim"
 	"sdrrdma/internal/reliability"
+	"sdrrdma/internal/session"
 	"sdrrdma/internal/wan"
 )
 
@@ -297,12 +298,10 @@ func runSweep(o Options, n int, cell func(clk clock.Clock, i int)) {
 	clock.RunLanes(o.SweepWorkers, n, func(v *clock.Virtual, i int) { cell(v, i) })
 }
 
-// runWANReliability runs one reliable 25 ms-RTT transfer of the SDR
-// reliability stack (scheme "sr", "sr-nack" or "ec") over the impaired
-// 400 Gbit/s fabric on clk, returning the sender's completion time in
-// that clock's domain.
-func runWANReliability(clk clock.Clock, scheme string, drop float64, size int, seed int64) (wanResult, error) {
-	coreCfg := core.Config{
+// wanCoreCfg is the WAN deployment shape every wan-functional cell
+// shares (the pool key: one deployment build serves the whole sweep).
+func wanCoreCfg(clk clock.Clock) core.Config {
+	return core.Config{
 		MTU: 4096, ChunkBytes: 64 << 10, MaxMsgBytes: 16 << 20,
 		MsgIDBits: 10, PktOffsetBits: 18, UserImmBits: 4,
 		// CQ depth covers a whole message per channel; deeper rings
@@ -311,6 +310,17 @@ func runWANReliability(clk clock.Clock, scheme string, drop float64, size int, s
 		Generations: 2, Channels: 4, CQDepth: 1 << 12,
 		Clock: clk,
 	}
+}
+
+// runWANReliability runs one reliable 25 ms-RTT transfer of the SDR
+// reliability stack (scheme "sr", "sr-nack" or "ec") over the impaired
+// 400 Gbit/s fabric on clk, returning the sender's completion time in
+// that clock's domain. With a pool, the session is leased from it and
+// re-homed onto clk — sweep cells stop cold-building deployments and
+// pay only the rebind; nil pool keeps the cold build (the wall-clock
+// churn benchmarks measure exactly that difference).
+func runWANReliability(pool *session.Pool, clk clock.Clock, scheme string, drop float64, size int, seed int64) (wanResult, error) {
+	coreCfg := wanCoreCfg(clk)
 	relCfg := reliability.Config{
 		RTT:   2 * wanOneWay,
 		Alpha: 2,
@@ -323,7 +333,13 @@ func runWANReliability(clk clock.Clock, scheme string, drop float64, size int, s
 			DropProb: drop, Seed: s, Clock: clk,
 		}
 	}
-	s, err := reliability.NewSession(coreCfg, relCfg, fabCfg(seed), fabCfg(seed+1000), wanOneWay)
+	var s *reliability.Session
+	var err error
+	if pool != nil {
+		s, err = pool.LeaseLinkedOn(clk, relCfg, fabCfg(seed), fabCfg(seed+1000), wanOneWay)
+	} else {
+		s, err = reliability.NewSession(coreCfg, relCfg, fabCfg(seed), fabCfg(seed+1000), wanOneWay)
+	}
 	if err != nil {
 		return wanResult{}, err
 	}
@@ -499,6 +515,17 @@ func WANFunctional(o Options) (*Result, error) {
 			cells = append(cells, wanCell{scheme: scheme, drop: drop})
 		}
 	}
+	// One session pool serves every SDR cell of the sweep: deployments
+	// cold-build at most once per concurrent lane and each cell leases
+	// one re-homed onto its lane's clock (session.Pool.LeaseLinkedOn
+	// documents why lease order cannot leak into the figure).
+	pool, err := session.NewPool(session.Config{
+		Core: wanCoreCfg(clock.NewVirtual()), Name: "wan-functional",
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
 	idealData := uint64((size + 4095) / 4096)
 	rows := make([][]string, len(cells))
 	errs := make([]error, len(cells))
@@ -516,7 +543,7 @@ func WANFunctional(o Options) (*Result, error) {
 		if c.scheme == "rc-gbn" {
 			r, err = runWANRC(clk, c.drop, size, seed)
 		} else {
-			r, err = runWANReliability(clk, c.scheme, c.drop, size, seed)
+			r, err = runWANReliability(pool, clk, c.scheme, c.drop, size, seed)
 		}
 		if err != nil {
 			errs[i] = fmt.Errorf("wan-functional %s @%g: %w", c.scheme, c.drop, err)

@@ -65,3 +65,5 @@ func BenchmarkWANFunctionalSweepSerial(b *testing.B)   { benchSweep(b, "wan-func
 func BenchmarkWANFunctionalSweepParallel(b *testing.B) { benchSweep(b, "wan-functional", 0) }
 func BenchmarkMultiDCSweepSerial(b *testing.B)         { benchSweep(b, "multidc-functional", 1) }
 func BenchmarkMultiDCSweepParallel(b *testing.B)       { benchSweep(b, "multidc-functional", 0) }
+func BenchmarkAdaptiveSweepSerial(b *testing.B)        { benchSweep(b, "adaptive-functional", 1) }
+func BenchmarkAdaptiveSweepParallel(b *testing.B)      { benchSweep(b, "adaptive-functional", 0) }

@@ -15,7 +15,7 @@ import (
 // packet events.
 func benchWANScenario(b *testing.B, clk func() clock.Clock) {
 	for i := 0; i < b.N; i++ {
-		if _, err := runWANReliability(clk(), "sr", 1e-2, wanMsgBytes, 42); err != nil {
+		if _, err := runWANReliability(nil, clk(), "sr", 1e-2, wanMsgBytes, 42); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -111,6 +111,30 @@ func NewDirectionTo(dst nicsim.Deliverer, cfg Config) *Direction {
 	}
 }
 
+// Reconfigure re-parameterizes an idle direction in place for a new
+// lease: impairments, clock and rng stream come from cfg, the
+// serialization booking, held packets and counters reset, and any
+// interceptor is cleared. The destination is fixed at construction —
+// pooled deployments re-lease the same device pair, which is what
+// makes the envelope reusable at all. Only call between leases, with
+// no packets in flight.
+func (d *Direction) Reconfigure(cfg Config) {
+	d.rmu.Lock()
+	d.cfg = cfg
+	d.clk = clock.Or(cfg.Clock)
+	d.rng.Seed(cfg.Seed)
+	d.freeAt = time.Time{}
+	d.rmu.Unlock()
+	d.heldMu.Lock()
+	d.held = nil
+	d.heldMu.Unlock()
+	d.icpt.Store(nil)
+	d.Tx.Store(0)
+	d.Dropped.Store(0)
+	d.Duplicated.Store(0)
+	d.HeldCount.Store(0)
+}
+
 // SetInterceptor installs (or clears, with nil) the packet hook.
 func (d *Direction) SetInterceptor(i Interceptor) {
 	if i == nil {
@@ -330,6 +354,25 @@ func NewOOB(clk clock.Clock, latency time.Duration) *OOB {
 	o.a.pump = func() { o.pump(&o.a) }
 	o.b.pump = func() { o.pump(&o.b) }
 	return o
+}
+
+// Reset re-parameterizes an idle OOB channel for a new lease: clock
+// and latency are replaced, handlers, backlogs and queues dropped. The
+// bound pump callbacks survive, so a reset channel still arms timers
+// without allocating. Only call between leases, with no messages in
+// flight.
+func (o *OOB) Reset(clk clock.Clock, latency time.Duration) {
+	o.mu.Lock()
+	o.clk = clock.Or(clk)
+	o.latency = latency
+	for _, e := range [...]*oobEnd{&o.a, &o.b} {
+		e.handler = nil
+		e.backlog = nil
+		e.queue = nil
+		e.timerArmed = false
+		e.dispatching = false
+	}
+	o.mu.Unlock()
 }
 
 // HandleA registers the receive callback for endpoint A and flushes

@@ -56,3 +56,46 @@ func BenchmarkNetemQueue(b *testing.B) {
 		b.Fatal("nothing delivered")
 	}
 }
+
+// BenchmarkNetemQueueECN is BenchmarkNetemQueue with the ECN threshold
+// engaged and the load held above it, so every enqueue pays the
+// congestion-marking check and most deliveries carry the mark — the
+// steady-state cost of an emulated hop under standing congestion.
+// Tracked in BENCH_protosim.json.
+func BenchmarkNetemQueueECN(b *testing.B) {
+	clk := clock.NewVirtual()
+	q, err := NewQueue(QueueConfig{
+		BandwidthBps:       400e9,
+		BufferBytes:        1 << 20,
+		MarkThresholdBytes: 8 << 10,
+		Latency:            time.Millisecond,
+		Seed:               1,
+		Clock:              clk,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := &counter{}
+	port := q.Port(sink)
+	payload := make([]byte, 4096-nicsim.HeaderBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	clock.Join(clk, func() {
+		for i := 0; i < b.N; i++ {
+			port.Send(&nicsim.Packet{Opcode: nicsim.OpWriteImm, PSN: uint32(i), Payload: payload})
+			if i%128 == 127 {
+				clk.Sleep(20 * time.Microsecond)
+			}
+		}
+		clk.Sleep(10 * time.Millisecond)
+	})
+	b.StopTimer()
+	if sink.n == 0 {
+		b.Fatal("nothing delivered")
+	}
+	// The b.N=1 probe run cannot cross the threshold; only steady runs
+	// must actually mark.
+	if b.N >= 128 && q.Marked.Load() == 0 {
+		b.Fatal("no packets marked: threshold never engaged")
+	}
+}

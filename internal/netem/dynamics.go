@@ -1,0 +1,204 @@
+package netem
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"sdrrdma/internal/clock"
+)
+
+// Event is one scheduled edge re-parameterization: at virtual time At
+// (relative to Apply), the named edge's non-zero fields take effect.
+// Zero-valued fields leave the corresponding parameter unchanged, so
+// one event can change loss alone, bandwidth alone, or several at
+// once.
+type Event struct {
+	// At is the application instant, relative to Schedule.Apply.
+	At time.Duration
+	// Edge indexes Topology.Edges().
+	Edge int
+	// Loss, when non-nil, replaces the edge's wire loss process (the
+	// zero LossSpec turns loss off).
+	Loss *LossSpec
+	// BandwidthBps, when > 0, replaces the line rate.
+	BandwidthBps float64
+	// DistanceKm, when > 0, moves the edge (re-deriving propagation
+	// delay with the §2.1 calibration).
+	DistanceKm float64
+}
+
+// Flap takes an edge down at Down and restores it at Up (both relative
+// to Apply). While down the edge's queues fail closed and registered
+// Paths are rerouted around it; at Up they are rerouted again.
+type Flap struct {
+	Edge     int
+	Down, Up time.Duration
+}
+
+// Drift moves an edge at a constant rate — the LEO-style RTT drift of
+// a ground station tracking a receding satellite. Starting at Start,
+// the edge's distance is re-derived every Step for Duration:
+//
+//	distance(t) = base + RateKmPerSec·(t-Start)
+//
+// where base is the edge's distance when the schedule is applied.
+type Drift struct {
+	Edge            int
+	Start, Duration time.Duration
+	// RateKmPerSec is the recession rate (> 0; an approaching pass is
+	// modeled by scheduling Events with decreasing DistanceKm, keeping
+	// validation of the common case strict).
+	RateKmPerSec float64
+	// Step is the re-derivation cadence.
+	Step time.Duration
+}
+
+// Schedule is the declarative fault program of a dynamic-network run:
+// edge re-parameterizations, link flaps, and RTT drifts, all inside a
+// run horizon. Validate rejects malformed programs before any timer is
+// armed (mirroring wan.NewGilbertElliottChecked's fail-fast stance);
+// Apply arms everything on the topology's clock.
+type Schedule struct {
+	// Horizon bounds the program: every event, flap window, and drift
+	// window must fall inside [0, Horizon].
+	Horizon time.Duration
+	Events  []Event
+	Flaps   []Flap
+	Drifts  []Drift
+}
+
+// finite reports a usable float: not NaN, not ±Inf.
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// Validate checks the schedule against t without mutating anything.
+func (s Schedule) Validate(t *Topology) error {
+	if s.Horizon <= 0 {
+		return fmt.Errorf("netem: schedule horizon %v <= 0", s.Horizon)
+	}
+	edges := len(t.Edges())
+	checkEdge := func(kind string, i, e int) error {
+		if e < 0 || e >= edges {
+			return fmt.Errorf("netem: %s[%d] edge %d outside %d edges", kind, i, e, edges)
+		}
+		return nil
+	}
+	for i, ev := range s.Events {
+		if err := checkEdge("event", i, ev.Edge); err != nil {
+			return err
+		}
+		if ev.At < 0 || ev.At > s.Horizon {
+			return fmt.Errorf("netem: event[%d] at %v outside horizon [0,%v]", i, ev.At, s.Horizon)
+		}
+		if ev.Loss != nil {
+			if err := ev.Loss.Validate(); err != nil {
+				return fmt.Errorf("netem: event[%d]: %w", i, err)
+			}
+		}
+		if !finite(ev.BandwidthBps) || ev.BandwidthBps < 0 {
+			return fmt.Errorf("netem: event[%d] bandwidth %g invalid", i, ev.BandwidthBps)
+		}
+		if !finite(ev.DistanceKm) || ev.DistanceKm < 0 {
+			return fmt.Errorf("netem: event[%d] distance %g km invalid", i, ev.DistanceKm)
+		}
+	}
+	for i, f := range s.Flaps {
+		if err := checkEdge("flap", i, f.Edge); err != nil {
+			return err
+		}
+		if f.Down < 0 || f.Up <= f.Down || f.Up > s.Horizon {
+			return fmt.Errorf("netem: flap[%d] window [%v,%v] invalid within horizon %v",
+				i, f.Down, f.Up, s.Horizon)
+		}
+	}
+	for i, d := range s.Drifts {
+		if err := checkEdge("drift", i, d.Edge); err != nil {
+			return err
+		}
+		if !finite(d.RateKmPerSec) || d.RateKmPerSec <= 0 {
+			return fmt.Errorf("netem: drift[%d] rate %g km/s invalid (must be finite and > 0)",
+				i, d.RateKmPerSec)
+		}
+		if d.Start < 0 || d.Duration <= 0 || d.Start+d.Duration > s.Horizon {
+			return fmt.Errorf("netem: drift[%d] window [%v,+%v] outside horizon [0,%v]",
+				i, d.Start, d.Duration, s.Horizon)
+		}
+		if d.Step <= 0 || d.Step > d.Duration {
+			return fmt.Errorf("netem: drift[%d] step %v invalid for duration %v", i, d.Step, d.Duration)
+		}
+	}
+	return nil
+}
+
+// Apply validates s and arms every event, flap, and drift step on the
+// topology's clock, relative to now. On a virtual clock the whole
+// program fires at exact deterministic instants; real clocks get
+// best-effort wall timing. Setter failures during the run (e.g. a loss
+// spec that validated but whose build races a concurrent edit) are
+// counted in the returned Applied's Errors — the scheduler cannot
+// return them to a caller that moved on long ago.
+func (s Schedule) Apply(t *Topology) (*Applied, error) {
+	if err := s.Validate(t); err != nil {
+		return nil, err
+	}
+	clk := t.Clock()
+	ap := &Applied{}
+	for _, ev := range s.Events {
+		ev := ev
+		e := t.Edges()[ev.Edge]
+		clock.After(clk, ev.At, func() {
+			if ev.Loss != nil {
+				ap.count(e.SetLoss(*ev.Loss))
+			}
+			if ev.BandwidthBps > 0 {
+				ap.count(e.SetBandwidth(ev.BandwidthBps))
+			}
+			if ev.DistanceKm > 0 {
+				ap.count(e.SetDistance(ev.DistanceKm))
+			}
+		})
+	}
+	for _, f := range s.Flaps {
+		e := t.Edges()[f.Edge]
+		clock.After(clk, f.Down, func() {
+			e.SetDown(true)
+			t.ReroutePaths()
+			ap.Flapped.Add(1)
+		})
+		clock.After(clk, f.Up, func() {
+			e.SetDown(false)
+			t.ReroutePaths()
+		})
+	}
+	for _, d := range s.Drifts {
+		e := t.Edges()[d.Edge]
+		base := e.DistanceKm()
+		steps := int(d.Duration / d.Step)
+		for i := 1; i <= steps; i++ {
+			dt := time.Duration(i) * d.Step
+			km := base + d.RateKmPerSec*dt.Seconds()
+			clock.After(clk, d.Start+dt, func() {
+				ap.count(e.SetDistance(km))
+			})
+		}
+	}
+	return ap, nil
+}
+
+// Applied tracks a running schedule's outcomes.
+type Applied struct {
+	// Fired counts setter applications that succeeded; Errors the ones
+	// that failed; Flapped the down transitions taken.
+	Fired   atomic.Uint64
+	Errors  atomic.Uint64
+	Flapped atomic.Uint64
+}
+
+func (a *Applied) count(err error) {
+	if err != nil {
+		a.Errors.Add(1)
+		return
+	}
+	a.Fired.Add(1)
+}

@@ -17,6 +17,15 @@
 // (§3.1.1). On a clock.Virtual the whole emulation is a deterministic
 // discrete-event simulation; on the real clock it runs against the
 // wall exactly like the fabric does.
+//
+// Edges are dynamic: queues support ECN/RED-style congestion marking
+// (MarkThresholdBytes), and every edge's loss process, bandwidth and
+// distance can be re-pointed mid-run (SetLoss, SetBandwidth,
+// SetDistance) or driven by a declarative Schedule — timed events,
+// link flaps that fail the queue closed and reroute every registered
+// Path over the surviving edges, and LEO-style distance drift — all
+// executed behind the virtual clock so fault programs are exactly
+// reproducible.
 package netem
 
 import (

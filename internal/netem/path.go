@@ -1,0 +1,163 @@
+package netem
+
+import (
+	"sync/atomic"
+
+	"sdrrdma/internal/nicsim"
+)
+
+// Path is a re-routable delivery chain between two datacenters: the
+// indirection NewFlow injects in front of its port chains so an
+// in-flight transfer survives a link flap. Packets entering the path
+// traverse whatever route the last reroute computed; when an edge goes
+// down, ReroutePaths atomically re-points the head at a fresh chain
+// around the failure. Packets already inside the old chain's queues
+// keep draining toward the same terminal destination — they arrive
+// late or duplicated and are absorbed by the NULL-retired slots and
+// re-ACK machinery, the same discipline stale-lease traffic follows —
+// or die in the downed queue itself, which fails closed.
+type Path struct {
+	t        *Topology
+	from, to int
+	dst      nicsim.Deliverer
+
+	// head is the current route's entry Deliverer; a head wrapping nil
+	// means no route exists (the path blackholes until an edge returns).
+	head atomic.Pointer[pathHead]
+	// hops pins the route the head was built from, so a reroute that
+	// resolves to the identical route does not disturb the chain.
+	// Accessed only under the topology's pathMu.
+	hops []Hop
+
+	// Blackholed counts packets dropped because no route existed;
+	// Reroutes counts head re-pointings after the initial build.
+	Blackholed atomic.Uint64
+	Reroutes   atomic.Uint64
+}
+
+type pathHead struct{ d nicsim.Deliverer }
+
+// NewPath builds a re-routable path from→to terminating at dst and
+// registers it for ReroutePaths. A route must exist at creation time.
+func (t *Topology) NewPath(from, to int, dst nicsim.Deliverer) (*Path, error) {
+	hops, err := t.Route(from, to)
+	if err != nil {
+		return nil, err
+	}
+	p := &Path{t: t, from: from, to: to, dst: dst, hops: hops}
+	p.head.Store(&pathHead{d: chain(hops, dst)})
+	t.pathMu.Lock()
+	t.paths = append(t.paths, p)
+	t.pathMu.Unlock()
+	return p, nil
+}
+
+// Send implements nicsim.Wire.
+func (p *Path) Send(pkt *nicsim.Packet) { p.Deliver(pkt) }
+
+// Deliver implements nicsim.Deliverer: forward along the current
+// route, or blackhole when none exists.
+func (p *Path) Deliver(pkt *nicsim.Packet) {
+	h := p.head.Load()
+	if h == nil || h.d == nil {
+		p.Blackholed.Add(1)
+		return
+	}
+	h.d.Deliver(pkt)
+}
+
+// Hops returns the path's current route (nil while blackholed).
+func (p *Path) Hops() []Hop {
+	p.t.pathMu.Lock()
+	defer p.t.pathMu.Unlock()
+	return p.hops
+}
+
+// sameRoute reports whether two hop sequences traverse the same edges
+// in the same directions.
+func sameRoute(a, b []Hop) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Edge != b[i].Edge || a[i].Forward != b[i].Forward {
+			return false
+		}
+	}
+	return true
+}
+
+// reroute recomputes the path's route and re-points the head if it
+// changed. Caller holds t.pathMu.
+func (p *Path) reroute() {
+	hops, err := p.t.Route(p.from, p.to)
+	if err != nil {
+		if p.hops == nil {
+			return // already blackholed
+		}
+		p.hops = nil
+		p.head.Store(&pathHead{})
+		p.Reroutes.Add(1)
+		return
+	}
+	if sameRoute(hops, p.hops) {
+		return
+	}
+	p.hops = hops
+	p.head.Store(&pathHead{d: chain(hops, p.dst)})
+	p.Reroutes.Add(1)
+}
+
+// ReroutePaths recomputes every registered path against current edge
+// state — call it after SetDown (or any reachability-changing edit) so
+// in-flight flows re-point around the change. Paths whose route is
+// unchanged are left untouched.
+func (t *Topology) ReroutePaths() {
+	t.pathMu.Lock()
+	for _, p := range t.paths {
+		p.reroute()
+	}
+	t.pathMu.Unlock()
+}
+
+// removePaths unregisters paths when their flow closes.
+func (t *Topology) removePaths(paths ...*Path) {
+	t.pathMu.Lock()
+	for _, p := range paths {
+		for i, q := range t.paths {
+			if q == p {
+				last := len(t.paths) - 1
+				t.paths[i] = t.paths[last]
+				t.paths[last] = nil
+				t.paths = t.paths[:last]
+				break
+			}
+		}
+	}
+	t.pathMu.Unlock()
+}
+
+// PathReroutes sums head re-pointings across the registered paths —
+// how many times live flows were steered around edge-state changes.
+// Paths retire their counts when their flow closes, so read it while
+// the flows of interest are still open.
+func (t *Topology) PathReroutes() uint64 {
+	t.pathMu.Lock()
+	defer t.pathMu.Unlock()
+	var n uint64
+	for _, p := range t.paths {
+		n += p.Reroutes.Load()
+	}
+	return n
+}
+
+// NumPaths reports the registered re-routable paths (leak check for
+// flow churn tests).
+func (t *Topology) NumPaths() int {
+	t.pathMu.Lock()
+	defer t.pathMu.Unlock()
+	return len(t.paths)
+}
+
+var _ nicsim.Wire = (*Path)(nil)
+var _ nicsim.Deliverer = (*Path)(nil)

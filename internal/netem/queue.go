@@ -25,13 +25,22 @@ const (
 	// ChannelLoss: the configured LossProcess dropped the packet on the
 	// wire after it left the buffer.
 	ChannelLoss
+	// LinkDown: the link was administratively down — a flap event. The
+	// queue fails closed: arrivals while down are refused, and packets
+	// already buffered when the link drops are discarded at departure
+	// instead of being delivered over a dead wire.
+	LinkDown
 )
 
 func (r DropReason) String() string {
-	if r == TailDrop {
+	switch r {
+	case TailDrop:
 		return "tail-drop"
+	case LinkDown:
+		return "link-down"
+	default:
+		return "channel-loss"
 	}
-	return "channel-loss"
 }
 
 // QueueConfig describes one direction of an emulated hop.
@@ -50,6 +59,13 @@ type QueueConfig struct {
 	// buffer, in serialization order — so burst channels correlate
 	// drops across consecutive wire packets. nil = lossless wire.
 	Loss LossProcess
+	// MarkThresholdBytes enables ECN/RED-style congestion marking: an
+	// arrival that pushes buffered wire bytes to or past this threshold
+	// has its Marked bit set instead of being dropped, giving receivers
+	// an early congestion signal before tail drop. 0 disables marking.
+	// Must be < BufferBytes when both are set — a threshold at or above
+	// the buffer can never fire (tail drop wins first).
+	MarkThresholdBytes int
 	// Seed drives the loss draws.
 	Seed int64
 	// Clock supplies departure and propagation timing; nil uses the
@@ -66,6 +82,11 @@ func (c QueueConfig) Validate() error {
 		return fmt.Errorf("netem: queue buffer %d < 0", c.BufferBytes)
 	case c.Latency < 0:
 		return fmt.Errorf("netem: queue latency %v < 0", c.Latency)
+	case c.MarkThresholdBytes < 0:
+		return fmt.Errorf("netem: ECN mark threshold %d < 0", c.MarkThresholdBytes)
+	case c.MarkThresholdBytes > 0 && c.BufferBytes > 0 && c.MarkThresholdBytes >= c.BufferBytes:
+		return fmt.Errorf("netem: ECN mark threshold %d >= buffer %d bytes (can never fire before tail drop)",
+			c.MarkThresholdBytes, c.BufferBytes)
 	}
 	return nil
 }
@@ -92,6 +113,7 @@ type Queue struct {
 	used int  // buffered wire bytes
 	busy bool // head-of-line transmission in progress
 	high int  // buffer occupancy high-watermark
+	down bool // link administratively down (flap)
 
 	onDrop func(pkt *nicsim.Packet, reason DropReason, dst nicsim.Deliverer)
 
@@ -103,13 +125,16 @@ type Queue struct {
 	departFn func()
 	pool     fabric.DeliveryPool
 
-	// Enqueued counts packets accepted into the buffer; TailDrops and
-	// ChannelDrops the two loss classes; Delivered the packets handed
-	// to their destination.
-	Enqueued     atomic.Uint64
-	TailDrops    atomic.Uint64
-	ChannelDrops atomic.Uint64
-	Delivered    atomic.Uint64
+	// Enqueued counts packets accepted into the buffer; TailDrops,
+	// ChannelDrops and LinkDownDrops the three loss classes; Delivered
+	// the packets handed to their destination; Marked the packets that
+	// left with the ECN congestion-experienced bit set.
+	Enqueued      atomic.Uint64
+	TailDrops     atomic.Uint64
+	ChannelDrops  atomic.Uint64
+	LinkDownDrops atomic.Uint64
+	Delivered     atomic.Uint64
+	Marked        atomic.Uint64
 }
 
 type queued struct {
@@ -144,7 +169,63 @@ func (q *Queue) SetDropHook(fn func(pkt *nicsim.Packet, reason DropReason, dst n
 }
 
 // Drops returns the total packets lost at this queue.
-func (q *Queue) Drops() uint64 { return q.TailDrops.Load() + q.ChannelDrops.Load() }
+func (q *Queue) Drops() uint64 {
+	return q.TailDrops.Load() + q.ChannelDrops.Load() + q.LinkDownDrops.Load()
+}
+
+// SetDown flaps the link direction. While down the queue fails closed:
+// new arrivals are refused and already-buffered packets are discarded
+// at their departure instant — nothing crosses a dead wire. Bringing
+// the link back up resumes normal service; in-flight propagation
+// (packets that already left the queue) is unaffected, exactly like a
+// real fiber cut that strands photons already past the break.
+func (q *Queue) SetDown(down bool) {
+	q.mu.Lock()
+	q.down = down
+	q.mu.Unlock()
+}
+
+// Down reports whether the direction is administratively down.
+func (q *Queue) Down() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.down
+}
+
+// SetBandwidth changes the line rate. It applies to transmissions
+// started after the call; the head-of-line packet finishes at its
+// already-scheduled departure time.
+func (q *Queue) SetBandwidth(bps float64) error {
+	if bps <= 0 {
+		return fmt.Errorf("netem: queue bandwidth %g <= 0", bps)
+	}
+	q.mu.Lock()
+	q.cfg.BandwidthBps = bps
+	q.mu.Unlock()
+	return nil
+}
+
+// SetLatency changes the propagation delay applied to packets leaving
+// the queue after the call — the mechanism behind LEO-style RTT drift.
+func (q *Queue) SetLatency(d time.Duration) error {
+	if d < 0 {
+		return fmt.Errorf("netem: queue latency %v < 0", d)
+	}
+	q.mu.Lock()
+	q.cfg.Latency = d
+	q.mu.Unlock()
+	return nil
+}
+
+// SetLoss swaps the wire loss process (nil = lossless). The queue's
+// random stream is deliberately kept: draws continue from where the
+// previous process left off, so a scheduled loss change stays
+// deterministic per seed regardless of when it fires.
+func (q *Queue) SetLoss(p LossProcess) {
+	q.mu.Lock()
+	q.cfg.Loss = p
+	q.mu.Unlock()
+}
 
 // HighWatermark returns the peak buffered wire bytes observed.
 func (q *Queue) HighWatermark() int {
@@ -182,6 +263,15 @@ func (q *Queue) txTime(size int) time.Duration {
 func (q *Queue) enqueue(pkt *nicsim.Packet, dst nicsim.Deliverer) {
 	q.mu.Lock()
 	size := wireBytes(pkt)
+	if q.down {
+		hook := q.onDrop
+		q.mu.Unlock()
+		q.LinkDownDrops.Add(1)
+		if hook != nil {
+			hook(pkt, LinkDown, dst)
+		}
+		return
+	}
 	if q.cfg.BufferBytes > 0 && q.used+size > q.cfg.BufferBytes {
 		hook := q.onDrop
 		q.mu.Unlock()
@@ -195,6 +285,13 @@ func (q *Queue) enqueue(pkt *nicsim.Packet, dst nicsim.Deliverer) {
 	q.used += size
 	if q.used > q.high {
 		q.high = q.used
+	}
+	if t := q.cfg.MarkThresholdBytes; t > 0 && q.used >= t && !pkt.Marked {
+		// RED-style congestion-experienced marking: occupancy crossed
+		// the threshold, so the packet carries the signal instead of
+		// waiting for tail drop to announce congestion the hard way.
+		pkt.Marked = true
+		q.Marked.Add(1)
 	}
 	start := !q.busy
 	if start {
@@ -228,7 +325,9 @@ func (q *Queue) depart() {
 		q.q = nil // let the backing array go once drained
 	}
 	q.used -= head.size
-	dropped := q.cfg.Loss != nil && q.cfg.Loss.Drop(q.rng)
+	down := q.down
+	dropped := !down && q.cfg.Loss != nil && q.cfg.Loss.Drop(q.rng)
+	latency := q.cfg.Latency
 	hook := q.onDrop
 	if len(q.q) > 0 {
 		d := q.txTime(q.q[0].size)
@@ -238,6 +337,14 @@ func (q *Queue) depart() {
 		q.busy = false
 		q.mu.Unlock()
 	}
+	if down {
+		// Fail closed: the link flapped while this packet was buffered.
+		q.LinkDownDrops.Add(1)
+		if hook != nil {
+			hook(head.pkt, LinkDown, head.dst)
+		}
+		return
+	}
 	if dropped {
 		q.ChannelDrops.Add(1)
 		if hook != nil {
@@ -246,5 +353,5 @@ func (q *Queue) depart() {
 		return
 	}
 	q.Delivered.Add(1)
-	q.pool.DeliverAfter(q.clk, q.cfg.Latency, head.dst, head.pkt)
+	q.pool.DeliverAfter(q.clk, latency, head.dst, head.pkt)
 }

@@ -3,6 +3,7 @@ package netem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdrrdma/internal/clock"
@@ -25,6 +26,11 @@ type EdgeConfig struct {
 	// BufferBytes bounds each direction's queue (tail-drop); 0 =
 	// unbounded.
 	BufferBytes int
+	// MarkThresholdBytes enables ECN/RED-style marking per direction:
+	// packets admitted at or past this occupancy carry the congestion-
+	// experienced bit. Must be < BufferBytes when both are set. 0
+	// disables marking.
+	MarkThresholdBytes int
 	// Loss is the per-direction wire loss process specification.
 	Loss LossSpec
 }
@@ -38,14 +44,96 @@ func (c EdgeConfig) delay() time.Duration {
 // directions sharing nothing but their endpoints. Every flow routed
 // across the edge funnels through these queues, so finite buffers are
 // contended between tenants.
+//
+// Edges are mutable after build: SetLoss/SetBandwidth/SetDistance
+// re-parameterize both directions (the dynamic-network fault layer
+// schedules them at virtual times), and SetDown flaps the link, which
+// fails both queues closed and makes Route skip the edge.
 type Edge struct {
 	// From and To are the node indices the edge connects.
 	From, To int
-	// Cfg echoes the build parameters.
+	// Cfg echoes the build parameters; mutated by the setters under mu.
 	Cfg EdgeConfig
 	// Fwd carries From→To traffic, Rev the reverse.
 	Fwd, Rev *Queue
+
+	mu   sync.Mutex  // guards Cfg mutation
+	down atomic.Bool // administratively down (flap)
 }
+
+// SetLoss swaps both directions' wire loss processes for fresh ones
+// built from spec. Each queue keeps its random stream, so a scheduled
+// loss change stays deterministic per seed.
+func (e *Edge) SetLoss(spec LossSpec) error {
+	fwd, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	rev, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	e.Fwd.SetLoss(fwd)
+	e.Rev.SetLoss(rev)
+	e.mu.Lock()
+	e.Cfg.Loss = spec
+	e.mu.Unlock()
+	return nil
+}
+
+// SetBandwidth changes both directions' line rate.
+func (e *Edge) SetBandwidth(bps float64) error {
+	if err := e.Fwd.SetBandwidth(bps); err != nil {
+		return err
+	}
+	if err := e.Rev.SetBandwidth(bps); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.Cfg.BandwidthBps = bps
+	e.mu.Unlock()
+	return nil
+}
+
+// SetDistance moves the edge to km cable kilometers: both directions'
+// propagation delay is re-derived with the §2.1 calibration — the
+// mechanism behind LEO-style RTT drift schedules.
+func (e *Edge) SetDistance(km float64) error {
+	if km < 0 {
+		return fmt.Errorf("netem: edge distance %g km < 0", km)
+	}
+	d := EdgeConfig{DistanceKm: km}.delay()
+	if err := e.Fwd.SetLatency(d); err != nil {
+		return err
+	}
+	if err := e.Rev.SetLatency(d); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.Cfg.DistanceKm = km
+	e.mu.Unlock()
+	return nil
+}
+
+// DistanceKm returns the current cable distance.
+func (e *Edge) DistanceKm() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.Cfg.DistanceKm
+}
+
+// SetDown flaps the edge: both queue directions fail closed and Route
+// stops considering the edge until it comes back up. Callers that hold
+// live Paths should follow with Topology.ReroutePaths so in-flight
+// transfers re-point around the failure.
+func (e *Edge) SetDown(down bool) {
+	e.down.Store(down)
+	e.Fwd.SetDown(down)
+	e.Rev.SetDown(down)
+}
+
+// Down reports whether the edge is administratively down.
+func (e *Edge) Down() bool { return e.down.Load() }
 
 // Hop is one step of a route: an edge plus the traversal direction.
 type Hop struct {
@@ -90,6 +178,11 @@ type Topology struct {
 	// internal/session). Lazily populated; guarded by poolMu.
 	poolMu sync.Mutex
 	pools  map[core.Config]*session.Pool
+
+	// paths are the live re-routable delivery chains (see Path);
+	// ReroutePaths re-points them after edge state changes.
+	pathMu sync.Mutex
+	paths  []*Path
 }
 
 // New starts an empty topology on clk (nil = shared real clock). seed
@@ -134,12 +227,13 @@ func (t *Topology) AddEdge(from, to int, cfg EdgeConfig) (*Edge, error) {
 			return nil, fmt.Errorf("netem: edge %s–%s: %w", t.nodes[from], t.nodes[to], err)
 		}
 		return NewQueue(QueueConfig{
-			BandwidthBps: cfg.BandwidthBps,
-			BufferBytes:  cfg.BufferBytes,
-			Latency:      cfg.delay(),
-			Loss:         loss,
-			Seed:         dirSeed,
-			Clock:        t.clk,
+			BandwidthBps:       cfg.BandwidthBps,
+			BufferBytes:        cfg.BufferBytes,
+			MarkThresholdBytes: cfg.MarkThresholdBytes,
+			Latency:            cfg.delay(),
+			Loss:               loss,
+			Seed:               dirSeed,
+			Clock:              t.clk,
 		})
 	}
 	fwd, err := build(t.seed + int64(idx)*7919)
@@ -180,6 +274,9 @@ func (t *Topology) Route(from, to int) ([]Hop, error) {
 		for _, n := range frontier {
 			for _, ei := range t.adj[n] {
 				e := t.edges[ei]
+				if e.down.Load() {
+					continue // flapped link: route around it
+				}
 				peer := e.From + e.To - n
 				if _, ok := seen[peer]; ok {
 					continue
@@ -231,6 +328,24 @@ func (t *Topology) ChannelDrops() uint64 {
 	var n uint64
 	for _, e := range t.edges {
 		n += e.Fwd.ChannelDrops.Load() + e.Rev.ChannelDrops.Load()
+	}
+	return n
+}
+
+// LinkDownDrops sums flap-failure drops across every queue.
+func (t *Topology) LinkDownDrops() uint64 {
+	var n uint64
+	for _, e := range t.edges {
+		n += e.Fwd.LinkDownDrops.Load() + e.Rev.LinkDownDrops.Load()
+	}
+	return n
+}
+
+// MarkedPackets sums ECN-marked departures across every queue.
+func (t *Topology) MarkedPackets() uint64 {
+	var n uint64
+	for _, e := range t.edges {
+		n += e.Fwd.Marked.Load() + e.Rev.Marked.Load()
 	}
 	return n
 }
@@ -329,7 +444,6 @@ func (t *Topology) NewFlow(from, to int, coreCfg core.Config, relCfg reliability
 	if err != nil {
 		return nil, err
 	}
-	rev := reverseHops(fwd)
 	oneWay := PathDelay(fwd)
 	coreCfg.Clock = t.clk
 	if relCfg.RTT == 0 && oneWay > 0 {
@@ -361,18 +475,39 @@ func (t *Topology) NewFlow(from, to int, coreCfg core.Config, relCfg reliability
 	if err != nil {
 		return nil, err
 	}
-	// The per-flow fabric Directions carry no impairments of their own
-	// — latency, bandwidth, buffers and loss all live in the shared
-	// queues — but keep the interceptor hooks and Tx accounting.
-	ab := fabric.NewDirectionTo(chain(fwd, dep.DevB()), fabric.Config{Clock: t.clk})
-	ba := fabric.NewDirectionTo(chain(rev, dep.DevA()), fabric.Config{Clock: t.clk})
-	link := &fabric.Link{AB: ab, BA: ba}
-	oob := fabric.NewOOB(t.clk, oneWay)
-	sess, err := dep.Bind(link, oob, relCfg)
+	// Each direction delivers through a re-routable Path rather than a
+	// frozen port chain: when an edge flaps, ReroutePaths re-points the
+	// flow around the failure mid-transfer. The per-flow fabric
+	// Directions carry no impairments of their own — latency, bandwidth,
+	// buffers and loss all live in the shared queues — but keep the
+	// interceptor hooks and Tx accounting.
+	pAB, err := t.NewPath(from, to, dep.DevB())
 	if err != nil {
 		dep.Release()
 		return nil, err
 	}
+	pBA, err := t.NewPath(to, from, dep.DevA())
+	if err != nil {
+		t.removePaths(pAB)
+		dep.Release()
+		return nil, err
+	}
+	ab := fabric.NewDirectionTo(pAB, fabric.Config{Clock: t.clk})
+	ba := fabric.NewDirectionTo(pBA, fabric.Config{Clock: t.clk})
+	link := &fabric.Link{AB: ab, BA: ba}
+	oob := fabric.NewOOB(t.clk, oneWay)
+	sess, err := dep.Bind(link, oob, relCfg)
+	if err != nil {
+		t.removePaths(pAB, pBA)
+		dep.Release()
+		return nil, err
+	}
+	// Closing the flow retires its paths from the reroute registry
+	// before the deployment goes back to the pool.
+	sess.SetRelease(func() {
+		t.removePaths(pAB, pBA)
+		dep.Release()
+	})
 	return sess, nil
 }
 

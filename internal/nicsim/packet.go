@@ -68,6 +68,11 @@ type Packet struct {
 	// Imm is the 32-bit immediate (valid when HasImm).
 	Imm    uint32
 	HasImm bool
+	// Marked is the ECN congestion-experienced bit: a queue on the path
+	// whose occupancy crossed its marking threshold sets it instead of
+	// dropping (RED-style). It survives multi-hop forwarding, so the
+	// receiver sees congestion anywhere along the route.
+	Marked bool
 	// Payload is the data carried by this packet.
 	Payload []byte
 }
@@ -91,6 +96,9 @@ type CQE struct {
 	HasImm bool
 	// ByteLen is the payload length for receive completions.
 	ByteLen uint32
+	// Marked reports that at least one packet of the completed message
+	// carried the ECN congestion-experienced bit.
+	Marked bool
 	// WRID echoes the work-request identifier for send completions.
 	WRID uint64
 }

@@ -36,6 +36,7 @@ type UCQP struct {
 	msgHasImm  bool
 	msgLen     uint32
 	msgNextOff uint64
+	msgMarked  bool
 
 	recvCQ *CQ
 	sendCQ *CQ
@@ -168,6 +169,7 @@ func (qp *UCQP) recvPacket(pkt *Packet) {
 		qp.msgImm, qp.msgHasImm = pkt.Imm, pkt.HasImm
 		qp.msgLen = 0
 		qp.msgNextOff = pkt.RemoteOffset
+		qp.msgMarked = false
 	case !qp.inMsg || pkt.PSN != qp.ePSN:
 		// Mid-message packet without live context, or a PSN gap:
 		// the entire message is dropped (§2.3).
@@ -191,6 +193,9 @@ func (qp *UCQP) recvPacket(pkt *Packet) {
 	}
 	qp.msgLen += uint32(len(pkt.Payload))
 	qp.msgNextOff = pkt.RemoteOffset + uint64(len(pkt.Payload))
+	if pkt.Marked {
+		qp.msgMarked = true
+	}
 
 	if pkt.Last {
 		qp.inMsg = false
@@ -201,6 +206,7 @@ func (qp *UCQP) recvPacket(pkt *Packet) {
 				Imm:     qp.msgImm,
 				HasImm:  qp.msgHasImm,
 				ByteLen: qp.msgLen,
+				Marked:  qp.msgMarked,
 			})
 		}
 	}

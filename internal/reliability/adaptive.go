@@ -1,0 +1,1016 @@
+package reliability
+
+import (
+	"fmt"
+	"time"
+
+	"sdrrdma/internal/core"
+	"sdrrdma/internal/ec"
+	"sdrrdma/internal/nicsim"
+)
+
+// Adaptive mid-flight reliability (ROADMAP item 3): instead of fixing
+// SR or EC for the whole connection, the transfer is cut into segments
+// of SegmentChunks chunks and each segment runs the scheme a
+// per-session Adaptor picked from the signals of already-completed
+// segments — duplicate arrivals (retransmission ≈ wire loss), missing
+// data chunks recovered from parity (erasure rate), and ECN marks
+// (congestion, which parity would worsen rather than mask).
+//
+// The decision is receiver-driven: every adaptation signal already
+// lives on the receiver (bitmaps, duplicate counters, the Marked bit
+// threaded up from netem queues), so the receiver picks the scheme
+// when it posts a segment and announces it to the sender in a plan
+// control message. Segment 0 always runs Ladder[0], so the transfer
+// needs no rendezvous before first byte.
+//
+// Segments overlap in a window: the receiver keeps up to Window
+// segments posted ahead of the completion head, and the sender starts
+// a segment as soon as its plan is known and the matching clear-to-
+// send arrived (QP.SendReady — never blocking the pump loop that
+// services retransmissions of open segments). Completion and
+// observation advance strictly in segment order, which is what makes
+// the adaptation trajectory — and therefore every byte on the wire —
+// deterministic per seed.
+//
+// Loss robustness of the control additions mirrors the rest of the
+// protocol: plans ride the lossy control path, so the receiver
+// re-sends the plan of any posted segment that has seen no arrivals on
+// every ACK tick, and the sender ignores plans for segments it already
+// started.
+
+// Scheme selects a per-segment reliability scheme.
+type Scheme byte
+
+const (
+	// SchemeSR runs the segment under Selective Repeat with NACK fast
+	// retransmission — zero overhead bytes, recovery costs round trips.
+	SchemeSR Scheme = iota
+	// SchemeEC runs the segment erasure-coded — overhead bytes buy
+	// recovery without retransmission round trips.
+	SchemeEC
+)
+
+func (s Scheme) String() string {
+	if s == SchemeSR {
+		return "sr"
+	}
+	return "ec"
+}
+
+// Mode is one rung of the adaptive ladder: a scheme plus its EC split.
+type Mode struct {
+	Scheme Scheme
+	// K and M are the erasure-code split (SchemeEC only). K must equal
+	// AdaptorConfig.SegmentChunks so each segment is exactly one
+	// submessage.
+	K, M int
+}
+
+// Name labels the mode for figure output.
+func (m Mode) Name() string {
+	if m.Scheme == SchemeSR {
+		return "sr"
+	}
+	return fmt.Sprintf("ec(%d,%d)", m.K, m.M)
+}
+
+// AdaptorConfig tunes the adaptive controller.
+type AdaptorConfig struct {
+	// SegmentChunks is the adaptation granularity: scheme switches
+	// happen only at boundaries of SegmentChunks-chunk segments.
+	SegmentChunks int
+	// Window bounds how many segments the receiver keeps posted ahead
+	// of the completion head. It must cover the path's bandwidth-delay
+	// product (in segments) or the pipeline throttles below line rate.
+	Window int
+	// Ladder orders the modes from cheapest (index 0, clean network) to
+	// most protective. Escalation and de-escalation move one rung at a
+	// time. Ladder[0] is the segment-0 convention both sides assume.
+	Ladder []Mode
+	// EnterLoss and ExitLoss are the hysteresis thresholds on the
+	// per-segment loss signal: escalate at or above EnterLoss,
+	// de-escalate at or below ExitLoss. EnterLoss > ExitLoss keeps a
+	// flapping signal from thrashing the ladder.
+	EnterLoss, ExitLoss float64
+	// CongestionMarkFrac discriminates congestion from wire loss: when
+	// at least this fraction of a segment's packets carried the ECN
+	// mark, the loss is self-inflicted queue pressure and the adaptor
+	// de-escalates (parity overhead feeds the queue) instead of
+	// escalating.
+	CongestionMarkFrac float64
+	// MinDwell is the floor: at least this many segments must complete
+	// between consecutive switches.
+	MinDwell int
+}
+
+// WithDefaults fills zero fields with the regime-sweep calibration.
+func (c AdaptorConfig) WithDefaults() AdaptorConfig {
+	if c.SegmentChunks == 0 {
+		c.SegmentChunks = 16
+	}
+	if c.Window == 0 {
+		c.Window = 6
+	}
+	if c.Ladder == nil {
+		k := c.SegmentChunks
+		c.Ladder = []Mode{
+			{Scheme: SchemeSR},
+			{Scheme: SchemeEC, K: k, M: (k + 7) / 8},
+			{Scheme: SchemeEC, K: k, M: (k + 3) / 4},
+			{Scheme: SchemeEC, K: k, M: (k + 1) / 2},
+		}
+	}
+	if c.EnterLoss == 0 {
+		c.EnterLoss = 0.02
+	}
+	if c.ExitLoss == 0 {
+		c.ExitLoss = 0.005
+	}
+	if c.CongestionMarkFrac == 0 {
+		c.CongestionMarkFrac = 0.05
+	}
+	if c.MinDwell == 0 {
+		c.MinDwell = 2
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c AdaptorConfig) Validate() error {
+	switch {
+	case c.SegmentChunks <= 0:
+		return fmt.Errorf("reliability: adaptor segment %d chunks <= 0", c.SegmentChunks)
+	case c.Window <= 0:
+		return fmt.Errorf("reliability: adaptor window %d <= 0", c.Window)
+	case len(c.Ladder) == 0:
+		return fmt.Errorf("reliability: adaptor ladder empty")
+	case c.EnterLoss <= c.ExitLoss:
+		return fmt.Errorf("reliability: adaptor hysteresis inverted (enter %g <= exit %g)",
+			c.EnterLoss, c.ExitLoss)
+	case c.ExitLoss < 0:
+		return fmt.Errorf("reliability: adaptor exit threshold %g < 0", c.ExitLoss)
+	case c.CongestionMarkFrac <= 0 || c.CongestionMarkFrac > 1:
+		return fmt.Errorf("reliability: adaptor mark fraction %g outside (0,1]", c.CongestionMarkFrac)
+	case c.MinDwell < 1:
+		return fmt.Errorf("reliability: adaptor dwell floor %d < 1", c.MinDwell)
+	}
+	for i, m := range c.Ladder {
+		if m.Scheme == SchemeSR {
+			continue
+		}
+		if m.K != c.SegmentChunks {
+			return fmt.Errorf("reliability: ladder[%d] K=%d != segment chunks %d (one submessage per segment)",
+				i, m.K, c.SegmentChunks)
+		}
+		if m.M <= 0 {
+			return fmt.Errorf("reliability: ladder[%d] M=%d <= 0", i, m.M)
+		}
+	}
+	return nil
+}
+
+// SegStats is what the receiver observed over one completed segment —
+// the adaptor's only input.
+type SegStats struct {
+	// Seg is the segment index; Mode the scheme it ran under.
+	Seg  int
+	Mode Mode
+	// Arrived counts packets accepted across the segment's receives;
+	// Dups the accepted packets that were retransmission overlap;
+	// Marked the accepted packets carrying the ECN bit.
+	Arrived, Dups, Marked uint64
+	// MissingData counts real data chunks that never arrived on the
+	// wire (recovered from parity or NACK fallback); DataChunks the
+	// segment's real data chunk count.
+	MissingData, DataChunks int
+	// Decoded reports whether the segment needed a parity decode.
+	Decoded bool
+}
+
+// lossSignal condenses the stats into the scalar the hysteresis
+// thresholds compare against: the wire-loss fraction the segment
+// experienced.
+func (s SegStats) lossSignal() float64 {
+	var sig float64
+	if s.Arrived > 0 {
+		sig = float64(s.Dups) / float64(s.Arrived)
+	}
+	if s.DataChunks > 0 {
+		if f := float64(s.MissingData) / float64(s.DataChunks); f > sig {
+			sig = f
+		}
+	}
+	return sig
+}
+
+// markFrac is the fraction of arrived packets that carried the ECN
+// congestion-experienced bit.
+func (s SegStats) markFrac() float64 {
+	if s.Arrived == 0 {
+		return 0
+	}
+	return float64(s.Marked) / float64(s.Arrived)
+}
+
+// Switch records one ladder move for figure output.
+type Switch struct {
+	AfterSeg int
+	From, To Mode
+}
+
+// Adaptor is the per-session adaptation controller. It lives on the
+// receiver, persists across transfers, and is NOT safe for concurrent
+// use (operations on an endpoint are serialized anyway).
+type Adaptor struct {
+	cfg      AdaptorConfig
+	idx      int
+	dwell    int
+	observed int
+	switches []Switch
+}
+
+// NewAdaptor validates cfg (after defaults) and returns a controller
+// starting at Ladder[0].
+func NewAdaptor(cfg AdaptorConfig) (*Adaptor, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Adaptor{cfg: cfg, dwell: cfg.MinDwell}, nil
+}
+
+// Config returns the adaptor's configuration (defaults applied).
+func (a *Adaptor) Config() AdaptorConfig { return a.cfg }
+
+// Mode returns the mode the next posted segment should run under.
+func (a *Adaptor) Mode() Mode { return a.cfg.Ladder[a.idx] }
+
+// Rung returns the current ladder index.
+func (a *Adaptor) Rung() int { return a.idx }
+
+// Switches returns the ladder moves taken so far (shared; do not
+// mutate).
+func (a *Adaptor) Switches() []Switch { return a.switches }
+
+// Observe feeds one completed segment's stats into the controller,
+// possibly moving the ladder one rung. Hysteresis (EnterLoss/ExitLoss)
+// and the MinDwell floor keep a flapping signal from thrashing.
+func (a *Adaptor) Observe(s SegStats) {
+	a.observed++
+	a.dwell++
+	if a.dwell < a.cfg.MinDwell {
+		return
+	}
+	loss := s.lossSignal()
+	congested := s.markFrac() >= a.cfg.CongestionMarkFrac
+	next := a.idx
+	switch {
+	case congested:
+		// Queue pressure: parity overhead feeds the very queue that is
+		// marking, so shed protection instead of adding it.
+		if a.idx > 0 {
+			next = a.idx - 1
+		}
+	case loss >= a.cfg.EnterLoss:
+		if a.idx < len(a.cfg.Ladder)-1 {
+			next = a.idx + 1
+		}
+	case loss <= a.cfg.ExitLoss:
+		if a.idx > 0 {
+			next = a.idx - 1
+		}
+	}
+	if next == a.idx {
+		return
+	}
+	a.switches = append(a.switches, Switch{AfterSeg: s.Seg, From: a.cfg.Ladder[a.idx], To: a.cfg.Ladder[next]})
+	a.idx = next
+	a.dwell = 0
+}
+
+// --- geometry --------------------------------------------------------------
+
+// planBit distinguishes the plan control stream's opID from real
+// operation sequence numbers (which never reach the top bit).
+const planBit = uint64(1) << 63
+
+// adaptiveGeom is the common segment arithmetic of both sides.
+type adaptiveGeom struct {
+	chunkBytes int
+	segBytes   int
+	total      int
+	nsegs      int
+}
+
+func newAdaptiveGeom(acfg AdaptorConfig, chunkBytes, total int) adaptiveGeom {
+	segBytes := acfg.SegmentChunks * chunkBytes
+	nsegs := (total + segBytes - 1) / segBytes
+	if nsegs == 0 {
+		nsegs = 1
+	}
+	return adaptiveGeom{chunkBytes: chunkBytes, segBytes: segBytes, total: total, nsegs: nsegs}
+}
+
+// segSize returns the real byte size of segment i.
+func (g adaptiveGeom) segSize(i int) int {
+	lo := i * g.segBytes
+	hi := lo + g.segBytes
+	if hi > g.total {
+		hi = g.total
+	}
+	return hi - lo
+}
+
+// segParityBytes is the per-segment parity region size: the worst case
+// over the ladder's EC rungs (each segment is one submessage, so the
+// region holds M chunks).
+func segParityBytes(acfg AdaptorConfig, chunkBytes int) int {
+	max := 0
+	for _, m := range acfg.Ladder {
+		if m.Scheme != SchemeEC {
+			continue
+		}
+		g := newECGeometry(acfg.SegmentChunks*chunkBytes, chunkBytes, m.K, m.M)
+		if b := g.L * g.parityBytes(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// AdaptiveScratchBytes returns the parity scratch ReceiveAdaptive
+// requires for a message of msgBytes: one region per segment (regions
+// are never reused, so a late parity packet from a stale path cannot
+// corrupt a newer segment's scratch), each sized for the most
+// protective rung.
+func AdaptiveScratchBytes(acfg AdaptorConfig, chunkBytes, msgBytes int) int {
+	acfg = acfg.WithDefaults()
+	g := newAdaptiveGeom(acfg, chunkBytes, msgBytes)
+	return g.nsegs * segParityBytes(acfg, chunkBytes)
+}
+
+// --- sender ----------------------------------------------------------------
+
+// adaptiveSegSender is one open segment on the sender.
+type adaptiveSegSender struct {
+	idx  int
+	mode Mode
+	data []byte
+	opID uint64
+	acks chan ctrlMsg
+
+	// SR state (and the EC fallback stream shares stream/chunks).
+	stream *core.SendStream
+	chunks []chunkState
+	acked  int
+
+	done bool
+}
+
+// WriteAdaptive reliably writes data under the adaptive segment
+// protocol. acfg must match the receiver's Adaptor configuration
+// (SegmentChunks, Window and Ladder[0] are load-bearing; the rest of
+// the ladder is learned from plan messages).
+func (e *Endpoint) WriteAdaptive(acfg AdaptorConfig, data []byte) error {
+	e.opMu.Lock()
+	defer e.opMu.Unlock()
+	acfg = acfg.WithDefaults()
+	if err := acfg.Validate(); err != nil {
+		return err
+	}
+	cfg := e.Cfg
+	clk := e.clock()
+	chunkBytes := e.QP.Config().ChunkBytes
+	g := newAdaptiveGeom(acfg, chunkBytes, len(data))
+
+	// Erasure codes per distinct EC rung, built once.
+	codes := map[Mode]ec.Code{}
+	for _, m := range acfg.Ladder {
+		if m.Scheme != SchemeEC {
+			continue
+		}
+		if _, ok := codes[m]; ok {
+			continue
+		}
+		code, err := ecCodeFor(cfg, m)
+		if err != nil {
+			return err
+		}
+		codes[m] = code
+	}
+
+	segs := make([]*adaptiveSegSender, g.nsegs)
+	plans := make([]Mode, g.nsegs)
+	planKnown := make([]bool, g.nsegs)
+	plans[0], planKnown[0] = acfg.Ladder[0], true
+
+	start := func(i int) (*adaptiveSegSender, error) {
+		lo := i * g.segBytes
+		seg := &adaptiveSegSender{idx: i, mode: plans[i], data: data[lo : lo+g.segSize(i)]}
+		st, err := e.QP.SendStreamStart(len(seg.data), 0)
+		if err != nil {
+			return nil, fmt.Errorf("reliability: adaptive segment %d stream: %w", i, err)
+		}
+		seg.stream = st
+		seg.opID = st.Seq()
+		seg.acks = e.CP.register(seg.opID)
+		if err := st.Continue(0, seg.data); err != nil {
+			return nil, err
+		}
+		now := clk.Now()
+		nchunks := (len(seg.data) + chunkBytes - 1) / chunkBytes
+		seg.chunks = make([]chunkState, nchunks)
+		for c := range seg.chunks {
+			seg.chunks[c].lastSent = now
+		}
+		if seg.mode.Scheme == SchemeEC {
+			parity, err := encodeSegParity(codes[seg.mode], seg.mode, seg.data, chunkBytes)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := e.QP.SendPost(parity, 0); err != nil {
+				return nil, fmt.Errorf("reliability: adaptive segment %d parity: %w", i, err)
+			}
+		}
+		return seg, nil
+	}
+
+	// Segment 0 starts unconditionally (the receiver posts it on entry)
+	// and anchors the plan stream's opID on both sides.
+	seg0, err := start(0)
+	if err != nil {
+		return err
+	}
+	segs[0] = seg0
+	started := 1
+	planID := planBit | seg0.opID
+	planCh := e.CP.register(planID)
+	defer e.CP.unregister(planID)
+	defer func() {
+		for _, s := range segs {
+			if s != nil && !s.done {
+				e.CP.unregister(s.opID)
+			}
+		}
+	}()
+
+	applyPlan := func(m ctrlMsg) {
+		if m.typ != msgPlan {
+			return
+		}
+		i := int(m.planSeg)
+		if i >= g.nsegs || i < started {
+			return // stale or already committed
+		}
+		mode := Mode{Scheme: Scheme(m.planScheme)}
+		if mode.Scheme == SchemeEC {
+			mode.K, mode.M = int(m.planK), int(m.planM)
+			if _, ok := codes[mode]; !ok {
+				code, err := ecCodeFor(cfg, mode)
+				if err != nil {
+					return // unusable plan: keep waiting for a sane one
+				}
+				codes[mode] = code
+			}
+		}
+		plans[i], planKnown[i] = mode, true
+	}
+
+	resend := func(s *adaptiveSegSender, chunk int) error {
+		lo := chunk * chunkBytes
+		hi := lo + chunkBytes
+		if hi > len(s.data) {
+			hi = len(s.data)
+		}
+		s.chunks[chunk].lastSent = clk.Now()
+		return s.stream.Continue(lo, s.data[lo:hi])
+	}
+
+	applyAck := func(s *adaptiveSegSender) func(ctrlMsg) {
+		return func(m ctrlMsg) {
+			switch m.typ {
+			case msgSRAck:
+				if s.mode.Scheme != SchemeSR {
+					return
+				}
+				for c := 0; c < int(m.cumAck) && c < len(s.chunks); c++ {
+					if !s.chunks[c].acked {
+						s.chunks[c].acked = true
+						s.acked++
+					}
+				}
+				for c := 0; c < len(s.chunks) && c/8 < len(m.sack); c++ {
+					if m.sack[c/8]&(1<<uint(c%8)) != 0 && !s.chunks[c].acked {
+						s.chunks[c].acked = true
+						s.acked++
+					}
+				}
+				if s.acked >= len(s.chunks) {
+					s.done = true
+				}
+			case msgECAck:
+				if s.mode.Scheme == SchemeEC {
+					s.done = true
+				}
+			case msgECNack:
+				if s.mode.Scheme != SchemeEC || s.done {
+					return
+				}
+				// Parity was not enough: selective repeat of the missing
+				// data chunks through the still-open segment stream.
+				for _, entry := range m.nackSubmsgs {
+					if entry.submsg != 0 {
+						continue // one submessage per segment
+					}
+					for _, c := range entry.missing {
+						if int(c) < len(s.chunks) {
+							resend(s, int(c))
+						}
+					}
+				}
+			}
+		}
+	}
+
+	rto := cfg.RTO()
+	deadline := clk.Now().Add(cfg.GlobalTimeout)
+	completed := 0
+	for completed < g.nsegs {
+		epoch := clk.Epoch()
+		drain(planCh, applyPlan)
+		// Start every segment whose plan is known and whose receive is
+		// already posted: SendReady keeps this loop non-blocking, so a
+		// stalled head segment can still be pumped below.
+		for started < g.nsegs && planKnown[started] && e.QP.SendReady() {
+			s, err := start(started)
+			if err != nil {
+				return err
+			}
+			segs[started] = s
+			started++
+		}
+		now := clk.Now()
+		// Drain every segment's acks first, so repair below sees one
+		// consistent ack snapshot. First transmissions are injected
+		// strictly in segment order, so ack evidence from segment j
+		// proves every chunk of segments i < j crossed the network once
+		// — and had a chunk survived, its own SACK would be in the same
+		// drained batch (the receiver SACKs every posted segment each
+		// ack interval). A hole in the snapshot is therefore loss, not
+		// data in flight, and the first repair needs no age gate at all:
+		// age-gating against a fixed RTT underestimates queueing delay
+		// and turns every standing queue into spurious retransmissions.
+		maxAcked := -1
+		for i := completed; i < started; i++ {
+			s := segs[i]
+			if s.done {
+				maxAcked = i
+				continue
+			}
+			drain(s.acks, applyAck(s))
+			if s.done {
+				s.stream.End()
+				e.CP.unregister(s.opID)
+			}
+			if s.done || s.acked > 0 {
+				maxAcked = i
+			}
+		}
+		for i := completed; i < started; i++ {
+			s := segs[i]
+			if s.done || s.mode.Scheme != SchemeSR {
+				continue
+			}
+			// Evidence frontier: every chunk below the segment's own
+			// highest acked chunk is provably lost — or the whole
+			// segment is, when a later segment has acked anything.
+			limit := len(s.chunks)
+			if i >= maxAcked {
+				limit = -1
+				for c := len(s.chunks) - 1; c >= 0; c-- {
+					if s.chunks[c].acked {
+						limit = c
+						break
+					}
+				}
+			}
+			for c := 0; c < limit; c++ {
+				if !s.chunks[c].acked && !s.chunks[c].repaired {
+					s.chunks[c].repaired = true
+					if err := resend(s, c); err != nil {
+						return err
+					}
+				}
+			}
+			// RTO sweep: the last resort for repairs that were
+			// themselves lost and for tail holes with no later evidence.
+			for c := range s.chunks {
+				if !s.chunks[c].acked && now.Sub(s.chunks[c].lastSent) >= rto {
+					if err := resend(s, c); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for completed < started && segs[completed].done {
+			completed++
+		}
+		if completed >= g.nsegs {
+			break
+		}
+		if now.After(deadline) {
+			return fmt.Errorf("%w: adaptive write %d B, %d/%d segments done",
+				ErrGlobalTimeout, len(data), completed, g.nsegs)
+		}
+		clk.WaitNotify(epoch, cfg.PollInterval)
+	}
+	return nil
+}
+
+// ecCodeFor instantiates cfg's code family with the mode's split.
+func ecCodeFor(cfg Config, m Mode) (ec.Code, error) {
+	c := cfg
+	c.K, c.M = m.K, m.M
+	return c.NewCode()
+}
+
+// encodeSegParity encodes one segment's parity submessage (the segment
+// is exactly one (K, M) submessage; virtual zero chunks pad the tail).
+func encodeSegParity(code ec.Code, m Mode, data []byte, chunkBytes int) ([]byte, error) {
+	g := newECGeometry(len(data), chunkBytes, m.K, m.M)
+	real := g.realChunks(0)
+	dataShards := make([][]byte, g.k)
+	zeroChunk := make([]byte, chunkBytes)
+	var tail []byte
+	for j := 0; j < g.k; j++ {
+		if j >= real {
+			dataShards[j] = zeroChunk
+			continue
+		}
+		lo := j * chunkBytes
+		hi := lo + chunkBytes
+		if hi > len(data) {
+			tail = make([]byte, chunkBytes)
+			copy(tail, data[lo:])
+			dataShards[j] = tail
+			continue
+		}
+		dataShards[j] = data[lo:hi]
+	}
+	parityBuf := make([]byte, g.parityBytes())
+	parityShards := make([][]byte, g.m)
+	for j := range parityShards {
+		parityShards[j] = parityBuf[j*chunkBytes : (j+1)*chunkBytes]
+	}
+	if err := code.Encode(dataShards, parityShards); err != nil {
+		return nil, fmt.Errorf("reliability: adaptive parity encode: %w", err)
+	}
+	return parityBuf, nil
+}
+
+// --- receiver --------------------------------------------------------------
+
+// adaptiveSegRecv is one posted segment on the receiver.
+type adaptiveSegRecv struct {
+	idx  int
+	mode Mode
+	size int
+
+	dataH   *core.RecvHandle
+	parityH *core.RecvHandle // SchemeEC only
+
+	code      ec.Code
+	g         ecGeometry
+	recovered bool
+	decoded   bool
+	missing   int // data chunks absent at recovery time
+
+	sawData  bool
+	seen     uint64 // packets observed at last tick (progress gate)
+	nextNack time.Time
+	sackBuf  []byte
+}
+
+// ReceiveAdaptive receives one adaptive Write into
+// mr[offset:offset+size], driving ad's scheme decisions from the
+// observed per-segment signals. scratch must hold
+// AdaptiveScratchBytes(ad.Config(), chunkBytes, size) bytes.
+func (e *Endpoint) ReceiveAdaptive(ad *Adaptor, mr *nicsim.MR, offset uint64, size int, scratch *nicsim.MR) error {
+	e.opMu.Lock()
+	defer e.opMu.Unlock()
+	cfg := e.Cfg
+	acfg := ad.cfg
+	clk := e.clock()
+	chunkBytes := e.QP.Config().ChunkBytes
+	g := newAdaptiveGeom(acfg, chunkBytes, size)
+	perSegScratch := segParityBytes(acfg, chunkBytes)
+	if need := uint64(g.nsegs * perSegScratch); scratch.Span() < need {
+		return fmt.Errorf("reliability: adaptive scratch %d B, need %d", scratch.Span(), need)
+	}
+
+	codes := map[Mode]ec.Code{}
+	segs := make([]*adaptiveSegRecv, g.nsegs)
+	var planID uint64
+	fto := cfg.FTO()
+
+	post := func(i int) (*adaptiveSegRecv, error) {
+		mode := ad.Mode()
+		if i == 0 {
+			mode = acfg.Ladder[0] // the no-rendezvous convention
+		}
+		s := &adaptiveSegRecv{idx: i, mode: mode, size: g.segSize(i)}
+		var err error
+		s.dataH, err = e.QP.RecvPost(mr, offset+uint64(i*g.segBytes), s.size)
+		if err != nil {
+			return nil, fmt.Errorf("reliability: adaptive segment %d recv: %w", i, err)
+		}
+		if mode.Scheme == SchemeEC {
+			s.g = newECGeometry(s.size, chunkBytes, mode.K, mode.M)
+			code, ok := codes[mode]
+			if !ok {
+				if code, err = ecCodeFor(cfg, mode); err != nil {
+					return nil, err
+				}
+				codes[mode] = code
+			}
+			s.code = code
+			s.parityH, err = e.QP.RecvPost(scratch, uint64(i*perSegScratch), s.g.parityBytes())
+			if err != nil {
+				return nil, fmt.Errorf("reliability: adaptive segment %d parity recv: %w", i, err)
+			}
+			// The first fallback deadline must cover the posting-ahead
+			// pipeline lag — this segment is posted up to Window segments
+			// before the sender's stream reaches it — not just the
+			// injection estimate, or it NACKs data that is still queued
+			// behind its predecessors. Once packets arrive, the progress
+			// gate in tick re-arms the timer from observed deliveries.
+			s.nextNack = clk.Now().Add(fto + cfg.RTO())
+		}
+		return s, nil
+	}
+
+	sendPlan := func(s *adaptiveSegRecv) {
+		m := ctrlMsg{typ: msgPlan, opID: planID, planSeg: uint32(s.idx), planScheme: byte(s.mode.Scheme)}
+		if s.mode.Scheme == SchemeEC {
+			m.planK, m.planM = uint16(s.mode.K), uint16(s.mode.M)
+		}
+		e.CP.send(m)
+	}
+
+	posted := 0
+	postAhead := func(head int) error {
+		for posted < g.nsegs && posted < head+acfg.Window {
+			s, err := post(posted)
+			if err != nil {
+				return err
+			}
+			segs[posted] = s
+			if posted > 0 {
+				sendPlan(s)
+			}
+			posted++
+		}
+		return nil
+	}
+	// Segment 0 goes first alone: its receive's sequence number anchors
+	// the plan stream's opID, which every later plan needs.
+	seg0, err := post(0)
+	if err != nil {
+		return err
+	}
+	segs[0] = seg0
+	posted = 1
+	planID = planBit | seg0.dataH.Seq()
+	if err := postAhead(0); err != nil {
+		return err
+	}
+
+	scratchBuf := scratch.Bytes()
+	buf := mr.Bytes()
+	zeroChunk := make([]byte, chunkBytes)
+	tailScratch := make([]byte, chunkBytes)
+	var present, presentCopy []bool
+	var shards [][]byte
+	var missBuf []int
+
+	// tryRecover reports whether segment s is fully delivered (SR) or
+	// recoverable/recovered (EC), decoding in place on first success.
+	tryRecover := func(s *adaptiveSegRecv) bool {
+		if s.recovered {
+			return true
+		}
+		if s.mode.Scheme == SchemeSR {
+			if s.dataH.Done() {
+				s.recovered = true
+			}
+			return s.recovered
+		}
+		eg := s.g
+		real := eg.realChunks(0)
+		dataBM := s.dataH.Bitmap()
+		arrived := 0
+		for j := 0; j < real; j++ {
+			if dataBM.Test(j) {
+				arrived++
+			}
+		}
+		if arrived == real {
+			s.recovered = true
+			s.missing = 0
+			return true
+		}
+		if n := eg.k + eg.m; len(present) < n {
+			present = make([]bool, n)
+			presentCopy = make([]bool, n)
+			shards = make([][]byte, n)
+		}
+		for j := 0; j < real; j++ {
+			present[j] = dataBM.Test(j)
+		}
+		for j := real; j < eg.k; j++ {
+			present[j] = true
+		}
+		parityBM := s.parityH.Bitmap()
+		for j := 0; j < eg.m; j++ {
+			present[eg.k+j] = parityBM.Test(j)
+		}
+		if !s.code.CanRecover(present[:eg.k+eg.m]) {
+			return false
+		}
+		subBase := int(offset) + s.idx*g.segBytes
+		var tailShard []byte
+		tailChunk := -1
+		for j := 0; j < eg.k; j++ {
+			if j >= real {
+				shards[j] = zeroChunk
+				continue
+			}
+			lo := j * chunkBytes
+			hi := lo + chunkBytes
+			if hi > s.size {
+				tailShard = tailScratch
+				n := copy(tailShard, buf[subBase+lo:subBase+s.size])
+				for b := n; b < chunkBytes; b++ {
+					tailShard[b] = 0
+				}
+				shards[j] = tailShard
+				tailChunk = j
+				continue
+			}
+			shards[j] = buf[subBase+lo : subBase+hi]
+		}
+		for j := 0; j < eg.m; j++ {
+			lo := s.idx*perSegScratch + j*chunkBytes
+			shards[eg.k+j] = scratchBuf[lo : lo+chunkBytes]
+		}
+		copy(presentCopy[:eg.k+eg.m], present[:eg.k+eg.m])
+		if err := s.code.Reconstruct(shards[:eg.k+eg.m], presentCopy[:eg.k+eg.m]); err != nil {
+			return false
+		}
+		if tailShard != nil && !present[tailChunk] {
+			lo := tailChunk * chunkBytes
+			copy(buf[subBase+lo:subBase+s.size], tailShard[:s.size-lo])
+		}
+		s.recovered = true
+		s.decoded = true
+		s.missing = real - arrived
+		return true
+	}
+
+	// finalize sends the segment's final control message and hands its
+	// slots to the background retire, then feeds the adaptor.
+	finalize := func(s *adaptiveSegRecv) {
+		var final ctrlMsg
+		handles := []*core.RecvHandle{s.dataH}
+		if s.mode.Scheme == SchemeSR {
+			bm := s.dataH.Bitmap()
+			final = ctrlMsg{
+				typ:    msgSRAck,
+				opID:   s.dataH.Seq(),
+				cumAck: uint32(bm.CumulativeCount()),
+				sack:   bm.Snapshot(nil),
+			}
+		} else {
+			final = ctrlMsg{typ: msgECAck, opID: s.dataH.Seq()}
+			handles = append(handles, s.parityH)
+		}
+		e.CP.send(final)
+		e.retire(final, handles...)
+		stats := SegStats{
+			Seg:         s.idx,
+			Mode:        s.mode,
+			Arrived:     uint64(s.dataH.PacketBitmap().Count()),
+			Dups:        s.dataH.DuplicatePackets(),
+			Marked:      s.dataH.MarkedPackets(),
+			DataChunks:  s.dataH.NumChunks(),
+			MissingData: s.missing,
+			Decoded:     s.decoded,
+		}
+		if s.parityH != nil {
+			stats.Arrived += uint64(s.parityH.PacketBitmap().Count())
+			stats.Dups += s.parityH.DuplicatePackets()
+			stats.Marked += s.parityH.MarkedPackets()
+		}
+		ad.Observe(stats)
+	}
+
+	// tick runs one segment's periodic duties: SR progress ACKs, EC
+	// fallback NACKs, and plan re-sends while the sender may not have
+	// heard the plan yet.
+	tick := func(s *adaptiveSegRecv, now time.Time) {
+		if !s.sawData && s.dataH.PacketBitmap().Count() > 0 {
+			s.sawData = true
+		}
+		if s.idx > 0 && !s.sawData {
+			sendPlan(s) // plan may have been lost; data cannot flow without it
+		}
+		switch s.mode.Scheme {
+		case SchemeSR:
+			bm := s.dataH.Bitmap()
+			s.sackBuf = bm.Snapshot(s.sackBuf)
+			e.CP.send(ctrlMsg{
+				typ:    msgSRAck,
+				opID:   s.dataH.Seq(),
+				cumAck: uint32(bm.CumulativeCount()),
+				sack:   s.sackBuf,
+			})
+		case SchemeEC:
+			// Recoverable segments need no repair traffic: parity already
+			// covers the losses, and the decode happens when the head
+			// reaches them. Without this check a parity-covered segment
+			// parked behind a stalled head NACKs its missing data chunks
+			// every round, and every resend is a pure duplicate.
+			if tryRecover(s) {
+				return
+			}
+			if n := uint64(s.dataH.PacketBitmap().Count()) + uint64(s.parityH.PacketBitmap().Count()); n > s.seen {
+				// The stream is still making progress; a gap now is
+				// indistinguishable from in-flight data, so re-arm the
+				// fallback from the latest delivery instead of NACKing
+				// into the pipe. Half an RTT of silence on a segment the
+				// sender has already reached means loss, not reordering:
+				// the stream is strictly windowed, so nothing legitimate
+				// arrives that far behind the frontier.
+				s.seen = n
+				s.nextNack = now.Add(cfg.RTT / 2)
+				return
+			}
+			if now.After(s.nextNack) {
+				bm := s.dataH.Bitmap()
+				missBuf = bm.Missing(missBuf[:0], 0, bm.Len())
+				if len(missBuf) > 0 {
+					missing := make([]uint32, len(missBuf))
+					for j, c := range missBuf {
+						missing[j] = uint32(c)
+					}
+					e.CP.send(ctrlMsg{
+						typ:         msgECNack,
+						opID:        s.dataH.Seq(),
+						nackSubmsgs: []ecNackEntry{{submsg: 0, missing: missing}},
+					})
+				}
+				s.nextNack = now.Add(cfg.RTT)
+			}
+		}
+	}
+
+	head := 0
+	start := clk.Now()
+	deadline := start.Add(cfg.GlobalTimeout)
+	nextAck := start.Add(cfg.AckInterval)
+	for head < g.nsegs {
+		epoch := clk.Epoch()
+		// Advance the completion head in order: observation order is
+		// what keeps the adaptation trajectory deterministic.
+		for head < g.nsegs && segs[head] != nil && tryRecover(segs[head]) {
+			finalize(segs[head])
+			head++
+			if err := postAhead(head); err != nil {
+				return err
+			}
+		}
+		if head >= g.nsegs {
+			break
+		}
+		now := clk.Now()
+		if now.After(deadline) {
+			for i := head; i < posted; i++ {
+				segs[i].dataH.Complete()
+				if segs[i].parityH != nil {
+					segs[i].parityH.Complete()
+				}
+			}
+			return fmt.Errorf("%w: adaptive receive %d B, %d/%d segments",
+				ErrGlobalTimeout, size, head, g.nsegs)
+		}
+		if !now.Before(nextAck) {
+			for i := head; i < posted; i++ {
+				tick(segs[i], now)
+			}
+			nextAck = now.Add(cfg.AckInterval)
+		}
+		clk.WaitNotify(epoch, nextAck.Sub(now))
+	}
+	return nil
+}

@@ -8,6 +8,14 @@
 //   - a control-path UD QP for ACK/NACK exchange — control packets
 //     traverse the same lossy fabric and can be dropped, so the
 //     protocols must tolerate ACK loss.
+//
+// The adaptive layer (Adaptor, WriteAdaptive/ReceiveAdaptive) makes
+// the scheme choice itself dynamic: one transfer is split into
+// segments, the receiver observes per-segment loss, duplicate and ECN
+// signals and plans each upcoming segment's rung on an SR↔EC ladder
+// (with hysteresis and a dwell floor), and the sender follows the
+// plans mid-flight — the "software-defined" half of the paper's
+// title, exercised against the netem fault programs.
 package reliability
 
 import (

@@ -14,6 +14,7 @@ const (
 	msgSRAck  = 1 // receiver → sender: cumulative + selective ACK
 	msgECAck  = 2 // receiver → sender: all data submessages recovered
 	msgECNack = 3 // receiver → sender: failed submessages + missing chunks
+	msgPlan   = 4 // receiver → sender: adaptive segment scheme decision
 )
 
 // ctrlMsg is a decoded control packet.
@@ -26,6 +27,12 @@ type ctrlMsg struct {
 	// EC NACK fields: per failed submessage, its index and missing
 	// data-chunk list.
 	nackSubmsgs []ecNackEntry
+	// Plan fields: the receiver's scheme decision for adaptive segment
+	// planSeg (see adaptive.go).
+	planSeg    uint32
+	planScheme byte
+	planK      uint16
+	planM      uint16
 }
 
 type ecNackEntry struct {
@@ -114,6 +121,13 @@ func (cp *ControlPlane) Rebind(wire nicsim.Wire) {
 	cp.ud.Attach(wire)
 }
 
+// SetClock moves the control plane's wake-up domain to clk (nil =
+// shared real clock) — the re-homing half of leasing a pooled
+// deployment onto a sweep lane's clock. Only call between leases.
+func (cp *ControlPlane) SetClock(clk clock.Clock) {
+	cp.clk = clock.Or(clk)
+}
+
 // Close stops dispatch: completions arriving afterwards are dropped.
 func (cp *ControlPlane) Close() {
 	cp.mu.Lock()
@@ -180,6 +194,7 @@ func (cp *ControlPlane) send(m ctrlMsg) error {
 // EC ACK:    (nothing)
 // EC NACK:   count u16, then per entry: submsg u32, nMissing u16,
 //            missing u32 each
+// PLAN:      seg u32, scheme u8, k u16, m u16
 
 func encodeCtrl(m ctrlMsg, mtu int) ([]byte, error) {
 	buf := make([]byte, 0, 64)
@@ -195,6 +210,11 @@ func encodeCtrl(m ctrlMsg, mtu int) ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sack)))
 		buf = append(buf, sack...)
 	case msgECAck:
+	case msgPlan:
+		buf = binary.LittleEndian.AppendUint32(buf, m.planSeg)
+		buf = append(buf, m.planScheme)
+		buf = binary.LittleEndian.AppendUint16(buf, m.planK)
+		buf = binary.LittleEndian.AppendUint16(buf, m.planM)
 	case msgECNack:
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.nackSubmsgs)))
 		for _, e := range m.nackSubmsgs {
@@ -250,6 +270,14 @@ func decodeCtrl(buf []byte) (ctrlMsg, error) {
 		}
 		m.sack = append([]byte(nil), rest[6:6+sackLen]...)
 	case msgECAck:
+	case msgPlan:
+		if len(rest) < 9 {
+			return ctrlMsg{}, fmt.Errorf("reliability: short plan")
+		}
+		m.planSeg = binary.LittleEndian.Uint32(rest[0:])
+		m.planScheme = rest[4]
+		m.planK = binary.LittleEndian.Uint16(rest[5:])
+		m.planM = binary.LittleEndian.Uint16(rest[7:])
 	case msgECNack:
 		if len(rest) < 2 {
 			return ctrlMsg{}, fmt.Errorf("reliability: short EC NACK")

@@ -71,7 +71,10 @@ func drain(acks <-chan ctrlMsg, apply func(ctrlMsg)) bool {
 
 // chunkState tracks one chunk on the SR sender.
 type chunkState struct {
-	acked    bool
+	acked bool
+	// repaired marks a chunk already resent once on ack-hole evidence
+	// (adaptive sender); further repairs fall back to the RTO sweep.
+	repaired bool
 	lastSent time.Time
 }
 

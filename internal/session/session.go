@@ -22,9 +22,14 @@
 // Determinism: a pool is deterministic state. The first lease of each
 // deployment is exactly a cold build, and later leases reset all
 // protocol-visible state, so a figure cell that leases instead of
-// building stays byte-identical per seed — provided the pool is owned
-// by the cell's topology (never shared across concurrently running
-// cells, where lease order would depend on worker scheduling).
+// building stays byte-identical per seed. Even a pool shared across
+// concurrently running sweep cells — where lease order depends on
+// worker scheduling — cannot leak into figure output: the only state
+// that survives a reset is the monotonic sequence space (PSNs, message
+// seqs, control opIDs), whose absolute values affect no timing and no
+// counter, and LeaseLinkedOn re-homes each lease onto the cell's own
+// clock. Cells on different lanes may draw different deployments on
+// different runs and still produce identical bytes.
 package session
 
 import (
@@ -32,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"sdrrdma/internal/clock"
 	"sdrrdma/internal/core"
 	"sdrrdma/internal/fabric"
 	"sdrrdma/internal/nicsim"
@@ -91,6 +97,12 @@ type Deployment struct {
 	// releaseFn caches the release method value so per-lease Bind does
 	// not allocate a fresh closure.
 	releaseFn func()
+	// link and oob are the pooled fabric envelopes of the LeaseLinked
+	// path: built on the deployment's first linked lease and
+	// Reconfigure/Reset per lease afterwards, so link churn costs no
+	// Direction, rng or OOB construction.
+	link *fabric.Link
+	oob  *fabric.OOB
 }
 
 // Acquire leases a deployment: a reset one off the free list, or a
@@ -211,25 +223,69 @@ func (d *Deployment) teardown() {
 	d.pair.Close()
 }
 
-// LeaseLinked acquires a deployment and wires it across a standalone
-// fabric link with per-direction impairment configs ab/ba and an OOB
-// channel of oobLatency — the pooled counterpart of
-// reliability.NewSession, for harnesses whose data path is a single
-// link rather than a netem route.
-func (p *Pool) LeaseLinked(relCfg reliability.Config, ab, ba fabric.Config, oobLatency time.Duration) (*reliability.Session, error) {
-	d, err := p.Acquire()
-	if err != nil {
-		return nil, err
-	}
-	clk := p.cfg.Core.Clock
+// Rehome moves the deployment's clock domain — both SDR contexts and
+// both control planes — onto clk (nil = shared real clock). It is the
+// mechanism that lets a pool built on one template clock serve sweep
+// lanes running their own virtual engines: deployments carry no other
+// clock state between leases, and the per-lease reset already erases
+// everything output-visible, so a re-homed lease behaves exactly like
+// a cold build on clk. Only call between leases.
+func (d *Deployment) Rehome(clk clock.Clock) {
+	d.pair.A.Ctx.SetClock(clk)
+	d.pair.B.Ctx.SetClock(clk)
+	d.cpA.SetClock(clk)
+	d.cpB.SetClock(clk)
+}
+
+// linked returns the deployment's pooled fabric envelopes, built on
+// first use and re-parameterized in place on every later lease.
+func (d *Deployment) linked(clk clock.Clock, ab, ba fabric.Config, oobLatency time.Duration) (*fabric.Link, *fabric.OOB) {
 	if ab.Clock == nil {
 		ab.Clock = clk
 	}
 	if ba.Clock == nil {
 		ba.Clock = clk
 	}
-	link := fabric.NewLink(d.DevA(), d.DevB(), ab, ba)
-	oob := fabric.NewOOB(clk, oobLatency)
+	if d.link == nil {
+		d.link = fabric.NewLink(d.DevA(), d.DevB(), ab, ba)
+		d.oob = fabric.NewOOB(clk, oobLatency)
+		return d.link, d.oob
+	}
+	d.link.AB.Reconfigure(ab)
+	d.link.BA.Reconfigure(ba)
+	d.oob.Reset(clk, oobLatency)
+	return d.link, d.oob
+}
+
+// LeaseLinked acquires a deployment and wires it across a standalone
+// fabric link with per-direction impairment configs ab/ba and an OOB
+// channel of oobLatency — the pooled counterpart of
+// reliability.NewSession, for harnesses whose data path is a single
+// link rather than a netem route. The link and OOB envelopes are
+// themselves pooled per deployment, so steady-state churn builds no
+// fabric objects at all.
+func (p *Pool) LeaseLinked(relCfg reliability.Config, ab, ba fabric.Config, oobLatency time.Duration) (*reliability.Session, error) {
+	return p.LeaseLinkedOn(nil, relCfg, ab, ba, oobLatency)
+}
+
+// LeaseLinkedOn is LeaseLinked with the deployment re-homed onto clk
+// for the duration of the lease (nil = the pool's own Core.Clock).
+// Sweep cells running on clock.Lanes call it with their lane's engine:
+// the pool cold-builds each deployment once, and every later cell —
+// on whatever lane — pays only the rebind. The preserved monotonic
+// state (PSNs, message seqs, control opIDs) is timing-transparent and
+// every counter resets per lease, so cells stay byte-identical per
+// seed no matter which deployment they draw.
+func (p *Pool) LeaseLinkedOn(clk clock.Clock, relCfg reliability.Config, ab, ba fabric.Config, oobLatency time.Duration) (*reliability.Session, error) {
+	d, err := p.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	if clk == nil {
+		clk = p.cfg.Core.Clock
+	}
+	d.Rehome(clk)
+	link, oob := d.linked(clk, ab, ba, oobLatency)
 	s, err := d.Bind(link, oob, relCfg)
 	if err != nil {
 		d.release()
