@@ -14,9 +14,9 @@ RACE_PKGS = ./internal/bitmap/ ./internal/gf256/ ./internal/ec/ \
 	./internal/clock/ ./internal/fabric/ ./internal/core/ ./internal/reliability/ \
 	./internal/netem/ ./internal/simnet/ ./internal/session/
 
-.PHONY: ci vet build test race bench bench-kernels bench-json smoke-flows smoke-adaptive
+.PHONY: ci vet build test race bench bench-kernels bench-json bench-par smoke-flows smoke-adaptive smoke-perftest
 
-ci: vet build race test
+ci: vet build race test smoke-perftest
 
 vet:
 	$(GO) vet ./...
@@ -60,8 +60,21 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkNetemQueue' -benchmem ./internal/netem/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkFunctionalAllreduceVirtual' -benchtime 5x -benchmem ./internal/collective/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkMultiDCVirtual|BenchmarkMultiDCReal' -benchtime 2x -benchmem ./internal/experiments/ >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkPerftestSR|BenchmarkPerftestEC|BenchmarkPerftestAdaptive' -benchtime 5x -benchmem ./cmd/sdr-perftest/ >> bench-json.tmp
 	$(GO) run ./cmd/benchjson < bench-json.tmp > BENCH_protosim.json
 	rm -f bench-json.tmp
+
+# Serial-vs-parallel sweep scaling: runs the WAN functional sweep with
+# one worker and with one worker per core, and prints the speedup.
+# On a single-core host the two configurations execute the same
+# schedule and the ratio is ≈1.0 — the target documents scaling, it
+# does not gate on it.
+bench-par:
+	@$(GO) test -run xxx -bench 'BenchmarkWANFunctionalSweep(Serial|Parallel)$$' -benchtime 3x ./internal/experiments/ | tee bench-par.tmp
+	@awk '/BenchmarkWANFunctionalSweepSerial/   {s=$$3} \
+	      /BenchmarkWANFunctionalSweepParallel/ {p=$$3} \
+	      END { if (s && p) printf "sweep serial/parallel speedup: %.2fx (serial %.0f ns/op, parallel %.0f ns/op)\n", s/p, s, p }' bench-par.tmp
+	@rm -f bench-par.tmp
 
 # Thousand-flow smoke: the elastic session fabric must sustain 1000
 # sequential + 100 concurrent dumbbell flows from its deployment pool.
@@ -76,3 +89,10 @@ smoke-adaptive:
 	$(GO) test -count=1 -run 'TestFlapRerouteInFlightTransfer' -v ./internal/netem/
 	$(GO) test -count=1 -run 'TestAdaptiveSwitchoverDeterministic' -v ./internal/reliability/
 	$(GO) test -count=1 -run 'TestAdaptiveBeatsStaticSchemes|TestAdaptiveFunctionalSweepParallelMatchesSerial' -v ./internal/experiments/
+
+# Line-rate perftest smoke: every scheme (plus the contended-bottleneck
+# mode) moves verified bytes through the full stack, repeated runs are
+# byte-identical per seed, and the steady-state data path stays inside
+# its allocation budget.
+smoke-perftest:
+	$(GO) test -count=1 -run 'TestPerftestSchemes|TestPerftestDeterminism|TestPerftestSteadyStateAllocs' -v ./cmd/sdr-perftest/

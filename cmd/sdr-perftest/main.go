@@ -1,141 +1,58 @@
-// Command sdr-perftest is the ib_write_bw-style stress loop of §5.4.1:
-// a client/server pair over the in-memory fabric, the server emulating
-// a reliability layer by busy-polling the completion bitmap, the
-// client running the timing loop.
+// Command sdr-perftest is the Go equivalent of the paper's
+// sdr_write_bw benchmark (§5.4.1): sustained back-to-back windowed
+// transfers through the full nicsim/core/reliability path — real
+// reliability sessions (SR, SR-NACK, EC or the adaptive ladder), not
+// bitmap busy-polling — reporting simulated goodput at the session
+// clock and host-side packets/sec/core.
 //
 // Usage:
 //
-//	sdr-perftest -size 1048576 -msgs 2000 -inflight 16 -workers 16
+//	sdr-perftest -scheme sr -clock virtual -size 4194304 -msgs 32
+//	sdr-perftest -scheme ec -drop 0.01
+//	sdr-perftest -scheme sr -cross-bps 5e10 -cross-poisson
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
-
-	"sdrrdma/internal/core"
-	"sdrrdma/internal/fabric"
 )
 
 func main() {
-	size := flag.Int("size", 1<<20, "message size [bytes]")
-	msgs := flag.Int("msgs", 1000, "messages to transfer")
-	inflight := flag.Int("inflight", 16, "in-flight writes")
-	workers := flag.Int("workers", 16, "receive DPA workers (channels)")
-	chunk := flag.Int("chunk", 64<<10, "bitmap chunk size [bytes]")
+	scheme := flag.String("scheme", "sr", "reliability scheme: sr | sr-nack | ec | adaptive")
+	clk := flag.String("clock", "virtual", "clock backend: virtual (deterministic DES) | real (wall clock)")
+	size := flag.Int("size", 4<<20, "message size [bytes]")
+	msgs := flag.Int("msgs", 32, "messages to transfer")
+	window := flag.Int("window", 4, "receive-region rotation depth")
 	mtu := flag.Int("mtu", 4096, "MTU [bytes]")
-	senders := flag.Int("senders", 2, "client sender threads")
+	chunk := flag.Int("chunk", 64<<10, "bitmap chunk size [bytes]")
+	channels := flag.Int("channels", 4, "SDR channels (receive DPA workers)")
+	rtt := flag.Duration("rtt", time.Millisecond, "emulated round-trip time")
+	bw := flag.Float64("bw", 100e9, "per-direction line rate [bit/s]")
+	drop := flag.Float64("drop", 0, "per-packet drop probability")
+	seed := flag.Int64("seed", 1, "random seed (loss draws, payloads, cross traffic)")
+	crossBps := flag.Float64("cross-bps", 0, "background cross-traffic load sharing the bottleneck [bit/s] (0 = dedicated link)")
+	crossPoisson := flag.Bool("cross-poisson", false, "Poisson cross-traffic arrivals (default CBR)")
+	crossBuf := flag.Int("cross-buffer", 4<<20, "shared bottleneck buffer [bytes] (contended mode)")
+	verify := flag.Bool("verify", true, "verify received bytes and chain a digest (virtual clock only)")
 	flag.Parse()
 
-	cfg := core.Config{
-		MTU: *mtu, ChunkBytes: *chunk, MaxMsgBytes: maxInt(*size, *chunk),
-		MsgIDBits: 10, PktOffsetBits: 18, UserImmBits: 4,
-		Generations: 1, Channels: *workers, CQDepth: 1 << 14,
-	}
-	pair, err := core.NewPair(cfg, fabric.Config{}, fabric.Config{}, 0)
+	res, err := Run(Options{
+		Scheme: *scheme, Clock: *clk,
+		Size: *size, Msgs: *msgs, Window: *window,
+		MTU: *mtu, Chunk: *chunk, Channels: *channels,
+		RTT: *rtt, BandwidthBps: *bw, Drop: *drop, Seed: *seed,
+		CrossBps: *crossBps, CrossPoisson: *crossPoisson, CrossBufferBytes: *crossBuf,
+		Verify: *verify,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdr-perftest:", err)
 		os.Exit(1)
 	}
-	defer pair.Close()
-
-	data := make([]byte, *size)
-	for i := range data {
-		data[i] = byte(i)
-	}
-
-	start := time.Now()
-	done := make(chan error, 1)
-	go func() { done <- runServer(pair, *size, *msgs, *inflight) }()
-
-	per := *msgs / *senders
-	extra := *msgs % *senders
-	cerr := make(chan error, *senders)
-	for s := 0; s < *senders; s++ {
-		n := per
-		if s < extra {
-			n++
-		}
-		go func(n int) {
-			for i := 0; i < n; i++ {
-				if _, err := pair.A.QP.SendPost(data, 0); err != nil {
-					cerr <- err
-					return
-				}
-			}
-			cerr <- nil
-		}(n)
-	}
-	for s := 0; s < *senders; s++ {
-		if err := <-cerr; err != nil {
-			fmt.Fprintln(os.Stderr, "sdr-perftest: client:", err)
-			os.Exit(1)
-		}
-	}
-	if err := <-done; err != nil {
-		fmt.Fprintln(os.Stderr, "sdr-perftest: server:", err)
-		os.Exit(1)
-	}
-	elapsed := time.Since(start)
-
-	st := pair.B.QP.Stats()
-	bytes := int64(*msgs) * int64(*size)
-	fmt.Printf("transferred %d messages × %d B in %v\n", *msgs, *size, elapsed.Round(time.Microsecond))
-	fmt.Printf("bandwidth: %.2f Gbit/s   packet rate: %.3f Mpkts/s   packets: %d\n",
-		float64(bytes)*8/elapsed.Seconds()/1e9,
-		float64(st.PacketsReceived)/elapsed.Seconds()/1e6,
-		st.PacketsReceived)
-	fmt.Printf("chunk PCIe updates: %d   late discards: %d   duplicates: %d\n",
-		pair.B.Ctx.Pool().PCIeWrites.Load(), st.LateDiscarded, st.Duplicates)
-}
-
-func runServer(pair *core.Pair, size, msgs, inflight int) error {
-	mr := pair.B.Ctx.RegMR(make([]byte, inflight*size))
-	active := make([]*core.RecvHandle, 0, inflight)
-	posted, completed := 0, 0
-	for posted < inflight && posted < msgs {
-		h, err := pair.B.QP.RecvPost(mr, uint64((posted%inflight)*size), size)
-		if err != nil {
-			return err
-		}
-		active = append(active, h)
-		posted++
-	}
-	for completed < msgs {
-		progressed := false
-		for i := range active {
-			h := active[i]
-			if h == nil || !h.Done() {
-				continue
-			}
-			if err := h.Complete(); err != nil {
-				return err
-			}
-			completed++
-			progressed = true
-			if posted < msgs {
-				nh, err := pair.B.QP.RecvPost(mr, uint64((posted%inflight)*size), size)
-				if err != nil {
-					return err
-				}
-				active[i] = nh
-				posted++
-			} else {
-				active[i] = nil
-			}
-		}
-		if !progressed {
-			runtime.Gosched()
-		}
-	}
-	return nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	fmt.Printf("transferred %d messages × %d B through the %s session (%s clock)\n",
+		res.Msgs, res.Bytes/int64(res.Msgs), res.Scheme, *clk)
+	fmt.Println(res)
+	fmt.Printf("data pkts recv: %d   duplicates: %d   cores: %d\n",
+		res.DataPktsRecv, res.Duplicates, res.Cores)
 }

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchOpts is the benchmark shape: steady-state windowed transfers,
+// verification off (the digest pass measures memcmp, not the stack).
+func benchOpts(scheme string) Options {
+	return Options{Scheme: scheme, Clock: "virtual", Size: 4 << 20, Msgs: 16}
+}
+
+func benchmarkPerftest(b *testing.B, scheme string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(benchOpts(scheme))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.HostPktsPerSecCore, "pkts/s/core")
+		b.ReportMetric(res.GoodputGbps, "Gbit/s")
+		b.SetBytes(res.Bytes)
+	}
+}
+
+func BenchmarkPerftestSR(b *testing.B)       { benchmarkPerftest(b, "sr") }
+func BenchmarkPerftestEC(b *testing.B)       { benchmarkPerftest(b, "ec") }
+func BenchmarkPerftestAdaptive(b *testing.B) { benchmarkPerftest(b, "adaptive") }
+
+// TestPerftestSchemes smokes every scheme (plus the contended mode)
+// through a small windowed run with content verification on.
+func TestPerftestSchemes(t *testing.T) {
+	for _, scheme := range []string{"sr", "sr-nack", "ec", "adaptive"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			res, err := Run(Options{
+				Scheme: scheme, Size: 1 << 20, Msgs: 6, Window: 3,
+				Drop: 0.002, Verify: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Digest == 0 {
+				t.Fatal("verification produced no digest")
+			}
+			if res.GoodputGbps <= 0 {
+				t.Fatalf("non-positive goodput: %v", res.GoodputGbps)
+			}
+		})
+	}
+	t.Run("contended", func(t *testing.T) {
+		res, err := Run(Options{
+			Scheme: "sr", Size: 1 << 20, Msgs: 6, Window: 3,
+			CrossBps: 5e10, CrossPoisson: true, Verify: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CrossSent == 0 {
+			t.Fatal("cross-traffic generator emitted nothing")
+		}
+		if res.Digest == 0 {
+			t.Fatal("verification produced no digest")
+		}
+	})
+}
+
+// TestPerftestDeterminism: same seed ⇒ byte-identical results —
+// digest, host packet count, simulated elapsed — across repeated
+// virtual-clock runs and across GOMAXPROCS settings, for every
+// scheme. This is the acceptance gate for the data-path optimization
+// work: faster must not mean "different".
+func TestPerftestDeterminism(t *testing.T) {
+	opts := func(scheme string) Options {
+		return Options{
+			Scheme: scheme, Size: 1 << 20, Msgs: 5, Window: 2,
+			Drop: 0.003, Seed: 42, Verify: true,
+		}
+	}
+	type key struct {
+		digest, pkts uint64
+		sim          int64
+	}
+	for _, scheme := range []string{"sr", "ec", "adaptive"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			var want key
+			for run := 0; run < 2; run++ {
+				res, err := Run(opts(scheme))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := key{res.Digest, res.HostPackets, int64(res.SimElapsed)}
+				if run == 0 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("run %d diverged: %+v != %+v", run, got, want)
+				}
+			}
+			prev := runtime.GOMAXPROCS(0)
+			defer runtime.GOMAXPROCS(prev)
+			for _, procs := range []int{1, 2, 4} {
+				runtime.GOMAXPROCS(procs)
+				res, err := Run(opts(scheme))
+				if err != nil {
+					t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+				}
+				if got := (key{res.Digest, res.HostPackets, int64(res.SimElapsed)}); got != want {
+					t.Fatalf("GOMAXPROCS=%d diverged: %+v != %+v", procs, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPerftestSteadyStateAllocs is the allocation regression guard for
+// the hot data path. It measures MARGINAL heap allocations per host
+// packet — the allocation delta between a short and a long run divided
+// by the packet delta — which cancels out per-run setup (session
+// construction, window slabs, pattern fill) and isolates what the
+// steady-state receive/send loop allocates per packet. After the
+// pooled-staging and batched-polling work this sits near 0.1; a single
+// new unconditional per-packet allocation adds ≥1.0, so the 0.5
+// ceiling catches any such regression with wide noise margin.
+func TestPerftestSteadyStateAllocs(t *testing.T) {
+	measure := func(msgs int) (float64, uint64) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, err := Run(Options{Scheme: "sr", Size: 1 << 20, Msgs: msgs, Window: 2, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs - before.Mallocs), res.HostPackets
+	}
+	measure(4) // warm process-wide lazy state (pools, type metadata)
+	aShort, pShort := measure(8)
+	aLong, pLong := measure(40)
+	marginal := (aLong - aShort) / float64(pLong-pShort)
+	t.Logf("steady-state allocs/packet: %.3f (short %v/%v pkts, long %v/%v pkts)",
+		marginal, aShort, pShort, aLong, pLong)
+	if marginal > 0.5 {
+		t.Fatalf("hot-path allocation regression: %.3f allocs/packet (ceiling 0.5) — "+
+			"a per-packet allocation crept back into the receive/send loop", marginal)
+	}
+}
+
+// TestPerftestWindowRotation exercises the slot-linger hazard the
+// window exists for: messages land in rotating regions, so a retired
+// slot's late retransmissions under loss never scribble a re-posted
+// region. Failure mode is a corruption error from Run.
+func TestPerftestWindowRotation(t *testing.T) {
+	for _, w := range []int{1, 2, 4} {
+		res, err := Run(Options{
+			Scheme: "sr-nack", Size: 512 << 10, Msgs: 8, Window: w,
+			Drop: 0.01, Seed: 7, Verify: true,
+		})
+		if err != nil {
+			t.Fatalf("window %d: %v", w, err)
+		}
+		if res.Msgs != 8 {
+			t.Fatalf("window %d: short run: %+v", w, res)
+		}
+	}
+}
+
+// TestPerftestCrossSchemeDigest: every scheme must deliver identical
+// bytes for the same seed, so their digests must agree.
+func TestPerftestCrossSchemeDigest(t *testing.T) {
+	var digests []uint64
+	for _, scheme := range []string{"sr", "sr-nack", "ec", "adaptive"} {
+		res, err := Run(Options{
+			Scheme: scheme, Size: 1 << 20, Msgs: 4, Window: 2, Verify: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, res.Digest)
+	}
+	for i := 1; i < len(digests); i++ {
+		if digests[i] != digests[0] {
+			t.Fatalf("digest mismatch across schemes: %v", digests)
+		}
+	}
+}
+
+// ExampleRun documents the harness shape (not executed as a test).
+func ExampleRun() {
+	res, err := Run(Options{Scheme: "sr", Size: 1 << 20, Msgs: 2, Verify: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Msgs)
+	// Output: 2
+}

@@ -30,6 +30,14 @@
 //     (model and functional, on either clock backend)
 //   - experiments: regenerates every figure of the paper's evaluation
 //
+// Under cmd/, sdr-experiments regenerates the figures, sdr-model
+// explores the completion-time model, and sdr-perftest is the
+// ib_write_bw-style load generator: sustained windowed transfers
+// through the full reliability path at line rate, deterministic per
+// seed, tracking goodput and host packets/sec/core (its data path is
+// tuned to roughly a tenth of an allocation per packet — see the
+// "Line-rate perftest" README section).
+//
 // See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
 // results. Benchmarks in bench_test.go regenerate each figure.
 package sdrrdma

@@ -132,6 +132,30 @@ func After(c Clock, d time.Duration, fn func()) {
 	c.AfterFunc(d, fn)
 }
 
+// NanoClock is the optional integer-time fast path for per-packet
+// bookkeeping (implemented by Virtual): NowNanos returns the current
+// time as nanoseconds past an arbitrary fixed epoch, skipping the
+// wall/monotonic bookkeeping a time.Time construction pays. Serializing
+// wires read the clock once per packet to book transmission time, so
+// at line rate this arithmetic is hot. Real deliberately does not
+// implement it — its time.Time path carries the monotonic reading that
+// integer wall nanoseconds would lose.
+type NanoClock interface {
+	NowNanos() int64
+}
+
+// LaneScheduler is the optional monotone FIFO scheduling interface
+// (implemented by Virtual): a caller whose one-shot closures fire in
+// nondecreasing time order per lane — a wire direction delivering
+// back-to-back packets — allocates a lane once and schedules in O(1)
+// ring pushes instead of O(log n) heap sifts, the dominant engine cost
+// at line rate. Ordering is exact either way: a push that would run
+// backwards in time transparently falls back to the heap.
+type LaneScheduler interface {
+	NewEventLane() int
+	RunAfterLane(lane int, d time.Duration, fn func())
+}
+
 // Now implements Clock.
 func (r *Real) Now() time.Time { return time.Now() }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sdrrdma/internal/simnet"
@@ -70,9 +71,10 @@ type Virtual struct {
 	rootCond sync.Cond // Run waits here until no actor is runnable
 	eng      *simnet.Engine
 	base     time.Time
-	gen      uint64 // notification epoch
-	actors   int    // registered and not yet finished
-	current  *actor // actor holding the baton (nil: scheduler owns it)
+	gen      atomic.Uint64 // notification epoch
+	laneSeq  int           // next NewEventLane id
+	actors   int           // registered and not yet finished
+	current  *actor        // actor holding the baton (nil: scheduler owns it)
 	running  bool
 
 	// ready is an intrusive FIFO of runnable actors.
@@ -95,6 +97,7 @@ const evWake = 1
 // actor is one registered goroutine's scheduling state.
 type actor struct {
 	id       int32
+	lane     int32     // dedicated monotone engine lane for wake timers
 	cond     sync.Cond // tied to Virtual.mu
 	name     string    // optional label for deadlock diagnostics
 	inUse    bool      // registered and not yet finished
@@ -134,9 +137,20 @@ func (v *Virtual) HandleEvent(kind, a, _ int32) {
 
 // Now implements Clock: base + virtual offset.
 func (v *Virtual) Now() time.Time {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.nowLocked()
+	// Engine.Now is an atomic read and base is immutable while the
+	// clock runs, so the hot per-packet timestamping path (fabric
+	// serialization booking) skips the clock mutex entirely.
+	return v.base.Add(time.Duration(v.eng.Now() * float64(time.Second)))
+}
+
+// NowNanos implements clock.NanoClock: the current virtual time as
+// nanoseconds past the Unix epoch, matching Now() exactly (same
+// truncation of the engine's float offset) while skipping time.Time
+// construction — the per-packet serialization booking in the fabric
+// reads the clock once per packet, and at line rate the integer path
+// is measurably cheaper.
+func (v *Virtual) NowNanos() int64 {
+	return v.base.UnixNano() + int64(v.eng.Now()*float64(time.Second))
 }
 
 func (v *Virtual) nowLocked() time.Time {
@@ -154,18 +168,14 @@ func (v *Virtual) Elapsed() time.Duration { return v.Now().Sub(v.base) }
 func (v *Virtual) IsVirtual() bool { return true }
 
 // Epoch implements Clock.
-func (v *Virtual) Epoch() uint64 {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.gen
-}
+func (v *Virtual) Epoch() uint64 { return v.gen.Load() }
 
 // Notify implements Clock: bumps the epoch and readies every actor
 // parked in WaitNotify, in their registration order.
 func (v *Virtual) Notify() {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	v.gen++
+	v.gen.Add(1)
 	for a := v.waitHead; a != nil; {
 		next := a.nextWait
 		a.nextWait, a.prevWait = nil, nil
@@ -254,6 +264,12 @@ func (v *Virtual) allocActorLocked(name string) *actor {
 		v.freeActor = v.freeActor[:n-1]
 	} else {
 		a = &actor{id: int32(len(v.slab))}
+		// Wake-timer lanes share the NewEventLane id space so an
+		// externally allocated delivery lane can never collide with an
+		// actor's lane.
+		a.lane = int32(v.laneSeq)
+		v.laneSeq++
+		v.eng.Lanes(v.laneSeq)
 		a.cond.L = &v.mu
 		v.slab = append(v.slab, a)
 	}
@@ -384,7 +400,7 @@ func (v *Virtual) Sleep(d time.Duration) {
 	}
 	v.mu.Lock()
 	a := v.currentActor("Sleep")
-	v.eng.ScheduleLaneAfter(a.id, d.Seconds(), evWake, a.id, 0)
+	v.eng.ScheduleLaneAfter(a.lane, d.Seconds(), evWake, a.id, 0)
 	v.park(a)
 	v.mu.Unlock()
 }
@@ -394,14 +410,14 @@ func (v *Virtual) WaitNotify(epoch uint64, d time.Duration) bool {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	a := v.currentActor("WaitNotify")
-	if v.gen != epoch {
+	if v.gen.Load() != epoch {
 		return true
 	}
 	a.notified = false
 	v.pushWaiterLocked(a)
 	var timeout simnet.Timer
 	if d >= 0 {
-		timeout = v.eng.ScheduleLaneAfter(a.id, d.Seconds(), evWake, a.id, 0)
+		timeout = v.eng.ScheduleLaneAfter(a.lane, d.Seconds(), evWake, a.id, 0)
 	}
 	v.park(a)
 	if a.notified {
@@ -452,6 +468,30 @@ func (v *Virtual) removeWaiterLocked(a *actor) {
 func (v *Virtual) RunAfter(d time.Duration, fn func()) {
 	v.mu.Lock()
 	v.eng.After(max(0, d.Seconds()), fn)
+	v.mu.Unlock()
+}
+
+// NewEventLane allocates a monotone FIFO scheduling lane on the
+// clock's engine and returns its id. Callers whose one-shot closures
+// carry nondecreasing fire times per lane — a wire direction's
+// per-packet deliveries — schedule through RunAfterLane in O(1)
+// instead of sifting the event heap; a push that would run backwards
+// in time falls back to the heap, so ordering is always exact. Lane
+// ids stay valid across Reset.
+func (v *Virtual) NewEventLane() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ln := v.laneSeq
+	v.laneSeq++
+	v.eng.Lanes(v.laneSeq)
+	return ln
+}
+
+// RunAfterLane is RunAfter through the monotone FIFO lane ln (see
+// NewEventLane).
+func (v *Virtual) RunAfterLane(ln int, d time.Duration, fn func()) {
+	v.mu.Lock()
+	v.eng.AfterLane(int32(ln), max(0, d.Seconds()), fn)
 	v.mu.Unlock()
 }
 
@@ -537,7 +577,7 @@ func (v *Virtual) Reset() {
 		panic("clock: Virtual.Reset with live actors or an active Run")
 	}
 	v.eng.Reset()
-	v.gen = 0
+	v.gen.Store(0)
 	v.readyHead, v.readyTail = nil, nil
 	v.waitHead, v.waitTail = nil, nil
 	for _, t := range v.timerLive {

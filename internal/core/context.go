@@ -38,7 +38,11 @@ func NewContext(dev *nicsim.Device, cfg Config) (*Context, error) {
 	pool := dpa.NewPool()
 	// A virtual deployment must not run free-running poller
 	// goroutines: completions are processed inside the delivery event.
+	// The same scheduler baton that mandates synchronous completion
+	// processing also serializes every QP send and delivery, so the
+	// device can drop its per-packet locking.
 	pool.SetSynchronous(clk.IsVirtual())
+	dev.SetSerial(clk.IsVirtual())
 	return &Context{
 		dev:    dev,
 		cfg:    cfg,
@@ -60,6 +64,7 @@ func (c *Context) Clock() clock.Clock { return c.clk }
 func (c *Context) SetClock(clk clock.Clock) {
 	c.clk = clock.Or(clk)
 	c.pool.SetSynchronous(c.clk.IsVirtual())
+	c.dev.SetSerial(c.clk.IsVirtual())
 }
 
 // Config returns the context configuration (with defaults applied).

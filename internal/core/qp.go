@@ -155,7 +155,7 @@ func (c *Context) NewQP() *QP {
 			qp.chCQs[g][ch] = cq
 			qp.chQPs[g][ch] = nicsim.NewUCQP(c.dev, cfg.MTU, cq, nil)
 			gen := uint32(g)
-			c.pool.Spawn(cq, func(cqe *nicsim.CQE) { qp.backendHandle(gen, cqe) })
+			c.pool.SpawnBatch(cq, func(cqes []nicsim.CQE) { qp.backendHandleBatch(gen, cqes) })
 		}
 	}
 	// All slots of every generation start retired: late packets land

@@ -69,14 +69,17 @@ type Config struct {
 type Direction struct {
 	cfg  Config
 	clk  clock.Clock
+	nano clock.NanoClock // non-nil when clk exposes the integer fast path
 	dst  nicsim.Deliverer
 	rmu  sync.Mutex
 	rng  *rand.Rand
 	icpt atomic.Pointer[Interceptor]
 
 	// freeAt is when the serializing wire next becomes idle (guarded
-	// by rmu; only used when BandwidthBps > 0).
-	freeAt time.Time
+	// by rmu; only used when BandwidthBps > 0). freeAtNanos is the
+	// same booking kept in integer nanoseconds on NanoClock clocks.
+	freeAt      time.Time
+	freeAtNanos int64
 
 	heldMu sync.Mutex
 	held   []*nicsim.Packet
@@ -103,12 +106,14 @@ func NewDirection(dst *nicsim.Device, cfg Config) *Direction {
 // — a device, or a forwarding hop such as a netem queue port — so the
 // impairment pipeline composes with multi-hop topologies.
 func NewDirectionTo(dst nicsim.Deliverer, cfg Config) *Direction {
-	return &Direction{
+	d := &Direction{
 		cfg: cfg,
 		clk: clock.Or(cfg.Clock),
 		dst: dst,
 		rng: rand.New(rand.NewSource(cfg.Seed)),
 	}
+	d.nano, _ = d.clk.(clock.NanoClock)
+	return d
 }
 
 // Reconfigure re-parameterizes an idle direction in place for a new
@@ -122,8 +127,10 @@ func (d *Direction) Reconfigure(cfg Config) {
 	d.rmu.Lock()
 	d.cfg = cfg
 	d.clk = clock.Or(cfg.Clock)
+	d.nano, _ = d.clk.(clock.NanoClock)
 	d.rng.Seed(cfg.Seed)
 	d.freeAt = time.Time{}
+	d.freeAtNanos = 0
 	d.rmu.Unlock()
 	d.heldMu.Lock()
 	d.held = nil
@@ -151,12 +158,14 @@ func (d *Direction) Send(pkt *nicsim.Packet) {
 		switch (*ip)(pkt) {
 		case Drop:
 			d.Dropped.Add(1)
+			nicsim.ReleasePacket(pkt)
 			return
 		case Hold:
 			d.heldMu.Lock()
 			d.held = append(d.held, pkt.Clone())
 			d.heldMu.Unlock()
 			d.HeldCount.Add(1)
+			nicsim.ReleasePacket(pkt)
 			return
 		}
 	}
@@ -177,6 +186,7 @@ func (d *Direction) Send(pkt *nicsim.Packet) {
 		if d.cfg.DropProb > 0 && d.rng.Float64() < d.cfg.DropProb {
 			d.rmu.Unlock()
 			d.Dropped.Add(1)
+			nicsim.ReleasePacket(pkt)
 			return
 		}
 		if needRNG {
@@ -192,10 +202,16 @@ func (d *Direction) Send(pkt *nicsim.Packet) {
 		}
 		d.rmu.Unlock()
 	}
+	// Clone the duplicate before the first delivery: at zero delay the
+	// first deliver runs synchronously and recycles a pooled envelope.
+	var dupPkt *nicsim.Packet
+	if dup {
+		dupPkt = pkt.Clone()
+	}
 	d.deliver(pkt, d.cfg.Latency+extra+serDelay)
 	if dup {
 		d.Duplicated.Add(1)
-		d.deliver(pkt.Clone(), d.cfg.Latency+extra+dupSerDelay)
+		d.deliver(dupPkt, d.cfg.Latency+extra+dupSerDelay)
 	}
 }
 
@@ -203,6 +219,17 @@ func (d *Direction) Send(pkt *nicsim.Packet) {
 // free and returns the queueing + transmission delay experienced
 // before propagation starts. Caller holds rmu.
 func (d *Direction) occupyLocked(tx time.Duration) time.Duration {
+	if d.nano != nil {
+		// Integer fast path: identical arithmetic at nanosecond
+		// resolution, minus the per-packet time.Time construction.
+		now := d.nano.NowNanos()
+		start := d.freeAtNanos
+		if start < now {
+			start = now
+		}
+		d.freeAtNanos = start + int64(tx)
+		return time.Duration(d.freeAtNanos - now)
+	}
 	now := d.clk.Now()
 	start := d.freeAt
 	if start.Before(now) {
@@ -225,6 +252,18 @@ func (d *Direction) deliver(pkt *nicsim.Packet, delay time.Duration) {
 type DeliveryPool struct {
 	mu   sync.Mutex
 	free *delivery
+
+	// lane is the pool's monotone FIFO scheduling lane on laneClk,
+	// allocated on first use. A direction's deliveries fire in
+	// nondecreasing time order (fixed latency plus monotone
+	// serialization booking), so they ride an O(1) engine lane instead
+	// of the event heap; reorder extras simply fall back to the heap
+	// inside the lane push. Only virtual clocks implement
+	// LaneScheduler, and there every DeliverAfter is serialized under
+	// the scheduler baton, so the lazily-initialized pair needs no
+	// lock.
+	lane    int
+	laneClk clock.Clock
 }
 
 // DeliverAfter hands pkt to dst after delay on clk (immediately, in
@@ -235,6 +274,14 @@ func (p *DeliveryPool) DeliverAfter(clk clock.Clock, delay time.Duration, dst ni
 		return
 	}
 	env := p.get(dst, pkt)
+	if ls, ok := clk.(clock.LaneScheduler); ok {
+		if p.laneClk != clk {
+			p.lane = ls.NewEventLane()
+			p.laneClk = clk
+		}
+		ls.RunAfterLane(p.lane, delay, env.run)
+		return
+	}
 	clock.After(clk, delay, env.run)
 }
 

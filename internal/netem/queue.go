@@ -269,6 +269,8 @@ func (q *Queue) enqueue(pkt *nicsim.Packet, dst nicsim.Deliverer) {
 		q.LinkDownDrops.Add(1)
 		if hook != nil {
 			hook(pkt, LinkDown, dst)
+		} else {
+			nicsim.ReleasePacket(pkt)
 		}
 		return
 	}
@@ -278,6 +280,8 @@ func (q *Queue) enqueue(pkt *nicsim.Packet, dst nicsim.Deliverer) {
 		q.TailDrops.Add(1)
 		if hook != nil {
 			hook(pkt, TailDrop, dst)
+		} else {
+			nicsim.ReleasePacket(pkt)
 		}
 		return
 	}
@@ -342,6 +346,8 @@ func (q *Queue) depart() {
 		q.LinkDownDrops.Add(1)
 		if hook != nil {
 			hook(head.pkt, LinkDown, head.dst)
+		} else {
+			nicsim.ReleasePacket(head.pkt)
 		}
 		return
 	}
@@ -349,6 +355,8 @@ func (q *Queue) depart() {
 		q.ChannelDrops.Add(1)
 		if hook != nil {
 			hook(head.pkt, ChannelLoss, head.dst)
+		} else {
+			nicsim.ReleasePacket(head.pkt)
 		}
 		return
 	}

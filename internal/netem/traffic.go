@@ -1,0 +1,126 @@
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"sdrrdma/internal/clock"
+	"sdrrdma/internal/nicsim"
+)
+
+// TrafficConfig shapes one background traffic source.
+type TrafficConfig struct {
+	// Bps is the offered load in wire bits per second (payload plus
+	// the emulated transport header, matching the queue's own
+	// serialization accounting).
+	Bps float64
+	// PacketBytes is the payload size of each generated packet
+	// (default 1024).
+	PacketBytes int
+	// Poisson selects exponentially distributed inter-arrival gaps
+	// (mean matching Bps); false emits a constant bit rate.
+	Poisson bool
+	// Seed feeds the arrival-process RNG, so a contended scenario is
+	// deterministic per seed on the virtual clock.
+	Seed int64
+	// Clock drives the emission timers (nil = shared real clock).
+	Clock clock.Clock
+}
+
+// TrafficGen is a background cross-traffic source: an open-loop
+// Poisson or CBR packet process feeding a Deliverer — typically a
+// netem Queue port, so foreground flows contend with it for the same
+// finite buffer and serialization budget. It models the "other
+// tenants" of a shared bottleneck without the cost of full protocol
+// endpoints.
+//
+// The generator is open-loop by design: it never backs off, so tail
+// drops under overload land on whoever loses the buffer race, exactly
+// like unmanaged datacenter cross-traffic. All packets share one
+// read-only payload; the per-packet envelope is the only allocation.
+type TrafficGen struct {
+	cfg     TrafficConfig
+	clk     clock.Clock
+	dst     nicsim.Deliverer
+	rng     *rand.Rand
+	payload []byte
+	mean    time.Duration // mean inter-arrival gap
+
+	timer   clock.Timer
+	stopped atomic.Bool
+	sent    atomic.Uint64
+}
+
+// NewTrafficGen builds a generator aimed at dst. Start begins
+// emission; the first packet departs one inter-arrival gap after
+// Start, not immediately.
+func NewTrafficGen(cfg TrafficConfig, dst nicsim.Deliverer) (*TrafficGen, error) {
+	if cfg.Bps <= 0 {
+		return nil, fmt.Errorf("netem: traffic Bps must be positive, got %v", cfg.Bps)
+	}
+	if cfg.PacketBytes == 0 {
+		cfg.PacketBytes = 1024
+	}
+	if cfg.PacketBytes < 0 {
+		return nil, fmt.Errorf("netem: traffic PacketBytes must be positive, got %d", cfg.PacketBytes)
+	}
+	if dst == nil {
+		return nil, fmt.Errorf("netem: traffic generator needs a destination")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.Realtime()
+	}
+	wireBits := float64(cfg.PacketBytes+nicsim.HeaderBytes) * 8
+	return &TrafficGen{
+		cfg:     cfg,
+		clk:     clk,
+		dst:     dst,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		payload: make([]byte, cfg.PacketBytes),
+		mean:    time.Duration(wireBits / cfg.Bps * float64(time.Second)),
+	}, nil
+}
+
+// Start schedules the first emission. Under a virtual clock the
+// timer chain runs as engine events: emissions interleave
+// deterministically with foreground traffic, and pending emissions
+// are simply discarded when the simulation's actors finish.
+func (g *TrafficGen) Start() {
+	g.timer = g.clk.AfterFunc(g.gap(), g.tick)
+}
+
+// Stop halts emission. Safe to call more than once; a tick already
+// in flight may still deliver one final packet.
+func (g *TrafficGen) Stop() {
+	g.stopped.Store(true)
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+}
+
+// Sent returns the number of packets emitted so far.
+func (g *TrafficGen) Sent() uint64 { return g.sent.Load() }
+
+func (g *TrafficGen) gap() time.Duration {
+	if !g.cfg.Poisson {
+		return g.mean
+	}
+	return time.Duration(g.rng.ExpFloat64() * float64(g.mean))
+}
+
+// tick runs on the clock's timer goroutine (the scheduler goroutine
+// under a virtual clock), emits one packet and schedules the next.
+func (g *TrafficGen) tick() {
+	if g.stopped.Load() {
+		return
+	}
+	g.sent.Add(1)
+	g.dst.Deliver(&nicsim.Packet{Opcode: nicsim.OpWrite, Payload: g.payload})
+	if g.stopped.Load() {
+		return
+	}
+	g.timer.Reset(g.gap())
+}

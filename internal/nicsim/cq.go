@@ -13,6 +13,7 @@ type CQ struct {
 	mu      sync.Mutex
 	nonFull *sync.Cond
 	buf     []CQE
+	cap     int
 	head    int
 	count   int
 	closed  bool
@@ -27,7 +28,25 @@ type CQ struct {
 	// producer's call: Push invokes it instead of enqueueing. Virtual-
 	// clock deployments use it so packet processing happens inside the
 	// delivery event rather than on a free-running poller goroutine.
-	sink func(CQE)
+	// Held in an atomic pointer so the sink fast path in Push costs two
+	// atomic loads instead of a mutex round-trip per completion.
+	sink atomic.Pointer[func([]CQE)]
+	// closedFlag mirrors closed for the lock-free sink path.
+	closedFlag atomic.Bool
+	// sinkBusy guards sinkScratch, the zero-allocation staging slot the
+	// sink fast path hands to the handler. A concurrent second producer
+	// (or a reentrant push from inside the handler) loses the CAS and
+	// falls back to a heap-boxed single CQE.
+	sinkBusy    atomic.Bool
+	sinkScratch [1]CQE
+	// sinkSerial declares the producers externally serialized (the
+	// virtual-clock regime: every delivery runs under the scheduler
+	// baton, one at a time), downgrading the scratch claim from an
+	// atomic CAS to a plain bool — the CAS was measurable at line rate.
+	// serialBusy still catches a reentrant push from inside the handler,
+	// which falls back to a boxed CQE.
+	sinkSerial bool
+	serialBusy bool
 }
 
 // NewCQ creates a completion queue with the given capacity. If overrun
@@ -38,7 +57,11 @@ func NewCQ(capacity int, overrun bool) *CQ {
 	if capacity <= 0 {
 		panic("nicsim: CQ capacity must be positive")
 	}
-	cq := &CQ{buf: make([]CQE, capacity), overrun: overrun,
+	// The ring itself is allocated lazily on the first buffered Push:
+	// sink-mode queues (every virtual-clock deployment) never buffer, so
+	// eagerly building CQDepth-sized rings per channel would be pure
+	// session-construction waste.
+	cq := &CQ{cap: capacity, overrun: overrun,
 		hasData: make(chan struct{}, 1)}
 	cq.nonFull = sync.NewCond(&cq.mu)
 	return cq
@@ -50,22 +73,61 @@ func NewCQ(capacity int, overrun bool) *CQ {
 // before traffic starts; it cannot be combined with concurrent
 // Poll-based consumption.
 func (q *CQ) SetSink(fn func(CQE)) {
-	q.mu.Lock()
-	q.sink = fn
-	q.mu.Unlock()
+	q.SetSinkBatch(func(cqes []CQE) {
+		for i := range cqes {
+			fn(cqes[i])
+		}
+	})
+}
+
+// SetSinkBatch is SetSink for batch handlers: fn observes each
+// synchronous delivery as a (usually one-element) slice that is only
+// valid for the duration of the call. This is the allocation-free
+// spelling — Push stages the CQE in a per-queue scratch slot instead
+// of heap-boxing it per completion.
+func (q *CQ) SetSinkBatch(fn func([]CQE)) {
+	q.sink.Store(&fn)
+}
+
+// SetSinkBatchSerial is SetSinkBatch for callers that guarantee
+// producers never push concurrently (virtual-clock deployments, where
+// each delivery holds the scheduler baton). The scratch handoff then
+// needs no atomic claim. The write to sinkSerial is published by the
+// atomic sink store, so producers that observe the sink observe the
+// mode.
+func (q *CQ) SetSinkBatchSerial(fn func([]CQE)) {
+	q.sinkSerial = true
+	q.sink.Store(&fn)
 }
 
 // Push appends a completion (or hands it to the sink).
 func (q *CQ) Push(e CQE) {
-	q.mu.Lock()
-	if q.sink != nil {
-		fn := q.sink
-		closed := q.closed
-		q.mu.Unlock()
-		if !closed {
-			fn(e)
+	if fn := q.sink.Load(); fn != nil {
+		if q.closedFlag.Load() {
+			return
+		}
+		switch {
+		case q.sinkSerial:
+			if !q.serialBusy {
+				q.serialBusy = true
+				q.sinkScratch[0] = e
+				(*fn)(q.sinkScratch[:1])
+				q.serialBusy = false
+			} else {
+				(*fn)([]CQE{e})
+			}
+		case q.sinkBusy.CompareAndSwap(false, true):
+			q.sinkScratch[0] = e
+			(*fn)(q.sinkScratch[:1])
+			q.sinkBusy.Store(false)
+		default:
+			(*fn)([]CQE{e})
 		}
 		return
+	}
+	q.mu.Lock()
+	if q.buf == nil {
+		q.buf = make([]CQE, q.cap)
 	}
 	for q.count == len(q.buf) && !q.closed {
 		if q.overrun {
@@ -108,6 +170,36 @@ func (q *CQ) Poll(dst []CQE) int {
 	return n
 }
 
+// PollInto drains every pending completion into *dst, growing the
+// caller's buffer as needed (its capacity is reused across drains), and
+// returns the number appended. One mutex round-trip amortizes over the
+// whole backlog, versus one per fixed-size Poll batch — the
+// ibv_poll_cq-with-large-batch idiom the DPA workers use.
+func (q *CQ) PollInto(dst *[]CQE) int {
+	q.mu.Lock()
+	n := q.count
+	if n == 0 {
+		q.mu.Unlock()
+		return 0
+	}
+	base := len(*dst)
+	if need := base + n; cap(*dst) < need {
+		grown := make([]CQE, base, need)
+		copy(grown, *dst)
+		*dst = grown
+	}
+	*dst = (*dst)[:base+n]
+	out := (*dst)[base:]
+	for i := 0; i < n; i++ {
+		out[i] = q.buf[q.head]
+		q.head = (q.head + 1) % len(q.buf)
+	}
+	q.count -= n
+	q.nonFull.Broadcast()
+	q.mu.Unlock()
+	return n
+}
+
 // Wait blocks until the queue is non-empty or closed; it returns false
 // once the queue is closed and drained.
 func (q *CQ) Wait() bool {
@@ -137,6 +229,7 @@ func (q *CQ) Close() {
 		return
 	}
 	q.closed = true
+	q.closedFlag.Store(true)
 	q.nonFull.Broadcast()
 	q.mu.Unlock()
 	select {

@@ -30,24 +30,49 @@ type packetSink interface {
 
 // Device is one simulated NIC.
 type Device struct {
-	name    string
-	mem     *memTable
-	mu      sync.RWMutex
-	qps     map[uint32]packetSink
+	name string
+	mem  *memTable
+	mu   sync.Mutex // serializes QP table writers
+	// qps is a copy-on-write slice indexed by QPN (QPNs are handed out
+	// sequentially from 1, slot 0 unused). Delivery reads it with one
+	// atomic load — no lock on the per-packet path; QP create/destroy
+	// publishes a fresh copy.
+	qps     atomic.Pointer[[]packetSink]
 	nextQPN uint32
 	// RxPackets counts packets delivered to this device.
 	RxPackets atomic.Uint64
 	// RxDropNoQP counts packets addressed to unknown QPs.
 	RxDropNoQP atomic.Uint64
+
+	// serial marks a device whose sends and deliveries are already
+	// serialized externally (a virtual-clock deployment, where every
+	// actor and engine callback runs one at a time under the scheduler
+	// baton). QPs skip their per-packet mutexes when it is set — at
+	// line rate the uncontended lock/unlock pair is a measurable share
+	// of the per-packet budget. See SetSerial.
+	serial bool
 }
 
 // NewDevice creates a NIC simulator instance.
 func NewDevice(name string) *Device {
-	return &Device{name: name, mem: newMemTable(), qps: make(map[uint32]packetSink), nextQPN: 1}
+	d := &Device{name: name, mem: newMemTable(), nextQPN: 1}
+	empty := make([]packetSink, 1)
+	d.qps.Store(&empty)
+	return d
 }
 
 // Name returns the device name.
 func (d *Device) Name() string { return d.name }
+
+// SetSerial declares that all QP operations on this device — sends and
+// inbound deliveries alike — are serialized by an external scheduler,
+// letting QPs skip their per-packet mutexes. Only sound on
+// virtual-clock deployments, where every producer runs under the
+// discrete-event scheduler baton (the same argument that makes
+// CQ.SetSinkBatchSerial safe). Set it before any traffic flows, from
+// the goroutine constructing the deployment; toggling mid-flight is a
+// data race.
+func (d *Device) SetSerial(serial bool) { d.serial = serial }
 
 // RegMR registers buf and returns the memory region handle.
 func (d *Device) RegMR(buf []byte) *MR {
@@ -105,7 +130,14 @@ func (d *Device) addQP(sink packetSink) uint32 {
 	defer d.mu.Unlock()
 	qpn := d.nextQPN
 	d.nextQPN++
-	d.qps[qpn] = sink
+	old := *d.qps.Load()
+	next := make([]packetSink, len(old))
+	copy(next, old)
+	for uint32(len(next)) <= qpn {
+		next = append(next, nil)
+	}
+	next[qpn] = sink
+	d.qps.Store(&next)
 	return qpn
 }
 
@@ -113,18 +145,31 @@ func (d *Device) addQP(sink packetSink) uint32 {
 func (d *Device) DestroyQP(qpn uint32) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	delete(d.qps, qpn)
+	old := *d.qps.Load()
+	if qpn >= uint32(len(old)) {
+		return
+	}
+	next := make([]packetSink, len(old))
+	copy(next, old)
+	next[qpn] = nil
+	d.qps.Store(&next)
 }
 
-// Deliver injects an inbound packet — called by the fabric.
+// Deliver injects an inbound packet — called by the fabric. The device
+// is the terminal hop: once the QP's receive path returns (or the
+// packet misses every QP), a pooled envelope is recycled.
 func (d *Device) Deliver(pkt *Packet) {
 	d.RxPackets.Add(1)
-	d.mu.RLock()
-	sink, ok := d.qps[pkt.DstQPN]
-	d.mu.RUnlock()
-	if !ok {
+	qps := *d.qps.Load()
+	var sink packetSink
+	if n := pkt.DstQPN; n < uint32(len(qps)) {
+		sink = qps[n]
+	}
+	if sink == nil {
 		d.RxDropNoQP.Add(1)
+		pkt.release()
 		return
 	}
 	sink.recvPacket(pkt)
+	pkt.release()
 }

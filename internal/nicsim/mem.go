@@ -160,15 +160,23 @@ func (ix *IndirectMR) DMAWrite(offset uint64, data []byte) error {
 	return e.target.DMAWrite(e.base+inner, data)
 }
 
-// memTable is a device's key → target registry.
+// memTable is a device's key → target registry. Keys are handed out
+// sequentially from 1, so the registry is a copy-on-write slice
+// indexed by key: the per-packet lookup on the DMA path is one atomic
+// load plus a bounds check, while register/deregister (rare, session
+// setup/teardown) publish fresh copies under the writer lock.
 type memTable struct {
-	mu      sync.RWMutex
+	mu      sync.Mutex
 	nextKey uint32
-	regions map[uint32]MemoryTarget
+	regions atomic.Pointer[[]MemoryTarget]
+	live    int
 }
 
 func newMemTable() *memTable {
-	return &memTable{nextKey: 1, regions: make(map[uint32]MemoryTarget)}
+	t := &memTable{nextKey: 1}
+	empty := make([]MemoryTarget, 1)
+	t.regions.Store(&empty)
+	return t
 }
 
 func (t *memTable) register(target MemoryTarget) uint32 {
@@ -176,25 +184,43 @@ func (t *memTable) register(target MemoryTarget) uint32 {
 	defer t.mu.Unlock()
 	key := t.nextKey
 	t.nextKey++
-	t.regions[key] = target
+	old := *t.regions.Load()
+	next := make([]MemoryTarget, len(old))
+	copy(next, old)
+	for uint32(len(next)) <= key {
+		next = append(next, nil)
+	}
+	next[key] = target
+	t.regions.Store(&next)
+	t.live++
 	return key
 }
 
 func (t *memTable) deregister(key uint32) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	delete(t.regions, key)
+	old := *t.regions.Load()
+	if key >= uint32(len(old)) || old[key] == nil {
+		return
+	}
+	next := make([]MemoryTarget, len(old))
+	copy(next, old)
+	next[key] = nil
+	t.regions.Store(&next)
+	t.live--
 }
 
 func (t *memTable) size() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.regions)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.live
 }
 
 func (t *memTable) lookup(key uint32) (MemoryTarget, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	target, ok := t.regions[key]
-	return target, ok
+	regions := *t.regions.Load()
+	if key >= uint32(len(regions)) {
+		return nil, false
+	}
+	target := regions[key]
+	return target, target != nil
 }

@@ -11,7 +11,10 @@
 // the registered target buffer exactly as the DMA engine would.
 package nicsim
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Opcode enumerates wire packet types.
 type Opcode uint8
@@ -75,12 +78,58 @@ type Packet struct {
 	Marked bool
 	// Payload is the data carried by this packet.
 	Payload []byte
+
+	// pooled marks an envelope owned by the device packet pool: the
+	// terminal Deliver releases it back once the receiving QP has
+	// consumed it. Anything that retains a packet past delivery (RC
+	// retransmit queues, fault-injection holds) must use unpooled
+	// packets or Clone first.
+	pooled bool
+	// buf is pool-retained payload storage for senders that must copy
+	// (UD control sends whose encode scratch is reused). It survives
+	// recycling so steady state reaches zero payload allocations.
+	buf []byte
 }
 
+// packetPool recycles wire-packet envelopes across deliveries. The
+// data path creates one envelope per MTU fragment; without pooling
+// that is the single largest per-packet allocation in the stack.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// getPacket leases a cleared pooled envelope (buf storage retained).
+func getPacket() *Packet {
+	p := packetPool.Get().(*Packet)
+	p.pooled = true
+	return p
+}
+
+// release returns a pooled packet to the pool; unpooled packets are
+// left for the GC (they may be retained by retransmit queues or drop
+// hooks). All fields except the recycled buf storage are cleared.
+func (p *Packet) release() {
+	if !p.pooled {
+		return
+	}
+	buf := p.buf
+	*p = Packet{}
+	p.buf = buf
+	packetPool.Put(p)
+}
+
+// ReleasePacket returns a pooled wire packet to the envelope pool —
+// for forwarding stages (fabric impairments, netem queues) that
+// terminate a packet's life without delivering it to a device. It is
+// a no-op for unpooled packets, so stages may call it unconditionally
+// on anything they drop.
+func ReleasePacket(p *Packet) { p.release() }
+
 // Clone deep-copies a packet (used by duplication fault injection).
+// The clone is never pooled: it outlives the original's release.
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Payload = append([]byte(nil), p.Payload...)
+	q.pooled = false
+	q.buf = nil
 	return &q
 }
 

@@ -106,8 +106,10 @@ func (qp *UCQP) write(rkey uint32, offset uint64, payload []byte, imm uint32, ha
 	if qp.wire == nil {
 		panic(fmt.Sprintf("nicsim: QP %d not connected", qp.qpn))
 	}
-	qp.sendMu.Lock()
-	defer qp.sendMu.Unlock()
+	if !qp.dev.serial {
+		qp.sendMu.Lock()
+		defer qp.sendMu.Unlock()
+	}
 
 	n := (len(payload) + qp.mtu - 1) / qp.mtu
 	if n == 0 {
@@ -123,17 +125,16 @@ func (qp *UCQP) write(rkey uint32, offset uint64, payload []byte, imm uint32, ha
 		if hi > len(payload) {
 			hi = len(payload)
 		}
-		pkt := &Packet{
-			Opcode:       op,
-			SrcQPN:       qp.qpn,
-			DstQPN:       qp.peer,
-			PSN:          qp.sendPSN,
-			First:        i == 0,
-			Last:         i == n-1,
-			RKey:         rkey,
-			RemoteOffset: offset + uint64(lo),
-			Payload:      payload[lo:hi],
-		}
+		pkt := getPacket()
+		pkt.Opcode = op
+		pkt.SrcQPN = qp.qpn
+		pkt.DstQPN = qp.peer
+		pkt.PSN = qp.sendPSN
+		pkt.First = i == 0
+		pkt.Last = i == n-1
+		pkt.RKey = rkey
+		pkt.RemoteOffset = offset + uint64(lo)
+		pkt.Payload = payload[lo:hi]
 		if hasImm && pkt.Last {
 			pkt.Imm = imm
 			pkt.HasImm = true
@@ -152,8 +153,10 @@ func (qp *UCQP) recvPacket(pkt *Packet) {
 	if pkt.Opcode != OpWrite && pkt.Opcode != OpWriteImm {
 		return // UC ignores foreign opcodes
 	}
-	qp.rxMu.Lock()
-	defer qp.rxMu.Unlock()
+	if !qp.dev.serial {
+		qp.rxMu.Lock()
+		defer qp.rxMu.Unlock()
+	}
 
 	switch {
 	case pkt.First:

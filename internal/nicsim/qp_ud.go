@@ -75,17 +75,25 @@ func (qp *UDQP) Send(dstQPN uint32, payload []byte, imm uint32, hasImm bool) err
 	psn := qp.sendPSN
 	qp.sendPSN++
 	qp.sendMu.Unlock()
-	qp.wire.Send(&Packet{
-		Opcode:  OpSend,
-		SrcQPN:  qp.qpn,
-		DstQPN:  dstQPN,
-		PSN:     psn,
-		First:   true,
-		Last:    true,
-		Imm:     imm,
-		HasImm:  hasImm,
-		Payload: payload,
-	})
+	// Copy the payload into the envelope's pool-retained storage: the
+	// datagram owns its bytes from here, so callers may reuse their
+	// encode scratch immediately (the posted-and-forget verbs contract).
+	pkt := getPacket()
+	if cap(pkt.buf) < len(payload) {
+		pkt.buf = make([]byte, len(payload))
+	}
+	pkt.buf = pkt.buf[:len(payload)]
+	copy(pkt.buf, payload)
+	pkt.Opcode = OpSend
+	pkt.SrcQPN = qp.qpn
+	pkt.DstQPN = dstQPN
+	pkt.PSN = psn
+	pkt.First = true
+	pkt.Last = true
+	pkt.Imm = imm
+	pkt.HasImm = hasImm
+	pkt.Payload = pkt.buf
+	qp.wire.Send(pkt)
 	return nil
 }
 

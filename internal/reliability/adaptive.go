@@ -385,7 +385,7 @@ func (e *Endpoint) WriteAdaptive(acfg AdaptorConfig, data []byte) error {
 	g := newAdaptiveGeom(acfg, chunkBytes, len(data))
 
 	// Erasure codes per distinct EC rung, built once.
-	codes := map[Mode]ec.Code{}
+	codes := e.cachedModeCodes()
 	for _, m := range acfg.Ladder {
 		if m.Scheme != SchemeEC {
 			continue
@@ -709,7 +709,7 @@ func (e *Endpoint) ReceiveAdaptive(ad *Adaptor, mr *nicsim.MR, offset uint64, si
 		return fmt.Errorf("reliability: adaptive scratch %d B, need %d", scratch.Span(), need)
 	}
 
-	codes := map[Mode]ec.Code{}
+	codes := e.cachedModeCodes()
 	segs := make([]*adaptiveSegRecv, g.nsegs)
 	var planID uint64
 	fto := cfg.FTO()

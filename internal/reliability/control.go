@@ -60,6 +60,13 @@ type ControlPlane struct {
 	handlers map[uint64]chan ctrlMsg
 	bufs     [][]byte
 	stopped  bool
+
+	// sendMu serializes senders over encBuf, the reused wire-encoding
+	// scratch. UDQP.Send copies the payload into the packet's own
+	// pooled storage, so the scratch is free for reuse the moment Send
+	// returns — no per-message encode allocation on the ACK path.
+	sendMu sync.Mutex
+	encBuf []byte
 }
 
 // NewControlPlane creates the control endpoint on dev transmitting via
@@ -179,10 +186,13 @@ func (cp *ControlPlane) handleCQE(cqe nicsim.CQE) {
 
 // send transmits a control message (unreliably).
 func (cp *ControlPlane) send(m ctrlMsg) error {
-	payload, err := encodeCtrl(m, cp.mtu)
+	cp.sendMu.Lock()
+	defer cp.sendMu.Unlock()
+	payload, err := encodeCtrlInto(cp.encBuf[:0], m, cp.mtu)
 	if err != nil {
 		return err
 	}
+	cp.encBuf = payload[:0]
 	return cp.ud.Send(cp.peer, payload, 0, false)
 }
 
@@ -197,7 +207,12 @@ func (cp *ControlPlane) send(m ctrlMsg) error {
 // PLAN:      seg u32, scheme u8, k u16, m u16
 
 func encodeCtrl(m ctrlMsg, mtu int) ([]byte, error) {
-	buf := make([]byte, 0, 64)
+	return encodeCtrlInto(make([]byte, 0, 64), m, mtu)
+}
+
+// encodeCtrlInto appends the encoding of m to buf (typically a reused
+// scratch slice) and returns the extended slice.
+func encodeCtrlInto(buf []byte, m ctrlMsg, mtu int) ([]byte, error) {
 	buf = append(buf, m.typ)
 	buf = binary.LittleEndian.AppendUint64(buf, m.opID)
 	switch m.typ {

@@ -74,24 +74,28 @@ func (e *Endpoint) WriteEC(data []byte) error {
 	e.opMu.Lock()
 	defer e.opMu.Unlock()
 	cfg := e.Cfg
-	code, err := cfg.NewCode()
+	code, err := e.cachedCode(cfg.Code, cfg.K, cfg.M)
 	if err != nil {
 		return err
 	}
 	chunkBytes := e.QP.Config().ChunkBytes
 	g := newECGeometry(len(data), chunkBytes, cfg.K, cfg.M)
 
-	streams := make([]*core.SendStream, g.L)
-	parity := make([][]byte, g.L)
+	streams := scratchSlice(&e.scr.streams, g.L)
+	parity := scratchSlice(&e.scr.parity, g.L)
 
 	// Encode all parity up front (§4.1.2 notes encoding can overlap
 	// injection on spare cores; the simulator encodes inline — Fig 11
-	// measures the cost separately).
-	dataShards := make([][]byte, g.k)
-	scratchTail := make([]byte, chunkBytes)
+	// measures the cost separately). Parity lives in one endpoint-pooled
+	// slab: the wire aliases it until the message is acknowledged, which
+	// this operation awaits, so the next message may reuse it.
+	dataShards := scratchSlice(&e.scr.dataShards, g.k)
+	scratchTail := scratchBytesN(&e.scr.tailScratch, chunkBytes)
+	paritySlab := scratchBytesN(&e.scr.paritySlab, g.L*g.parityBytes())
+	parityShards := scratchSlice(&e.scr.parityShards, g.m)
 	// Virtual zero chunks are read-only during Encode, so every
 	// submessage can share one buffer instead of allocating per slot.
-	zeroChunk := make([]byte, chunkBytes)
+	zeroChunk := e.scr.scratchZero(chunkBytes)
 	for i := 0; i < g.L; i++ {
 		real := g.realChunks(i)
 		for j := 0; j < g.k; j++ {
@@ -112,8 +116,7 @@ func (e *Endpoint) WriteEC(data []byte) error {
 			}
 			dataShards[j] = data[lo:hi]
 		}
-		parityShards := make([][]byte, g.m)
-		parityBuf := make([]byte, g.parityBytes())
+		parityBuf := paritySlab[i*g.parityBytes() : (i+1)*g.parityBytes()]
 		for j := range parityShards {
 			parityShards[j] = parityBuf[j*chunkBytes : (j+1)*chunkBytes]
 		}
@@ -222,7 +225,7 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 	e.opMu.Lock()
 	defer e.opMu.Unlock()
 	cfg := e.Cfg
-	code, err := cfg.NewCode()
+	code, err := e.cachedCode(cfg.Code, cfg.K, cfg.M)
 	if err != nil {
 		return err
 	}
@@ -232,7 +235,7 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 		return fmt.Errorf("reliability: parity scratch %d B, need %d", scratch.Span(), need)
 	}
 
-	subs := make([]ecRecvState, g.L)
+	subs := scratchSlice(&e.scr.subs, g.L)
 	for i := 0; i < g.L; i++ {
 		dataH, err := e.QP.RecvPost(mr, offset+uint64(i*g.k*chunkBytes), g.subBytes(i, size))
 		if err != nil {
@@ -248,14 +251,14 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 
 	buf := mr.Bytes()
 	scratchBuf := scratch.Bytes()
-	present := make([]bool, g.k+g.m)
-	presentCopy := make([]bool, g.k+g.m)
-	shards := make([][]byte, g.k+g.m)
+	present := scratchSlice(&e.scr.present, g.k+g.m)
+	presentCopy := scratchSlice(&e.scr.presentCopy, g.k+g.m)
+	shards := scratchSlice(&e.scr.shards, g.k+g.m)
 	// Scratch buffers shared across poll ticks and submessages: virtual
 	// zero chunks are read-only during Reconstruct (always marked
 	// present), and at most one partial tail chunk exists per message.
-	zeroChunk := make([]byte, chunkBytes)
-	tailScratch := make([]byte, chunkBytes)
+	zeroChunk := e.scr.scratchZero(chunkBytes)
+	tailScratch := scratchBytesN(&e.scr.tailScratch, chunkBytes)
 
 	// tryRecover decodes submessage i in place if possible.
 	tryRecover := func(i int) bool {

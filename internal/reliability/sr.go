@@ -8,6 +8,7 @@ import (
 
 	"sdrrdma/internal/clock"
 	"sdrrdma/internal/core"
+	"sdrrdma/internal/ec"
 	"sdrrdma/internal/nicsim"
 )
 
@@ -40,6 +41,100 @@ type Endpoint struct {
 	// background (see retire.go); Session.Close joins them.
 	retMu   sync.Mutex
 	retires []*pendingRetire
+
+	// scr stages per-operation working state reused across the messages
+	// of a long-lived session (chunk tracking, EC shard tables, parity
+	// slabs, the instantiated code). Guarded by opMu like the
+	// operations themselves.
+	scr opScratch
+}
+
+// opScratch is the endpoint's pooled chunk staging: every slice here
+// would otherwise be a per-message allocation on the send/receive hot
+// path, re-made thousands of times in a line-rate run. Reuse is safe
+// because opMu serializes operations and every buffer's lifetime ends
+// with its operation (UD control sends copy payloads; parity slabs are
+// only aliased by the wire until the message completes, which the
+// operation awaits before returning).
+type opScratch struct {
+	srChunks     []chunkState
+	streams      []*core.SendStream
+	parity       [][]byte
+	paritySlab   []byte
+	parityShards [][]byte
+	dataShards   [][]byte
+	shards       [][]byte
+	present      []bool
+	presentCopy  []bool
+	subs         []ecRecvState
+	// zeroChunk is all-zero and only ever read (it stands in for the
+	// virtual zero chunks of a padded tail submessage), so reuse never
+	// re-clears it.
+	zeroChunk   []byte
+	tailScratch []byte
+
+	// One-entry erasure-code cache: RS construction builds the encode
+	// and repair matrices, far too expensive to redo per message.
+	code         ec.Code
+	codeName     string
+	codeK, codeM int
+	// codes caches the adaptive ladder's per-rung codes the same way.
+	codes map[Mode]ec.Code
+}
+
+// cachedModeCodes returns the endpoint's persistent rung→code cache
+// (codes are stateless once built, so messages share them).
+func (e *Endpoint) cachedModeCodes() map[Mode]ec.Code {
+	if e.scr.codes == nil {
+		e.scr.codes = map[Mode]ec.Code{}
+	}
+	return e.scr.codes
+}
+
+// scratchSlice returns (*s)[:n] with reused capacity, zeroing the
+// elements so stale state from the previous operation cannot leak.
+func scratchSlice[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	out := (*s)[:n]
+	clear(out)
+	*s = out
+	return out
+}
+
+// scratchZero returns the shared n-byte all-zero chunk.
+func (s *opScratch) scratchZero(n int) []byte {
+	if cap(s.zeroChunk) < n {
+		s.zeroChunk = make([]byte, n)
+	}
+	return s.zeroChunk[:n]
+}
+
+// scratchBytesN returns an n-byte scratch slice with undefined
+// contents (callers fully overwrite it).
+func scratchBytesN(s *[]byte, n int) []byte {
+	if cap(*s) < n {
+		*s = make([]byte, n)
+	}
+	return (*s)[:n]
+}
+
+// cachedCode returns the endpoint's erasure code for (name, k, m),
+// rebuilding only when the tuple changes.
+func (e *Endpoint) cachedCode(name string, k, m int) (ec.Code, error) {
+	s := &e.scr
+	if s.code != nil && s.codeName == name && s.codeK == k && s.codeM == m {
+		return s.code, nil
+	}
+	c := e.Cfg
+	c.Code, c.K, c.M = name, k, m
+	code, err := c.NewCode()
+	if err != nil {
+		return nil, err
+	}
+	s.code, s.codeName, s.codeK, s.codeM = code, name, k, m
+	return code, nil
 }
 
 // NewEndpoint bundles a connected SDR QP and control plane.
@@ -99,7 +194,7 @@ func (e *Endpoint) WriteSR(data []byte) error {
 
 	chunkBytes := e.QP.Config().ChunkBytes
 	nchunks := (len(data) + chunkBytes - 1) / chunkBytes
-	chunks := make([]chunkState, nchunks)
+	chunks := scratchSlice(&e.scr.srChunks, nchunks)
 
 	// Initial injection of the whole message.
 	if err := stream.Continue(0, data); err != nil {

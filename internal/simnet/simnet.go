@@ -48,6 +48,11 @@
 // sampling campaign without reallocating.
 package simnet
 
+import (
+	"math"
+	"sync/atomic"
+)
+
 // Event is a callback scheduled on the virtual timeline.
 type Event func()
 
@@ -83,7 +88,12 @@ type lane struct {
 
 // Engine is a single-threaded discrete-event scheduler.
 type Engine struct {
-	now     float64
+	now float64
+	// nowBits mirrors now as atomic float64 bits so concurrent readers
+	// (virtual-clock actors sampling the time mid-slice) can observe it
+	// without a lock; the engine's own event loop keeps using the plain
+	// field.
+	nowBits atomic.Uint64
 	nextSeq uint64
 	handler Handler
 	slots   []slot
@@ -111,8 +121,11 @@ func SplitMix64(seed int64, i int) int64 {
 	return int64(z)
 }
 
-// Now returns the current virtual time in seconds.
-func (e *Engine) Now() float64 { return e.now }
+// Now returns the current virtual time in seconds. It reads the
+// atomic mirror, so it is safe from any goroutine — in particular from
+// virtual-clock actors sampling time while the scheduler goroutine is
+// parked — without taking a lock.
+func (e *Engine) Now() float64 { return math.Float64frombits(e.nowBits.Load()) }
 
 // SetHandler installs the receiver for typed events. It must be set
 // before the first Schedule/ScheduleAfter event fires; protocol
@@ -251,6 +264,31 @@ func (e *Engine) ScheduleLaneAfter(ln int32, delay float64, kind, a, b int32) Ti
 	return e.ScheduleLane(ln, e.now+delay, kind, a, b)
 }
 
+// AtLane is ScheduleLane for closure events: O(1) on the monotone FIFO
+// lane, with the same transparent heap fallback when at would violate
+// lane monotonicity. It lets closure-based callers with now+const
+// schedules (per-packet wire deliveries) skip the heap too.
+func (e *Engine) AtLane(ln int32, at float64, fn Event) Timer {
+	if int(ln) >= len(e.lanes) {
+		e.Lanes(int(ln) + 1)
+	}
+	l := &e.lanes[ln]
+	if at < l.lastAt {
+		return e.At(at, fn)
+	}
+	idx := e.alloc(at)
+	s := &e.slots[idx]
+	s.fn = fn
+	l.lastAt = at
+	l.ring = append(l.ring, idx)
+	return Timer{e, idx, s.gen}
+}
+
+// AfterLane schedules a closure lane event delay seconds from now.
+func (e *Engine) AfterLane(ln int32, delay float64, fn Event) Timer {
+	return e.AtLane(ln, e.now+delay, fn)
+}
+
 // release returns a popped slot to the free list, bumping its
 // generation so outstanding Timer handles become inert.
 func (e *Engine) release(idx int32) {
@@ -324,6 +362,7 @@ func (e *Engine) fire(idx int32, src int) {
 	// Release before dispatch so a nested schedule can reuse the slot.
 	e.release(idx)
 	e.now = at
+	e.nowBits.Store(math.Float64bits(at))
 	if fn != nil {
 		fn()
 	} else {
@@ -349,6 +388,7 @@ func (e *Engine) RunUntil(deadline float64) {
 	}
 	if e.now < deadline {
 		e.now = deadline
+		e.nowBits.Store(math.Float64bits(deadline))
 	}
 }
 
@@ -376,6 +416,7 @@ func (e *Engine) Reset() {
 		l.lastAt = 0
 	}
 	e.now = 0
+	e.nowBits.Store(0)
 	e.nextSeq = 0
 }
 
