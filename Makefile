@@ -14,9 +14,9 @@ RACE_PKGS = ./internal/bitmap/ ./internal/gf256/ ./internal/ec/ \
 	./internal/clock/ ./internal/fabric/ ./internal/core/ ./internal/reliability/ \
 	./internal/netem/ ./internal/simnet/ ./internal/session/
 
-.PHONY: ci vet build test race bench bench-kernels bench-json bench-par smoke-flows smoke-adaptive smoke-perftest
+.PHONY: ci vet build test race bench bench-kernels bench-json bench-par smoke-flows smoke-adaptive smoke-perftest smoke-trace
 
-ci: vet build race test smoke-perftest
+ci: vet build race test smoke-perftest smoke-trace
 
 vet:
 	$(GO) vet ./...
@@ -61,6 +61,7 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkFunctionalAllreduceVirtual' -benchtime 5x -benchmem ./internal/collective/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkMultiDCVirtual|BenchmarkMultiDCReal' -benchtime 2x -benchmem ./internal/experiments/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkPerftestSR|BenchmarkPerftestEC|BenchmarkPerftestAdaptive' -benchtime 5x -benchmem ./cmd/sdr-perftest/ >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkTelemetryProbe|BenchmarkTelemetryDepthFold' -benchmem ./internal/telemetry/ >> bench-json.tmp
 	$(GO) run ./cmd/benchjson < bench-json.tmp > BENCH_protosim.json
 	rm -f bench-json.tmp
 
@@ -96,3 +97,13 @@ smoke-adaptive:
 # its allocation budget.
 smoke-perftest:
 	$(GO) test -count=1 -run 'TestPerftestSchemes|TestPerftestDeterminism|TestPerftestSteadyStateAllocs' -v ./cmd/sdr-perftest/
+
+# Flight-recorder smoke: the adaptive figure's trace is Perfetto-loadable
+# JSON carrying ladder switches, the flap and the tail-drops; trace and
+# figure bytes are identical across worker counts and GOMAXPROCS; a
+# traced perftest emits per-transfer events and completion quantiles;
+# the disabled probe path allocates nothing.
+smoke-trace:
+	$(GO) test -count=1 -run 'TestAdaptiveTraceSmoke|TestAdaptiveTraceByteIdentical' -v ./internal/experiments/
+	$(GO) test -count=1 -run 'TestPerftestTraceAndQuantiles' -v ./cmd/sdr-perftest/
+	$(GO) test -count=1 -run 'TestDisabledProbeAllocs|TestWriteChromeParses' -v ./internal/telemetry/

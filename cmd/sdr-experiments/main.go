@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"sdrrdma/internal/experiments"
+	"sdrrdma/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 		"clock for the functional figures (wan-functional, multidc-functional): 'virtual' (deterministic, simulation speed) or 'real' (wall clock)")
 	sweepWorkers := flag.Int("sweep-workers", 0,
 		"virtual sweep lanes for the functional figures: 0 = GOMAXPROCS, 1 = serial; output is byte-identical either way")
+	tracePath := flag.String("trace", "",
+		"flight-record the run into this file as Chrome trace-event JSON (open in Perfetto); single figure only")
 	flag.Parse()
 
 	if *clockMode != "virtual" && *clockMode != "real" {
@@ -41,6 +44,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures:", strings.Join(experiments.List(), ", "))
 		os.Exit(2)
 	}
+	if *tracePath != "" && *fig == "all" {
+		fmt.Fprintln(os.Stderr, "sdr-experiments: -trace records one figure at a time (pick a -fig)")
+		os.Exit(2)
+	}
 	opts := experiments.Options{
 		Samples:      *samples,
 		TailSamples:  *tailSamples,
@@ -48,6 +55,9 @@ func main() {
 		DurationSec:  *duration,
 		RealClock:    *clockMode == "real",
 		SweepWorkers: *sweepWorkers,
+	}
+	if *tracePath != "" {
+		opts.Trace = telemetry.NewTrace(*fig)
 	}
 	ids := []string{*fig}
 	if *fig == "all" {
@@ -60,5 +70,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(res.Format())
+	}
+	if opts.Trace != nil {
+		if err := opts.Trace.WriteChromeFile(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "sdr-experiments: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(opts.Trace.Summary())
+		fmt.Printf("trace written to %s (load it in https://ui.perfetto.dev)\n", *tracePath)
 	}
 }

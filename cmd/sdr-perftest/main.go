@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"sdrrdma/internal/telemetry"
 )
 
 func main() {
@@ -36,16 +38,22 @@ func main() {
 	crossPoisson := flag.Bool("cross-poisson", false, "Poisson cross-traffic arrivals (default CBR)")
 	crossBuf := flag.Int("cross-buffer", 4<<20, "shared bottleneck buffer [bytes] (contended mode)")
 	verify := flag.Bool("verify", true, "verify received bytes and chain a digest (virtual clock only)")
+	tracePath := flag.String("trace", "",
+		"flight-record the run into this file as Chrome trace-event JSON (open in Perfetto)")
 	flag.Parse()
 
-	res, err := Run(Options{
+	opts := Options{
 		Scheme: *scheme, Clock: *clk,
 		Size: *size, Msgs: *msgs, Window: *window,
 		MTU: *mtu, Chunk: *chunk, Channels: *channels,
 		RTT: *rtt, BandwidthBps: *bw, Drop: *drop, Seed: *seed,
 		CrossBps: *crossBps, CrossPoisson: *crossPoisson, CrossBufferBytes: *crossBuf,
 		Verify: *verify,
-	})
+	}
+	if *tracePath != "" {
+		opts.Trace = telemetry.NewTrace("perftest")
+	}
+	res, err := Run(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdr-perftest:", err)
 		os.Exit(1)
@@ -55,4 +63,14 @@ func main() {
 	fmt.Println(res)
 	fmt.Printf("data pkts recv: %d   duplicates: %d   cores: %d\n",
 		res.DataPktsRecv, res.Duplicates, res.Cores)
+	fmt.Printf("per-transfer completion: p50 %v  p99 %v  p99.9 %v\n",
+		res.P50, res.P99, res.P999)
+	if opts.Trace != nil {
+		if err := opts.Trace.WriteChromeFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "sdr-perftest: writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Print(opts.Trace.Summary())
+		fmt.Printf("trace written to %s (load it in https://ui.perfetto.dev)\n", *tracePath)
+	}
 }

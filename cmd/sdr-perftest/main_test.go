@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"testing"
+
+	"sdrrdma/internal/telemetry"
 )
 
 // benchOpts is the benchmark shape: steady-state windowed transfers,
@@ -196,4 +200,57 @@ func ExampleRun() {
 	}
 	fmt.Println(res.Msgs)
 	// Output: 2
+}
+
+// TestPerftestTraceAndQuantiles: a flight-recorded run emits one
+// transfer event per message, reports completion quantiles from the
+// sketch, and stays byte-deterministic (trace included) per seed.
+func TestPerftestTraceAndQuantiles(t *testing.T) {
+	opts := Options{
+		Scheme: "adaptive", Size: 1 << 20, Msgs: 6, Window: 3,
+		Drop: 0.002, Seed: 11, Verify: true,
+	}
+	record := func() (Result, []byte) {
+		o := opts
+		o.Trace = telemetry.NewTrace("perftest")
+		res, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := o.Trace.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	res, trace := record()
+	if res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 {
+		t.Fatalf("quantiles not monotone positive: p50=%v p99=%v p999=%v",
+			res.P50, res.P99, res.P999)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	transfers := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "i" && e.Name == "transfer" {
+			transfers++
+		}
+	}
+	if transfers != opts.Msgs {
+		t.Fatalf("trace has %d transfer events, want %d", transfers, opts.Msgs)
+	}
+	res2, trace2 := record()
+	if res2.Digest != res.Digest || res2.P50 != res.P50 || res2.P999 != res.P999 {
+		t.Fatalf("traced reruns diverged: %+v vs %+v", res2, res)
+	}
+	if !bytes.Equal(trace, trace2) {
+		t.Fatal("trace bytes diverged across identical runs")
+	}
 }

@@ -14,6 +14,8 @@ import (
 	"sdrrdma/internal/netem"
 	"sdrrdma/internal/nicsim"
 	"sdrrdma/internal/reliability"
+	"sdrrdma/internal/stats"
+	"sdrrdma/internal/telemetry"
 	"sdrrdma/internal/wan"
 )
 
@@ -59,6 +61,11 @@ type Options struct {
 	// chaining (virtual clock only; on the wall clock reading the
 	// buffer would race in-flight DMA).
 	Verify bool
+	// Trace, when set, flight-records the run into cell 0 of the
+	// trace: queue/reliability/session probes plus one EvTransfer per
+	// completed message. Under the virtual clock the recorded events
+	// are byte-identical per seed.
+	Trace *telemetry.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +135,9 @@ type Result struct {
 	DataPktsRecv, Duplicates uint64
 	// Contended-mode telemetry (CrossBps > 0).
 	CrossSent, TailDrops, ECNMarked uint64
+	// Per-transfer completion-time quantiles (receiver-side, session
+	// clock domain) from a fixed-memory log-linear sketch.
+	P50, P99, P999 time.Duration
 }
 
 func (r Result) String() string {
@@ -166,6 +176,19 @@ func Run(o Options) (Result, error) {
 	default:
 		return Result{}, fmt.Errorf("perftest: unknown clock %q", o.Clock)
 	}
+	var rec *telemetry.Recorder
+	if o.Trace != nil {
+		rec = o.Trace.Cell(0)
+		rec.SetLabel(o.Scheme)
+		// Start the cell before any telemetry attaches: CellStart fixes
+		// the recorder's time origin, which every series created below
+		// inherits.
+		o.Trace.CellStart(0, clock.NowNanos(clk))
+		if v, ok := clk.(*clock.Virtual); ok {
+			rec.SetActorSource(v.CurrentActorName)
+			v.SetEventLog(rec)
+		}
+	}
 
 	coreCfg := core.Config{
 		MTU: o.MTU, ChunkBytes: o.Chunk, MaxMsgBytes: o.Size,
@@ -203,6 +226,9 @@ func Run(o Options) (Result, error) {
 		if eerr != nil {
 			return Result{}, eerr
 		}
+		if rec != nil {
+			topo.SetTelemetry(rec)
+		}
 		sess, err = topo.NewFlow(a, b, coreCfg, relCfg)
 		if err != nil {
 			return Result{}, err
@@ -226,6 +252,9 @@ func Run(o Options) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
+	}
+	if rec != nil {
+		sess.SetTelemetry(rec, o.Scheme+"/A", o.Scheme+"/B")
 	}
 	defer func() {
 		sess.Close()
@@ -278,6 +307,11 @@ func Run(o Options) (Result, error) {
 	verify := o.Verify && clk.IsVirtual()
 	digest := fnv.New64a()
 	var sendErr, recvErr error
+	var completions stats.Sketch
+	transferTrack := int32(-1)
+	if rec != nil {
+		transferTrack = rec.Track("transfers")
+	}
 	startSim := clk.Now()
 	startWall := time.Now()
 	if gen != nil {
@@ -305,6 +339,7 @@ func Run(o Options) (Result, error) {
 			for i := 0; i < o.Msgs; i++ {
 				w := i % o.Window
 				off := uint64(w * o.Size)
+				t0 := clk.Now()
 				switch o.Scheme {
 				case "ec":
 					recvErr = sess.B.ReceiveEC(mr, off, o.Size, scratch[w])
@@ -316,6 +351,12 @@ func Run(o Options) (Result, error) {
 				if recvErr != nil {
 					recvErr = fmt.Errorf("msg %d: %w", i, recvErr)
 					return
+				}
+				dur := clk.Since(t0)
+				completions.Add(dur.Nanoseconds())
+				if rec != nil {
+					rec.Event(clock.NowNanos(clk), telemetry.EvTransfer,
+						transferTrack, int64(o.Size), dur.Nanoseconds(), 0, 0)
 				}
 				if verify {
 					region := recvBuf[off : off+uint64(o.Size)]
@@ -330,6 +371,9 @@ func Run(o Options) (Result, error) {
 	)
 	simElapsed := clk.Since(startSim)
 	wallElapsed := time.Since(startWall)
+	if rec != nil {
+		o.Trace.CellFinish(0, clock.NowNanos(clk))
+	}
 	if gen != nil {
 		gen.Stop()
 	}
@@ -359,6 +403,9 @@ func Run(o Options) (Result, error) {
 		Duplicates:     sess.Pair.B.QP.Stats().Duplicates,
 	}
 	res.HostPktsPerSecCore = res.HostPktsPerSec / float64(cores)
+	res.P50 = time.Duration(completions.Quantile(0.50))
+	res.P99 = time.Duration(completions.Quantile(0.99))
+	res.P999 = time.Duration(completions.Quantile(0.999))
 	if verify {
 		res.Digest = digest.Sum64()
 	}

@@ -24,6 +24,12 @@
 //     Real/Virtual clock (alloc-free baton scheduler, pooled actors
 //     and timers) and multi-lane sweep fan-out (clock.Lanes) that
 //     runs independent scenario cells across cores byte-identically
+//   - telemetry: the flight recorder — virtual-clock-native probes in
+//     the netem queues, reliability endpoints and session pools that
+//     cost nothing when detached, fold packet-rate occupancy into
+//     bucketed series, and export Chrome trace-event JSON (Perfetto)
+//     plus deterministic text summaries; the "-trace out.json" flag on
+//     sdr-experiments and sdr-perftest
 //   - ec, gf256: Reed–Solomon and XOR erasure codes
 //   - model: the completion-time analysis framework (stochastic +
 //     analytic), collective: ring Allreduce and tree broadcast

@@ -144,6 +144,17 @@ type NanoClock interface {
 	NowNanos() int64
 }
 
+// NowNanos returns c's current time in the integer-nanosecond domain:
+// the NanoClock fast path when c implements it, Now().UnixNano()
+// otherwise. Telemetry probes stamp events through it so virtual and
+// real clocks land in one comparable timebase.
+func NowNanos(c Clock) int64 {
+	if nc, ok := c.(NanoClock); ok {
+		return nc.NowNanos()
+	}
+	return c.Now().UnixNano()
+}
+
 // LaneScheduler is the optional monotone FIFO scheduling interface
 // (implemented by Virtual): a caller whose one-shot closures fire in
 // nondecreasing time order per lane — a wire direction delivering

@@ -3,6 +3,7 @@ package clock
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -217,4 +218,56 @@ func TestOrDefaultsToSharedRealtime(t *testing.T) {
 	if Or(v) != Clock(v) {
 		t.Fatal("Or must pass a non-nil clock through")
 	}
+}
+
+// fixedEventLog is a stand-in flight recorder for the deadlock
+// diagnostic: it answers ActorTail with a canned tail for one actor.
+type fixedEventLog struct {
+	actor, tail string
+}
+
+func (l fixedEventLog) ActorTail(actor string, max int) string {
+	if actor == l.actor && max > 0 {
+		return l.tail
+	}
+	return ""
+}
+
+func TestVirtualDeadlockDumpsEventLog(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run must panic on a blocked-forever actor")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "stalled-sender") {
+			t.Fatalf("diagnostic %q does not name the actor", msg)
+		}
+		if !strings.Contains(msg, "[recent: retransmit@1ms]") {
+			t.Fatalf("diagnostic %q does not carry the actor's telemetry tail", msg)
+		}
+	}()
+	v := NewVirtual()
+	v.SetEventLog(fixedEventLog{actor: "stalled-sender", tail: "recent: retransmit@1ms"})
+	v.GoNamed("stalled-sender", func() { v.WaitNotify(v.Epoch(), -1) })
+	v.Run()
+}
+
+func TestVirtualResetDetachesEventLog(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run must panic on a blocked-forever actor")
+		}
+		if msg := fmt.Sprint(r); strings.Contains(msg, "recent:") {
+			t.Fatalf("diagnostic %q leaked the previous cell's event log", msg)
+		}
+	}()
+	v := NewVirtual()
+	v.SetEventLog(fixedEventLog{actor: "stalled-sender", tail: "recent: retransmit@1ms"})
+	v.Go(func() {})
+	v.Run()
+	v.Reset()
+	v.GoNamed("stalled-sender", func() { v.WaitNotify(v.Epoch(), -1) })
+	v.Run()
 }

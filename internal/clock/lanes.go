@@ -24,8 +24,21 @@ type Lanes struct {
 	// Workers caps the concurrent cells (<= 0: GOMAXPROCS).
 	Workers int
 
+	// Probe, when set, observes every cell's lifecycle: CellStart
+	// fires on the worker goroutine just before the cell body runs on
+	// its freshly Reset engine, CellFinish just after it returns, both
+	// stamped with the engine's virtual nanos. telemetry.Trace
+	// implements it to bracket each cell's flight record.
+	Probe CellProbe
+
 	mu   sync.Mutex
 	idle []*Virtual
+}
+
+// CellProbe observes sweep-cell lifecycle on a Lanes runner.
+type CellProbe interface {
+	CellStart(cell int, nowNanos int64)
+	CellFinish(cell int, nowNanos int64)
 }
 
 // lease takes a pooled engine (Reset and ready) or builds a fresh one.
@@ -78,7 +91,7 @@ func (l *Lanes) Run(n int, cell func(v *Virtual, i int)) {
 			if i > 0 {
 				v.Reset()
 			}
-			cell(v, i)
+			l.runCell(v, i, cell)
 		}
 		return
 	}
@@ -98,11 +111,22 @@ func (l *Lanes) Run(n int, cell func(v *Virtual, i int)) {
 				if !first {
 					v.Reset()
 				}
-				cell(v, i)
+				l.runCell(v, i, cell)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// runCell executes one cell, bracketed by the probe when one is set.
+func (l *Lanes) runCell(v *Virtual, i int, cell func(v *Virtual, i int)) {
+	if l.Probe == nil {
+		cell(v, i)
+		return
+	}
+	l.Probe.CellStart(i, v.NowNanos())
+	cell(v, i)
+	l.Probe.CellFinish(i, v.NowNanos())
 }
 
 // RunLanes is the convenience form of Lanes.Run for one-off sweeps:

@@ -88,6 +88,42 @@ type Virtual struct {
 
 	timerPool []*virtualTimer // AfterFunc timers reclaimed by Reset
 	timerLive []*virtualTimer // timers handed out since the last Reset
+
+	// eventLog, when set, annotates the all-blocked deadlock
+	// diagnostic with each actor's recent telemetry (see SetEventLog).
+	eventLog EventLog
+}
+
+// EventLog is the flight-recorder view the deadlock diagnostic reads:
+// ActorTail renders the named actor's most recent max events ("" when
+// none). telemetry.Recorder implements it; the interface lives here so
+// clock stays a leaf below the telemetry package.
+type EventLog interface {
+	ActorTail(actor string, max int) string
+}
+
+// SetEventLog attaches (or, with nil, detaches) the flight recorder
+// consulted by the deadlock diagnostic. Reset detaches it too, so a
+// pooled engine cannot dump a previous cell's events.
+func (v *Virtual) SetEventLog(l EventLog) {
+	v.mu.Lock()
+	v.eventLog = l
+	v.mu.Unlock()
+}
+
+// CurrentActorName returns the label of the actor holding the baton,
+// or "" when the scheduler goroutine (engine callbacks, timer
+// callbacks) or an unnamed actor is running. Telemetry recorders use
+// it as their actor-attribution source; it deliberately returns ""
+// rather than a synthesized name for unnamed actors so the enabled
+// probe path stays allocation free.
+func (v *Virtual) CurrentActorName() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if a := v.current; a != nil {
+		return a.name
+	}
+	return ""
 }
 
 // evWake is the typed engine event that readies a parked actor; the
@@ -385,6 +421,14 @@ func (v *Virtual) deadlockLocked() string {
 		if a.waiting {
 			n += " (WaitNotify)"
 		}
+		if v.eventLog != nil && a.name != "" {
+			// Pre-diagnosed stall: each blocked actor arrives with its
+			// last few telemetry events, so the panic shows what the
+			// protocol role did before it parked for good.
+			if tail := v.eventLog.ActorTail(a.name, 3); tail != "" {
+				n += " [" + tail + "]"
+			}
+		}
 		names = append(names, n)
 	}
 	return fmt.Sprintf(
@@ -585,6 +629,7 @@ func (v *Virtual) Reset() {
 		v.timerPool = append(v.timerPool, t)
 	}
 	v.timerLive = v.timerLive[:0]
+	v.eventLog = nil // the next cell attaches its own recorder
 }
 
 // NamedFunc labels one Join participant for deadlock diagnostics.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sdrrdma/internal/clock"
 	"sdrrdma/internal/dpa"
@@ -14,9 +15,14 @@ import (
 // message slots, and the device's memory registrations (Table 1:
 // context_create).
 type Context struct {
-	dev    *nicsim.Device
-	cfg    Config
-	clk    clock.Clock
+	dev *nicsim.Device
+	cfg Config
+	// clk holds the deployment clock behind an atomic pointer: a
+	// pooled deployment's re-home (SetClock) can overlap a straggler
+	// late-packet delivery from the previous lease — stale traffic the
+	// retire path absorbs by design — and that delivery reads the
+	// clock (late re-ACK rate limiting).
+	clk    atomic.Pointer[clock.Clock]
 	pool   *dpa.Pool
 	nullMR *nicsim.NullMR
 
@@ -43,28 +49,32 @@ func NewContext(dev *nicsim.Device, cfg Config) (*Context, error) {
 	// device can drop its per-packet locking.
 	pool.SetSynchronous(clk.IsVirtual())
 	dev.SetSerial(clk.IsVirtual())
-	return &Context{
+	c := &Context{
 		dev:    dev,
 		cfg:    cfg,
-		clk:    clk,
 		pool:   pool,
 		nullMR: dev.AllocNullMR(),
-	}, nil
+	}
+	c.clk.Store(&clk)
+	return c, nil
 }
 
 // Clock returns the clock the context (and every QP created from it)
 // runs on.
-func (c *Context) Clock() clock.Clock { return c.clk }
+func (c *Context) Clock() clock.Clock { return *c.clk.Load() }
 
 // SetClock re-homes the context (and every QP created from it) onto
 // clk. The session fabric uses this to move a pooled deployment onto a
 // sweep lane's virtual clock so cells can lease instead of cold-
 // building a per-lane session. Must only be called while the context
-// is quiescent — no in-flight operations or scheduled timers.
+// is quiescent — no in-flight data operations or scheduled timers; a
+// straggler late packet from the previous lease may still deliver,
+// which is why the clock swap itself is atomic.
 func (c *Context) SetClock(clk clock.Clock) {
-	c.clk = clock.Or(clk)
-	c.pool.SetSynchronous(c.clk.IsVirtual())
-	c.dev.SetSerial(c.clk.IsVirtual())
+	cc := clock.Or(clk)
+	c.clk.Store(&cc)
+	c.pool.SetSynchronous(cc.IsVirtual())
+	c.dev.SetSerial(cc.IsVirtual())
 }
 
 // Config returns the context configuration (with defaults applied).

@@ -234,7 +234,7 @@ func (qp *QP) ConnectViaOOB(wire nicsim.Wire, oob *fabric.OOB, sideA bool, remot
 func (qp *QP) Config() Config { return qp.cfg }
 
 // Clock returns the clock this QP's deployment runs on.
-func (qp *QP) Clock() clock.Clock { return qp.ctx.clk }
+func (qp *QP) Clock() clock.Clock { return qp.ctx.Clock() }
 
 // Stats snapshots the QP counters.
 func (qp *QP) Stats() Stats {
@@ -344,7 +344,7 @@ func (qp *QP) DeliverCTS(msg []byte) {
 		qp.ctsHigh = seq + 1
 	}
 	qp.sendMu.Unlock()
-	qp.ctx.clk.Notify()
+	qp.ctx.Clock().Notify()
 }
 
 // SendReady reports whether the peer has already posted the receive
@@ -364,7 +364,7 @@ func (qp *QP) SendReady() bool {
 // returns its size. The epoch is snapshotted before each check, so a
 // CTS that lands between the check and the wait wakes it immediately.
 func (qp *QP) waitCTS(seq uint64) uint64 {
-	clk := qp.ctx.clk
+	clk := qp.ctx.Clock()
 	for {
 		epoch := clk.Epoch()
 		qp.sendMu.Lock()

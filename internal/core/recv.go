@@ -271,6 +271,6 @@ func (qp *QP) backendHandleBatch(gen uint32, cqes []nicsim.CQE) {
 		// A message fully delivered inside this drain: wake pollers
 		// (reliability receivers) blocked on the clock so completion is
 		// observed at the delivery instant, not a poll tick later.
-		qp.ctx.clk.Notify()
+		qp.ctx.Clock().Notify()
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sdrrdma/internal/netem"
 	"sdrrdma/internal/nicsim"
 	"sdrrdma/internal/reliability"
+	"sdrrdma/internal/telemetry"
 )
 
 func init() {
@@ -125,10 +126,14 @@ func adaptiveTrajectory(ad *reliability.Adaptor) string {
 // program and returns its measurements. Every scheme sees the same
 // topology, schedule, transfer size and seed; only the reliability
 // protocol differs.
-func runAdaptiveScenario(clk clock.Clock, scheme string, size int, acfg reliability.AdaptorConfig, seed int64) (adaptiveStats, error) {
+func runAdaptiveScenario(clk clock.Clock, scheme string, size int, acfg reliability.AdaptorConfig, seed int64, rec *telemetry.Recorder) (adaptiveStats, error) {
 	topo, src, dst, err := adaptiveDiamond(clk, seed)
 	if err != nil {
 		return adaptiveStats{}, err
+	}
+	if rec != nil {
+		rec.SetLabel(scheme)
+		topo.SetTelemetry(rec)
 	}
 	ser := time.Duration(float64(size) * 8 / adaptiveBandwidthBps * float64(time.Second))
 	ap, err := adaptiveSchedule(ser).Apply(topo)
@@ -144,7 +149,7 @@ func runAdaptiveScenario(clk clock.Clock, scheme string, size int, acfg reliabil
 			return adaptiveStats{}, err
 		}
 	} else {
-		st, err = runAdaptiveFlow(topo, clk, src, dst, scheme, size, acfg, seed)
+		st, err = runAdaptiveFlow(topo, clk, src, dst, scheme, size, acfg, seed, rec)
 		if err != nil {
 			return adaptiveStats{}, err
 		}
@@ -176,7 +181,7 @@ func runAdaptiveScenario(clk clock.Clock, scheme string, size int, acfg reliabil
 
 // runAdaptiveFlow drives one SDR reliability transfer (adaptive, sr,
 // sr-nack or static ec) over the diamond.
-func runAdaptiveFlow(topo *netem.Topology, clk clock.Clock, src, dst int, scheme string, size int, acfg reliability.AdaptorConfig, seed int64) (adaptiveStats, error) {
+func runAdaptiveFlow(topo *netem.Topology, clk clock.Clock, src, dst int, scheme string, size int, acfg reliability.AdaptorConfig, seed int64, rec *telemetry.Recorder) (adaptiveStats, error) {
 	coreCfg := multidcCoreCfg(clk)
 	relCfg := reliability.Config{
 		Alpha: 2,
@@ -191,6 +196,9 @@ func runAdaptiveFlow(topo *netem.Topology, clk clock.Clock, src, dst int, scheme
 		return adaptiveStats{}, err
 	}
 	defer s.Close()
+	if rec != nil {
+		s.SetTelemetry(rec, "flow/"+scheme+"/A", "flow/"+scheme+"/B")
+	}
 
 	data := wanPattern(size, byte(seed))
 	recvBuf := make([]byte, size)
@@ -389,8 +397,12 @@ func AdaptiveFunctional(o Options) (*Result, error) {
 		if failed.Load() {
 			return
 		}
+		var rec *telemetry.Recorder
+		if o.Trace != nil {
+			rec = o.Trace.Cell(i)
+		}
 		seed := clock.CellSeed(o.Seed, i)
-		st, err := runAdaptiveScenario(multidcClock(o, clk), schemes[i], size, acfg, seed)
+		st, err := runAdaptiveScenario(multidcClock(o, clk), schemes[i], size, acfg, seed, rec)
 		if err != nil {
 			errs[i] = fmt.Errorf("adaptive-functional %s: %w", schemes[i], err)
 			failed.Store(true)
@@ -404,7 +416,37 @@ func AdaptiveFunctional(o Options) (*Result, error) {
 		}
 	}
 	res.Rows = rows
+	if o.Trace != nil {
+		res.Notes = append(res.Notes, adaptiveTimeline(o.Trace.Cell(0), acfg)...)
+	}
 	return res, nil
+}
+
+// adaptiveTimeline renders the adaptive cell's flight record as a
+// decision timeline: every ladder switch (with the loss signal that
+// drove it) interleaved with the fault program's flap transitions, in
+// virtual-time order. It rides the figure's Notes so `-trace` runs
+// print the decision sequence next to the table the switches explain.
+func adaptiveTimeline(rec *telemetry.Recorder, acfg reliability.AdaptorConfig) []string {
+	base := rec.Base()
+	var notes []string
+	for _, ev := range rec.Events() {
+		at := time.Duration(ev.At - base).Round(time.Microsecond)
+		switch ev.Kind {
+		case telemetry.EvLadderSwitch:
+			from, to := int(ev.A1), int(ev.A2)
+			if from < 0 || from >= len(acfg.Ladder) || to < 0 || to >= len(acfg.Ladder) {
+				continue
+			}
+			notes = append(notes, fmt.Sprintf("decision @%v: seg %d observed loss %.2f%% -> switch %s>%s",
+				at, ev.A0, float64(ev.A3)/1e4, acfg.Ladder[from].Name(), acfg.Ladder[to].Name()))
+		case telemetry.EvLinkDown:
+			notes = append(notes, fmt.Sprintf("decision @%v: fault program takes edge %d down", at, ev.A0))
+		case telemetry.EvLinkUp:
+			notes = append(notes, fmt.Sprintf("decision @%v: fault program restores edge %d", at, ev.A0))
+		}
+	}
+	return notes
 }
 
 // ladderLabel renders a mode ladder ("sr>ec(16,2)>ec(16,4)>ec(16,8)").

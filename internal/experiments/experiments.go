@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"sdrrdma/internal/telemetry"
 )
 
 // Result is one regenerated table/figure.
@@ -84,6 +86,13 @@ type Options struct {
 	// concurrently (clock.Lanes): 0 = GOMAXPROCS, 1 = the serial
 	// reference path. Output is byte-identical for every setting.
 	SweepWorkers int
+	// Trace, when set, flight-records the run: every sweep cell gets
+	// its own telemetry.Recorder (Trace.Cell(i)), scenario code attaches
+	// it to topologies and sessions, and the caller exports Chrome
+	// trace-event JSON afterwards. On the virtual clock the recorded
+	// events — like the figures themselves — are byte-identical per seed
+	// for any SweepWorkers and GOMAXPROCS.
+	Trace *telemetry.Trace
 }
 
 // WithDefaults fills zero fields.

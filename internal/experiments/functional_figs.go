@@ -291,11 +291,31 @@ func wanPattern(n int, seed byte) []byte {
 func runSweep(o Options, n int, cell func(clk clock.Clock, i int)) {
 	if o.RealClock {
 		for i := 0; i < n; i++ {
+			if o.Trace != nil {
+				o.Trace.CellStart(i, clock.NowNanos(clock.Realtime()))
+			}
 			cell(clock.Realtime(), i)
+			if o.Trace != nil {
+				o.Trace.CellFinish(i, clock.NowNanos(clock.Realtime()))
+			}
 		}
 		return
 	}
-	clock.RunLanes(o.SweepWorkers, n, func(v *clock.Virtual, i int) { cell(v, i) })
+	l := clock.Lanes{Workers: o.SweepWorkers}
+	if o.Trace != nil {
+		l.Probe = o.Trace
+	}
+	l.Run(n, func(v *clock.Virtual, i int) {
+		if o.Trace != nil {
+			// The cell's recorder rides the engine for the cell's
+			// lifetime: protocol actors are attributed by name, and the
+			// all-blocked deadlock report dumps each actor's last events.
+			rec := o.Trace.Cell(i)
+			rec.SetActorSource(v.CurrentActorName)
+			v.SetEventLog(rec)
+		}
+		cell(v, i)
+	})
 }
 
 // wanCoreCfg is the WAN deployment shape every wan-functional cell

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sdrrdma/internal/clock"
+	"sdrrdma/internal/telemetry"
 )
 
 // Event is one scheduled edge re-parameterization: at virtual time At
@@ -160,14 +161,17 @@ func (s Schedule) Apply(t *Topology) (*Applied, error) {
 		})
 	}
 	for _, f := range s.Flaps {
+		f := f
 		e := t.Edges()[f.Edge]
 		clock.After(clk, f.Down, func() {
 			e.SetDown(true)
+			t.probeDyn(telemetry.EvLinkDown, int64(f.Edge), 0)
 			t.ReroutePaths()
 			ap.Flapped.Add(1)
 		})
 		clock.After(clk, f.Up, func() {
 			e.SetDown(false)
+			t.probeDyn(telemetry.EvLinkUp, int64(f.Edge), 0)
 			t.ReroutePaths()
 		})
 	}

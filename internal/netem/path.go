@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"sdrrdma/internal/nicsim"
+	"sdrrdma/internal/telemetry"
 )
 
 // Path is a re-routable delivery chain between two datacenters: the
@@ -30,9 +31,10 @@ type Path struct {
 	hops []Hop
 
 	// Blackholed counts packets dropped because no route existed;
-	// Reroutes counts head re-pointings after the initial build.
-	Blackholed atomic.Uint64
-	Reroutes   atomic.Uint64
+	// Reroutes counts head re-pointings after the initial build. Both
+	// register on the topology's telemetry recorder when one is attached.
+	Blackholed telemetry.Counter
+	Reroutes   telemetry.Counter
 }
 
 type pathHead struct{ d nicsim.Deliverer }
@@ -98,6 +100,7 @@ func (p *Path) reroute() {
 		p.hops = nil
 		p.head.Store(&pathHead{})
 		p.Reroutes.Add(1)
+		p.t.probeDyn(telemetry.EvReroute, 0, int64(p.from))
 		return
 	}
 	if sameRoute(hops, p.hops) {
@@ -106,6 +109,7 @@ func (p *Path) reroute() {
 	p.hops = hops
 	p.head.Store(&pathHead{d: chain(hops, p.dst)})
 	p.Reroutes.Add(1)
+	p.t.probeDyn(telemetry.EvReroute, 1, int64(p.from))
 }
 
 // ReroutePaths recomputes every registered path against current edge

@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"sdrrdma/internal/clock"
 	"sdrrdma/internal/fabric"
 	"sdrrdma/internal/nicsim"
+	"sdrrdma/internal/telemetry"
 )
 
 // DropReason classifies why a queue discarded a packet.
@@ -125,16 +125,24 @@ type Queue struct {
 	departFn func()
 	pool     fabric.DeliveryPool
 
+	// sink, when non-nil, receives per-packet telemetry events
+	// (enqueue/depart occupancy samples, the three drop classes, ECN
+	// marks) on track. Guarded by mu like onDrop.
+	sink  telemetry.Sink
+	track int32
+
 	// Enqueued counts packets accepted into the buffer; TailDrops,
 	// ChannelDrops and LinkDownDrops the three loss classes; Delivered
 	// the packets handed to their destination; Marked the packets that
-	// left with the ECN congestion-experienced bit set.
-	Enqueued      atomic.Uint64
-	TailDrops     atomic.Uint64
-	ChannelDrops  atomic.Uint64
-	LinkDownDrops atomic.Uint64
-	Delivered     atomic.Uint64
-	Marked        atomic.Uint64
+	// left with the ECN congestion-experienced bit set. The counters
+	// are telemetry.Counters so Topology.SetTelemetry registers them
+	// into the run's metrics registry without a second set of fields.
+	Enqueued      telemetry.Counter
+	TailDrops     telemetry.Counter
+	ChannelDrops  telemetry.Counter
+	LinkDownDrops telemetry.Counter
+	Delivered     telemetry.Counter
+	Marked        telemetry.Counter
 }
 
 type queued struct {
@@ -166,6 +174,25 @@ func (q *Queue) SetDropHook(fn func(pkt *nicsim.Packet, reason DropReason, dst n
 	q.mu.Lock()
 	q.onDrop = fn
 	q.mu.Unlock()
+}
+
+// SetTelemetry attaches a flight-recorder sink: every admission and
+// departure reports buffer occupancy (which a Recorder folds into a
+// queue-depth series), and drops and ECN marks become instant events
+// on track. A nil sink detaches — the default, zero-overhead state.
+func (q *Queue) SetTelemetry(sink telemetry.Sink, track int32) {
+	q.mu.Lock()
+	q.sink, q.track = sink, track
+	q.mu.Unlock()
+}
+
+// probe emits one event when a sink is attached. The nil check is the
+// entire disabled-path cost (see TestDisabledProbeAllocs).
+func (q *Queue) probe(sink telemetry.Sink, track int32, kind telemetry.EventKind, a0, a1 int64) {
+	if sink == nil {
+		return
+	}
+	sink.Event(clock.NowNanos(q.clk), kind, track, a0, a1, 0, 0)
 }
 
 // Drops returns the total packets lost at this queue.
@@ -263,10 +290,12 @@ func (q *Queue) txTime(size int) time.Duration {
 func (q *Queue) enqueue(pkt *nicsim.Packet, dst nicsim.Deliverer) {
 	q.mu.Lock()
 	size := wireBytes(pkt)
+	sink, track := q.sink, q.track
 	if q.down {
 		hook := q.onDrop
 		q.mu.Unlock()
 		q.LinkDownDrops.Add(1)
+		q.probe(sink, track, telemetry.EvLinkDownDrop, 0, int64(size))
 		if hook != nil {
 			hook(pkt, LinkDown, dst)
 		} else {
@@ -276,8 +305,10 @@ func (q *Queue) enqueue(pkt *nicsim.Packet, dst nicsim.Deliverer) {
 	}
 	if q.cfg.BufferBytes > 0 && q.used+size > q.cfg.BufferBytes {
 		hook := q.onDrop
+		used := q.used
 		q.mu.Unlock()
 		q.TailDrops.Add(1)
+		q.probe(sink, track, telemetry.EvTailDrop, int64(used), int64(size))
 		if hook != nil {
 			hook(pkt, TailDrop, dst)
 		} else {
@@ -290,20 +321,30 @@ func (q *Queue) enqueue(pkt *nicsim.Packet, dst nicsim.Deliverer) {
 	if q.used > q.high {
 		q.high = q.used
 	}
+	marked := false
 	if t := q.cfg.MarkThresholdBytes; t > 0 && q.used >= t && !pkt.Marked {
 		// RED-style congestion-experienced marking: occupancy crossed
 		// the threshold, so the packet carries the signal instead of
 		// waiting for tail drop to announce congestion the hard way.
 		pkt.Marked = true
 		q.Marked.Add(1)
+		marked = true
 	}
 	start := !q.busy
 	if start {
 		q.busy = true
 	}
+	used := q.used
 	d := q.txTime(size)
 	q.mu.Unlock()
 	q.Enqueued.Add(1)
+	if sink != nil {
+		at := clock.NowNanos(q.clk)
+		sink.Event(at, telemetry.EvEnqueue, track, int64(used), 0, 0, 0)
+		if marked {
+			sink.Event(at, telemetry.EvECNMark, track, int64(used), 0, 0, 0)
+		}
+	}
 	if start {
 		// Idle line: this packet goes head-of-line now and departs
 		// after its own transmission time.
@@ -333,6 +374,8 @@ func (q *Queue) depart() {
 	dropped := !down && q.cfg.Loss != nil && q.cfg.Loss.Drop(q.rng)
 	latency := q.cfg.Latency
 	hook := q.onDrop
+	sink, track := q.sink, q.track
+	used := q.used
 	if len(q.q) > 0 {
 		d := q.txTime(q.q[0].size)
 		q.mu.Unlock()
@@ -341,9 +384,11 @@ func (q *Queue) depart() {
 		q.busy = false
 		q.mu.Unlock()
 	}
+	q.probe(sink, track, telemetry.EvDepart, int64(used), 0)
 	if down {
 		// Fail closed: the link flapped while this packet was buffered.
 		q.LinkDownDrops.Add(1)
+		q.probe(sink, track, telemetry.EvLinkDownDrop, int64(used), int64(head.size))
 		if hook != nil {
 			hook(head.pkt, LinkDown, head.dst)
 		} else {
@@ -353,6 +398,7 @@ func (q *Queue) depart() {
 	}
 	if dropped {
 		q.ChannelDrops.Add(1)
+		q.probe(sink, track, telemetry.EvChannelDrop, int64(used), int64(head.size))
 		if hook != nil {
 			hook(head.pkt, ChannelLoss, head.dst)
 		} else {

@@ -12,6 +12,7 @@ import (
 	"sdrrdma/internal/nicsim"
 	"sdrrdma/internal/reliability"
 	"sdrrdma/internal/session"
+	"sdrrdma/internal/telemetry"
 	"sdrrdma/internal/wan"
 )
 
@@ -183,6 +184,13 @@ type Topology struct {
 	// ReroutePaths re-points them after edge state changes.
 	pathMu sync.Mutex
 	paths  []*Path
+
+	// telMu guards the telemetry attachment. sink doubles as the
+	// enable flag: nil means every probe in the topology is dark.
+	telMu     sync.Mutex
+	sink      telemetry.Sink
+	dynTrack  int32
+	poolTrack int32
 }
 
 // New starts an empty topology on clk (nil = shared real clock). seed
@@ -350,6 +358,73 @@ func (t *Topology) MarkedPackets() uint64 {
 	return n
 }
 
+// SetTelemetry attaches rec to the topology. Every queue direction gets
+// its own track — named "<from>><to>/fwd" / "/rev" from the node names
+// — carrying its drop/mark instants plus a folded queue-depth counter
+// series, and its packet counters register on rec so figure code and
+// the trace summary read one source of truth. Link flaps and path
+// reroutes land on a shared "dynamics" track; flow deployment pools
+// (existing and lazily built later) report build/lease churn on a
+// "pool" track. Call it after the edges are built and before traffic
+// runs; pass nil to detach.
+func (t *Topology) SetTelemetry(rec *telemetry.Recorder) {
+	if rec == nil {
+		t.telMu.Lock()
+		t.sink = nil
+		t.telMu.Unlock()
+		for _, e := range t.edges {
+			e.Fwd.SetTelemetry(nil, 0)
+			e.Rev.SetTelemetry(nil, 0)
+		}
+		t.poolMu.Lock()
+		for _, p := range t.pools {
+			p.SetTelemetry(nil, 0)
+		}
+		t.poolMu.Unlock()
+		return
+	}
+	dyn := rec.Track("dynamics")
+	poolTrack := rec.Track("pool")
+	t.telMu.Lock()
+	t.sink, t.dynTrack, t.poolTrack = rec, dyn, poolTrack
+	t.telMu.Unlock()
+	for _, e := range t.edges {
+		name := t.nodes[e.From] + ">" + t.nodes[e.To]
+		for _, dir := range [2]struct {
+			q      *Queue
+			suffix string
+		}{{e.Fwd, "/fwd"}, {e.Rev, "/rev"}} {
+			track := rec.Track(name + dir.suffix)
+			rec.FoldQueueDepth(track, name+dir.suffix+" qdepth")
+			dir.q.SetTelemetry(rec, track)
+			rec.RegisterCounter(name+dir.suffix+" enqueued", &dir.q.Enqueued)
+			rec.RegisterCounter(name+dir.suffix+" delivered", &dir.q.Delivered)
+			rec.RegisterCounter(name+dir.suffix+" taildrops", &dir.q.TailDrops)
+			rec.RegisterCounter(name+dir.suffix+" channeldrops", &dir.q.ChannelDrops)
+			rec.RegisterCounter(name+dir.suffix+" linkdowndrops", &dir.q.LinkDownDrops)
+			rec.RegisterCounter(name+dir.suffix+" marked", &dir.q.Marked)
+		}
+	}
+	t.poolMu.Lock()
+	for _, p := range t.pools {
+		p.SetTelemetry(rec, poolTrack)
+	}
+	t.poolMu.Unlock()
+}
+
+// probeDyn records a dynamics-track event (flap, reroute) when a
+// telemetry sink is attached. Called with or without pathMu held;
+// telMu nests strictly inside it.
+func (t *Topology) probeDyn(kind telemetry.EventKind, a0, a1 int64) {
+	t.telMu.Lock()
+	sink, track := t.sink, t.dynTrack
+	t.telMu.Unlock()
+	if sink == nil {
+		return
+	}
+	sink.Event(clock.NowNanos(t.clk), kind, track, a0, a1, 0, 0)
+}
+
 // --- flows ----------------------------------------------------------------
 
 // chain threads a delivery path through the hops' queues back to
@@ -394,6 +469,12 @@ func (t *Topology) flowPool(coreCfg core.Config) (*session.Pool, error) {
 		t.pools = map[core.Config]*session.Pool{}
 	}
 	t.pools[coreCfg] = p
+	t.telMu.Lock()
+	sink, poolTrack := t.sink, t.poolTrack
+	t.telMu.Unlock()
+	if sink != nil {
+		p.SetTelemetry(sink, poolTrack)
+	}
 	return p, nil
 }
 

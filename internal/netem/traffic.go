@@ -8,6 +8,7 @@ import (
 
 	"sdrrdma/internal/clock"
 	"sdrrdma/internal/nicsim"
+	"sdrrdma/internal/telemetry"
 )
 
 // TrafficConfig shapes one background traffic source.
@@ -50,7 +51,7 @@ type TrafficGen struct {
 
 	timer   clock.Timer
 	stopped atomic.Bool
-	sent    atomic.Uint64
+	sent    telemetry.Counter
 }
 
 // NewTrafficGen builds a generator aimed at dst. Start begins

@@ -7,6 +7,7 @@ import (
 	"sdrrdma/internal/core"
 	"sdrrdma/internal/ec"
 	"sdrrdma/internal/nicsim"
+	"sdrrdma/internal/telemetry"
 )
 
 // Adaptive mid-flight reliability (ROADMAP item 3): instead of fixing
@@ -477,13 +478,15 @@ func (e *Endpoint) WriteAdaptive(acfg AdaptorConfig, data []byte) error {
 		plans[i], planKnown[i] = mode, true
 	}
 
-	resend := func(s *adaptiveSegSender, chunk int) error {
+	resend := func(s *adaptiveSegSender, chunk int, cause int64) error {
 		lo := chunk * chunkBytes
 		hi := lo + chunkBytes
 		if hi > len(s.data) {
 			hi = len(s.data)
 		}
 		s.chunks[chunk].lastSent = clk.Now()
+		e.Retransmits.Add(1)
+		e.probe(telemetry.EvRetransmit, int64(chunk), cause, int64(s.idx), 0)
 		return s.stream.Continue(lo, s.data[lo:hi])
 	}
 
@@ -525,7 +528,7 @@ func (e *Endpoint) WriteAdaptive(acfg AdaptorConfig, data []byte) error {
 					}
 					for _, c := range entry.missing {
 						if int(c) < len(s.chunks) {
-							resend(s, int(c))
+							resend(s, int(c), telemetry.CauseNack)
 						}
 					}
 				}
@@ -598,7 +601,7 @@ func (e *Endpoint) WriteAdaptive(acfg AdaptorConfig, data []byte) error {
 			for c := 0; c < limit; c++ {
 				if !s.chunks[c].acked && !s.chunks[c].repaired {
 					s.chunks[c].repaired = true
-					if err := resend(s, c); err != nil {
+					if err := resend(s, c, telemetry.CauseHole); err != nil {
 						return err
 					}
 				}
@@ -607,7 +610,7 @@ func (e *Endpoint) WriteAdaptive(acfg AdaptorConfig, data []byte) error {
 			// themselves lost and for tail holes with no later evidence.
 			for c := range s.chunks {
 				if !s.chunks[c].acked && now.Sub(s.chunks[c].lastSent) >= rto {
-					if err := resend(s, c); err != nil {
+					if err := resend(s, c, telemetry.CauseRTO); err != nil {
 						return err
 					}
 				}
@@ -623,9 +626,28 @@ func (e *Endpoint) WriteAdaptive(acfg AdaptorConfig, data []byte) error {
 			return fmt.Errorf("%w: adaptive write %d B, %d/%d segments done",
 				ErrGlobalTimeout, len(data), completed, g.nsegs)
 		}
+		if e.tel.inflight != nil {
+			out := 0
+			for i := completed; i < started; i++ {
+				if s := segs[i]; !s.done {
+					out += len(s.chunks) - s.acked
+				}
+			}
+			e.noteInflight(out)
+		}
 		clk.WaitNotify(epoch, cfg.PollInterval)
 	}
 	return nil
+}
+
+// rungOf returns mode's index on the ladder (-1 when absent).
+func rungOf(acfg AdaptorConfig, m Mode) int {
+	for i, r := range acfg.Ladder {
+		if r == m {
+			return i
+		}
+	}
+	return -1
 }
 
 // ecCodeFor instantiates cfg's code family with the mode's split.
@@ -769,6 +791,7 @@ func (e *Endpoint) ReceiveAdaptive(ad *Adaptor, mr *nicsim.MR, offset uint64, si
 			if posted > 0 {
 				sendPlan(s)
 			}
+			e.probe(telemetry.EvSegPlan, int64(s.idx), int64(rungOf(acfg, s.mode)), 0, 0)
 			posted++
 		}
 		return nil
@@ -782,6 +805,7 @@ func (e *Endpoint) ReceiveAdaptive(ad *Adaptor, mr *nicsim.MR, offset uint64, si
 	segs[0] = seg0
 	posted = 1
 	planID = planBit | seg0.dataH.Seq()
+	e.probe(telemetry.EvSegPlan, 0, int64(rungOf(acfg, seg0.mode)), 0, 0)
 	if err := postAhead(0); err != nil {
 		return err
 	}
@@ -912,7 +936,17 @@ func (e *Endpoint) ReceiveAdaptive(ad *Adaptor, mr *nicsim.MR, offset uint64, si
 			stats.Dups += s.parityH.DuplicatePackets()
 			stats.Marked += s.parityH.MarkedPackets()
 		}
+		before := ad.Rung()
 		ad.Observe(stats)
+		e.noteGoodput(int64(s.size))
+		if e.tel.sink != nil {
+			lossPPM := int64(stats.lossSignal() * 1e6)
+			markPPM := int64(stats.markFrac() * 1e6)
+			e.probe(telemetry.EvSegStats, int64(s.idx), lossPPM, markPPM, int64(before))
+			if after := ad.Rung(); after != before {
+				e.probe(telemetry.EvLadderSwitch, int64(s.idx), int64(before), int64(after), lossPPM)
+			}
+		}
 	}
 
 	// tick runs one segment's periodic duties: SR progress ACKs, EC
@@ -964,6 +998,8 @@ func (e *Endpoint) ReceiveAdaptive(ad *Adaptor, mr *nicsim.MR, offset uint64, si
 					for j, c := range missBuf {
 						missing[j] = uint32(c)
 					}
+					e.NacksSent.Add(1)
+					e.probe(telemetry.EvNack, int64(len(missBuf)), int64(s.idx), 0, 0)
 					e.CP.send(ctrlMsg{
 						typ:         msgECNack,
 						opID:        s.dataH.Seq(),

@@ -5,6 +5,7 @@ import (
 
 	"sdrrdma/internal/core"
 	"sdrrdma/internal/nicsim"
+	"sdrrdma/internal/telemetry"
 )
 
 // ecGeometry captures how a message decomposes into erasure-coded
@@ -181,6 +182,8 @@ func (e *Endpoint) WriteEC(data []byte) error {
 					if lo >= sb {
 						continue
 					}
+					e.Retransmits.Add(1)
+					e.probe(telemetry.EvRetransmit, int64(cIdx), telemetry.CauseNack, int64(i), 0)
 					if err := streams[i].Continue(lo, data[base+lo:base+hi]); err != nil {
 						nackErr = err
 						return
@@ -347,6 +350,12 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 			entries = append(entries, ecNackEntry{submsg: uint32(i), missing: missing})
 		}
 		if len(entries) > 0 {
+			miss := 0
+			for _, en := range entries {
+				miss += len(en.missing)
+			}
+			e.NacksSent.Add(1)
+			e.probe(telemetry.EvNack, int64(miss), -1, 0, 0)
 			e.CP.send(ctrlMsg{typ: msgECNack, opID: opID, nackSubmsgs: entries})
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"sdrrdma/internal/core"
+	"sdrrdma/internal/telemetry"
 )
 
 // reackOps bounds the recently-retired table: how many retired
@@ -104,6 +105,8 @@ scan:
 	}
 	t.mu.Unlock()
 	if found {
+		e.LateReAcks.Add(1)
+		e.probe(telemetry.EvLateReAck, int64(slot), int64(gen), 0, 0)
 		e.CP.send(msg)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"sdrrdma/internal/core"
 	"sdrrdma/internal/fabric"
+	"sdrrdma/internal/telemetry"
 )
 
 // Session wires two reliable endpoints across one (impaired) fabric
@@ -64,6 +65,15 @@ func NewSessionOnCPs(pair *core.Pair, cpA, cpB *ControlPlane, relCfg Config) *Se
 // deployment down. The session fabric uses it so a leased session's
 // Close transparently resets and releases the pooled deployment.
 func (s *Session) SetRelease(fn func()) { s.release = fn }
+
+// SetTelemetry attaches both endpoints to a flight recorder: nameA and
+// nameB become their track names (see Endpoint.SetTelemetry). Pass a
+// nil recorder to detach — pooled deployments do this implicitly on
+// the next lease, since endpoints are rebuilt per Bind.
+func (s *Session) SetTelemetry(rec *telemetry.Recorder, nameA, nameB string) {
+	s.A.SetTelemetry(rec, nameA)
+	s.B.SetTelemetry(rec, nameB)
+}
 
 // Close finishes any background receive retires (their slots retire
 // immediately, without waiting out the remaining linger), then either

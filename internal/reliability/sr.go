@@ -10,6 +10,7 @@ import (
 	"sdrrdma/internal/core"
 	"sdrrdma/internal/ec"
 	"sdrrdma/internal/nicsim"
+	"sdrrdma/internal/telemetry"
 )
 
 // ErrGlobalTimeout is returned when an operation exceeds
@@ -47,6 +48,75 @@ type Endpoint struct {
 	// slabs, the instantiated code). Guarded by opMu like the
 	// operations themselves.
 	scr opScratch
+
+	// Retransmits counts chunk resends (all causes), NacksSent the
+	// EC-mode NACK control messages, LateReAcks the re-ACK answers to
+	// late retransmissions. They count whether or not a telemetry
+	// recorder is attached; SetTelemetry registers them on one.
+	Retransmits telemetry.Counter
+	NacksSent   telemetry.Counter
+	LateReAcks  telemetry.Counter
+
+	// tel is the flight-recorder attachment (zero value = dark: every
+	// probe is a nil check and nothing else).
+	tel endpointTel
+}
+
+// endpointTel bundles an endpoint's telemetry attachment: the event
+// sink plus the direct-fed series handles (goodput and in-flight don't
+// round-trip through events — the endpoint writes the series itself).
+type endpointTel struct {
+	sink     telemetry.Sink
+	track    int32
+	goodput  *telemetry.Series
+	inflight *telemetry.Series
+}
+
+// SetTelemetry attaches the endpoint to a flight recorder under the
+// given track name (e.g. "flow0/A"): retransmits, NACKs, late re-ACKs
+// and adaptive ladder decisions become instant events; received-bytes
+// goodput and sender in-flight chunks feed bucketed series; the
+// unified counters register on rec. Call before starting operations;
+// pass nil to detach.
+func (e *Endpoint) SetTelemetry(rec *telemetry.Recorder, name string) {
+	if rec == nil {
+		e.tel = endpointTel{}
+		return
+	}
+	track := rec.Track(name)
+	e.tel = endpointTel{
+		sink:     rec,
+		track:    track,
+		goodput:  rec.NewSeries(name+" goodput_bytes", track, telemetry.SeriesSum),
+		inflight: rec.NewSeries(name+" inflight_chunks", track, telemetry.SeriesMax),
+	}
+	rec.RegisterCounter(name+" retransmits", &e.Retransmits)
+	rec.RegisterCounter(name+" nacks_sent", &e.NacksSent)
+	rec.RegisterCounter(name+" late_reacks", &e.LateReAcks)
+}
+
+// probe records one protocol event when a recorder is attached.
+func (e *Endpoint) probe(kind telemetry.EventKind, a0, a1, a2, a3 int64) {
+	if e.tel.sink == nil {
+		return
+	}
+	e.tel.sink.Event(clock.NowNanos(e.clock()), kind, e.tel.track, a0, a1, a2, a3)
+}
+
+// noteInflight feeds the sender's outstanding-chunk series.
+func (e *Endpoint) noteInflight(outstanding int) {
+	if e.tel.inflight == nil {
+		return
+	}
+	e.tel.inflight.ObserveMax(clock.NowNanos(e.clock()), int64(outstanding))
+}
+
+// noteGoodput feeds received bytes into the goodput series.
+func (e *Endpoint) noteGoodput(bytes int64) {
+	if e.tel.goodput == nil || bytes <= 0 {
+		return
+	}
+	e.tel.goodput.Add(clock.NowNanos(e.clock()), bytes)
 }
 
 // opScratch is the endpoint's pooled chunk staging: every slice here
@@ -205,13 +275,15 @@ func (e *Endpoint) WriteSR(data []byte) error {
 		chunks[i].lastSent = now
 	}
 
-	resend := func(chunk int) error {
+	resend := func(chunk int, cause int64) error {
 		lo := chunk * chunkBytes
 		hi := lo + chunkBytes
 		if hi > len(data) {
 			hi = len(data)
 		}
 		chunks[chunk].lastSent = clk.Now()
+		e.Retransmits.Add(1)
+		e.probe(telemetry.EvRetransmit, int64(chunk), cause, 0, 0)
 		return stream.Continue(lo, data[lo:hi])
 	}
 
@@ -267,7 +339,7 @@ func (e *Endpoint) WriteSR(data []byte) error {
 			}
 			for i := 0; i < frontier; i++ {
 				if !chunks[i].acked && now.Sub(chunks[i].lastSent) >= nackDelay {
-					if err := resend(i); err != nil {
+					if err := resend(i, telemetry.CauseHole); err != nil {
 						return err
 					}
 				}
@@ -277,11 +349,12 @@ func (e *Endpoint) WriteSR(data []byte) error {
 		// elapsed-time guard keeps the cadence at one RTO per chunk).
 		for i := range chunks {
 			if !chunks[i].acked && now.Sub(chunks[i].lastSent) >= rto {
-				if err := resend(i); err != nil {
+				if err := resend(i, telemetry.CauseRTO); err != nil {
 					return err
 				}
 			}
 		}
+		e.noteInflight(nchunks - ackedCount)
 		clk.WaitNotify(epoch, cfg.PollInterval)
 	}
 	return stream.End()
@@ -308,13 +381,27 @@ func (e *Endpoint) ReceiveSR(mr *nicsim.MR, offset uint64, size int) error {
 	// serializes the payload before returning, so the snapshot can be
 	// overwritten by the next poll without racing the wire.
 	var sackBuf []byte
+	// goodput is fed from the cumulative frontier's byte watermark, so
+	// the series integrates to exactly the message size.
+	lastCumBytes := int64(0)
+	chunkBytes := int64(e.QP.Config().ChunkBytes)
+	feedGoodput := func(cum int) {
+		b := int64(cum) * chunkBytes
+		if b > int64(size) {
+			b = int64(size)
+		}
+		e.noteGoodput(b - lastCumBytes)
+		lastCumBytes = b
+	}
 	sendAck := func() {
 		bm := h.Bitmap()
 		sackBuf = bm.Snapshot(sackBuf)
+		cum := bm.CumulativeCount()
+		feedGoodput(cum)
 		e.CP.send(ctrlMsg{
 			typ:    msgSRAck,
 			opID:   opID,
-			cumAck: uint32(bm.CumulativeCount()),
+			cumAck: uint32(cum),
 			sack:   sackBuf,
 		})
 	}
@@ -350,6 +437,7 @@ func (e *Endpoint) ReceiveSR(mr *nicsim.MR, offset uint64, size int) error {
 	// elapses; once retired, the re-ACK table answers any still-later
 	// retransmission with a fresh copy of this final ACK.
 	bm := h.Bitmap()
+	feedGoodput(bm.CumulativeCount())
 	final := ctrlMsg{
 		typ:    msgSRAck,
 		opID:   opID,

@@ -42,6 +42,7 @@ import (
 	"sdrrdma/internal/fabric"
 	"sdrrdma/internal/nicsim"
 	"sdrrdma/internal/reliability"
+	"sdrrdma/internal/telemetry"
 )
 
 // Config parameterizes a Pool.
@@ -71,6 +72,28 @@ type Pool struct {
 	built  int // deployments ever constructed
 	leased int // deployments currently out
 	closed bool
+
+	// sink, when non-nil, receives cold-build/lease/rebind/release
+	// events on track (guarded by mu like the counters it narrates).
+	sink  telemetry.Sink
+	track int32
+}
+
+// SetTelemetry attaches a telemetry sink: the pool reports deployment
+// cold builds, leases, rebinds and releases as instant events on
+// track, stamped with the pool clock. Pass nil to detach.
+func (p *Pool) SetTelemetry(sink telemetry.Sink, track int32) {
+	p.mu.Lock()
+	p.sink, p.track = sink, track
+	p.mu.Unlock()
+}
+
+// probe emits one pool-lifecycle event when a sink is attached.
+func (p *Pool) probe(sink telemetry.Sink, track int32, kind telemetry.EventKind, a0 int64) {
+	if sink == nil {
+		return
+	}
+	sink.Event(clock.NowNanos(p.cfg.Core.Clock), kind, track, a0, 0, 0, 0)
 }
 
 // NewPool validates cfg and returns an empty pool; deployments are
@@ -120,12 +143,15 @@ func (p *Pool) Acquire() (*Deployment, error) {
 		p.free = p.free[:n-1]
 		d.leased = true
 		p.leased++
+		sink, track, leased := p.sink, p.track, p.leased
 		p.mu.Unlock()
+		p.probe(sink, track, telemetry.EvLease, int64(leased))
 		return d, nil
 	}
 	idx := p.built
 	p.built++
 	p.leased++
+	sink, track := p.sink, p.track
 	p.mu.Unlock()
 
 	d, err := p.build(idx)
@@ -137,6 +163,7 @@ func (p *Pool) Acquire() (*Deployment, error) {
 		return nil, err
 	}
 	d.leased = true
+	p.probe(sink, track, telemetry.EvColdBuild, int64(idx+1))
 	return d, nil
 }
 
@@ -185,6 +212,11 @@ func (d *Deployment) Bind(link *fabric.Link, oob *fabric.OOB, relCfg reliability
 	}
 	d.cpA.Rebind(link.AB)
 	d.cpB.Rebind(link.BA)
+	p := d.pool
+	p.mu.Lock()
+	sink, track := p.sink, p.track
+	p.mu.Unlock()
+	p.probe(sink, track, telemetry.EvRebind, 0)
 	s := reliability.NewSessionOnCPs(d.pair, d.cpA, d.cpB, relCfg)
 	s.SetRelease(d.releaseFn)
 	return s, nil
@@ -197,18 +229,24 @@ func (d *Deployment) Bind(link *fabric.Link, oob *fabric.OOB, relCfg reliability
 func (d *Deployment) release() {
 	p := d.pool
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if !d.leased {
+		p.mu.Unlock()
 		panic("session: deployment released twice")
 	}
 	d.leased = false
 	p.leased--
 	d.pair.Reset()
-	if p.closed {
+	closed := p.closed
+	if !closed {
+		p.free = append(p.free, d)
+	}
+	sink, track, leased := p.sink, p.track, p.leased
+	p.mu.Unlock()
+	if closed {
 		d.teardown()
 		return
 	}
-	p.free = append(p.free, d)
+	p.probe(sink, track, telemetry.EvRelease, int64(leased))
 }
 
 // Release returns an acquired deployment to the pool without a Bind —
