@@ -12,11 +12,11 @@ GO ?= go
 # hazard — the lossy coverage runs on the virtual harness).
 RACE_PKGS = ./internal/bitmap/ ./internal/gf256/ ./internal/ec/ \
 	./internal/clock/ ./internal/fabric/ ./internal/core/ ./internal/reliability/ \
-	./internal/netem/ ./internal/simnet/ ./internal/session/
+	./internal/netem/ ./internal/simnet/ ./internal/session/ ./internal/chaos/
 
-.PHONY: ci vet build test race bench bench-kernels bench-json bench-par smoke-flows smoke-adaptive smoke-perftest smoke-trace
+.PHONY: ci vet build test race bench bench-kernels bench-json bench-par smoke-flows smoke-adaptive smoke-perftest smoke-trace smoke-chaos
 
-ci: vet build race test smoke-perftest smoke-trace
+ci: vet build race test smoke-perftest smoke-trace smoke-chaos
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +62,7 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkMultiDCVirtual|BenchmarkMultiDCReal' -benchtime 2x -benchmem ./internal/experiments/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkPerftestSR|BenchmarkPerftestEC|BenchmarkPerftestAdaptive' -benchtime 5x -benchmem ./cmd/sdr-perftest/ >> bench-json.tmp
 	$(GO) test -run xxx -bench 'BenchmarkTelemetryProbe|BenchmarkTelemetryDepthFold' -benchmem ./internal/telemetry/ >> bench-json.tmp
+	$(GO) test -run xxx -bench 'BenchmarkChaosScenario' -benchtime 3x -benchmem ./internal/chaos/ >> bench-json.tmp
 	$(GO) run ./cmd/benchjson < bench-json.tmp > BENCH_protosim.json
 	rm -f bench-json.tmp
 
@@ -107,3 +108,10 @@ smoke-trace:
 	$(GO) test -count=1 -run 'TestAdaptiveTraceSmoke|TestAdaptiveTraceByteIdentical' -v ./internal/experiments/
 	$(GO) test -count=1 -run 'TestPerftestTraceAndQuantiles' -v ./cmd/sdr-perftest/
 	$(GO) test -count=1 -run 'TestDisabledProbeAllocs|TestWriteChromeParses' -v ./internal/telemetry/
+
+# Chaos smoke: 50 fixed-seed fault programs across all five schemes —
+# every transfer completes byte-verified or fails with a typed error
+# inside the bound, no virtual-clock deadlocks, no poisoned pool
+# leases; the report is byte-identical across sweep-worker counts.
+smoke-chaos:
+	$(GO) test -count=1 -run 'TestChaosSmoke|TestChaosWorkerDeterminism' -v ./internal/chaos/

@@ -1,0 +1,574 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdrrdma/internal/clock"
+	"sdrrdma/internal/core"
+	"sdrrdma/internal/fabric"
+	"sdrrdma/internal/netem"
+	"sdrrdma/internal/nicsim"
+	"sdrrdma/internal/reliability"
+)
+
+// Injected abort causes: what the typed-error chains of crash-recv /
+// kill-session scenarios must carry back out of the protocol loops.
+var (
+	errInjectedCrash = fmt.Errorf("chaos: injected receiver crash")
+	errInjectedKill  = fmt.Errorf("chaos: injected session kill")
+)
+
+// Diamond scenario fabric: src reaches dst via two 2-hop arms, so a
+// single flap always has a reroute target and only a source blackhole
+// (both uplinks down) partitions the flow.
+const (
+	chaosDistKm = 300 // 1 ms one-way per hop → 4 ms route RTT
+	chaosBWBps  = 1e9
+	chaosBufB   = 1 << 20
+
+	followUpSize = 64 << 10
+	// elapsedSlack pads the invariant-1 deadline: the CTS wait and the
+	// transfer body each get a GlobalTimeout, plus polling granularity.
+	elapsedSlack = 25 * time.Millisecond
+)
+
+func chaosEdge() netem.EdgeConfig {
+	return netem.EdgeConfig{DistanceKm: chaosDistKm, BandwidthBps: chaosBWBps, BufferBytes: chaosBufB}
+}
+
+func chaosCoreCfg() core.Config {
+	return core.Config{
+		MTU: 1024, ChunkBytes: 4096, MaxMsgBytes: 1 << 20,
+		MsgIDBits: 10, PktOffsetBits: 18, UserImmBits: 4,
+		Generations: 2, Channels: 2, CQDepth: 1 << 10,
+	}
+}
+
+func chaosRelCfg(scheme string) reliability.Config {
+	return reliability.Config{
+		Alpha: 2, NACK: scheme != SchemeSR, K: 4, M: 2, Code: "mds",
+		GlobalTimeout: GlobalTimeout,
+	}
+}
+
+// diamond builds the 4-node scenario topology on clk. Edge indices:
+// 0 = src–mid1, 1 = mid1–dst (the BFS-preferred primary arm),
+// 2 = src–mid2, 3 = mid2–dst (the backup arm).
+func diamond(clk clock.Clock, seed int64) (t *netem.Topology, src, dst int, err error) {
+	t = netem.New("chaos", clk, seed)
+	src = t.AddNode("src")
+	m1 := t.AddNode("mid1")
+	m2 := t.AddNode("mid2")
+	dst = t.AddNode("dst")
+	for _, e := range [][2]int{{src, m1}, {m1, dst}, {src, m2}, {m2, dst}} {
+		if _, err = t.AddEdge(e[0], e[1], chaosEdge()); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	return t, src, dst, nil
+}
+
+// compile lowers a program's link faults into a netem.Schedule and
+// returns the endpoint faults for separate wiring. Link death is two
+// flaps (both source uplinks) restored exactly at the horizon.
+func compile(p Program) (netem.Schedule, []Fault) {
+	sched := netem.Schedule{Horizon: Horizon}
+	var eps []Fault
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case FaultFlap:
+			sched.Flaps = append(sched.Flaps, netem.Flap{Edge: f.Edge, Down: f.At, Up: f.At + f.Dur})
+		case FaultLinkDeath:
+			for _, e := range []int{0, 2} {
+				sched.Flaps = append(sched.Flaps, netem.Flap{Edge: e, Down: f.At, Up: Horizon})
+			}
+		case FaultBurstLoss:
+			on := netem.LossSpec{P: float64(f.Pct) / 100, BurstLen: 4}
+			off := netem.LossSpec{}
+			sched.Events = append(sched.Events,
+				netem.Event{At: f.At, Edge: f.Edge, Loss: &on},
+				netem.Event{At: f.At + f.Dur, Edge: f.Edge, Loss: &off})
+		case FaultDrift:
+			sched.Drifts = append(sched.Drifts, netem.Drift{
+				Edge: f.Edge, Start: f.At, Duration: f.Dur,
+				RateKmPerSec: float64(f.Pct) * 1000, Step: f.Dur / 4,
+			})
+		default:
+			eps = append(eps, f)
+		}
+	}
+	return sched, eps
+}
+
+// installEndpointFaults arms crash/kill timers and installs the
+// composite control-plane fault closures. Per-packet decisions hash a
+// stateless (stream, packet#) coin, so a retransmission storm cannot
+// shift the draws of a later fault window.
+func installEndpointFaults(clk *clock.Virtual, flow *reliability.Session, p Program, eps []Fault) {
+	t0 := clk.Now()
+	var sides [2][]Fault
+	for _, f := range eps {
+		switch f.Kind {
+		case FaultCtrlDrop, FaultCtrlDup, FaultCtrlCorrupt:
+			sides[f.Edge&1] = append(sides[f.Edge&1], f)
+		case FaultCrashRecv:
+			clock.After(clk, f.At, func() { flow.B.Abort(errInjectedCrash) })
+		case FaultKillSession:
+			clock.After(clk, f.At, func() { flow.Abort(errInjectedKill) })
+		}
+	}
+	for s, faults := range sides {
+		if len(faults) == 0 {
+			continue
+		}
+		cp := flow.A.CP
+		if s == 1 {
+			cp = flow.B.CP
+		}
+		stream := p.Seed ^ uint64(p.Index)<<20 ^ uint64(s+1)<<52
+		faults := faults
+		var n uint64
+		cp.SetFault(func(payload []byte) reliability.CtrlFaultAction {
+			now := clk.Since(t0)
+			n++
+			for fi, f := range faults {
+				if now < f.At || now >= f.At+f.Dur {
+					continue
+				}
+				if splitAt(stream+uint64(fi)<<8, n)%100 >= uint64(f.Pct) {
+					continue
+				}
+				switch f.Kind {
+				case FaultCtrlDrop:
+					return reliability.CtrlDrop
+				case FaultCtrlDup:
+					return reliability.CtrlDup
+				default: // corrupt: the CRC32-C trailer must catch it
+					if len(payload) > 0 {
+						payload[len(payload)/2] ^= 0x5a
+					}
+					return reliability.CtrlPass
+				}
+			}
+			return reliability.CtrlPass
+		})
+	}
+}
+
+// Outcome is the verdict of one scenario. Its rendering (and thus the
+// whole Report) is a pure function of the program, independent of
+// worker count.
+type Outcome struct {
+	Index   int
+	Program Program
+	// Send and Recv classify each side's result: "ok", a typed-error
+	// name, "deadlock", or "UNTYPED(...)" (a violation).
+	Send, Recv string
+	// Elapsed is the slower side's virtual transfer time.
+	Elapsed time.Duration
+	// FollowUp records invariant 3: "ok-reused" (lease returned to the
+	// pool and re-leased clean), "ok-cold" (lease quarantined, fresh
+	// build ran clean), "n/a" (rc-gbn, unpooled), or a failure.
+	FollowUp string
+	// Violations lists every invariant breach; empty means the
+	// scenario passed.
+	Violations []string
+}
+
+func (o *Outcome) viol(format string, args ...any) {
+	o.Violations = append(o.Violations, fmt.Sprintf(format, args...))
+}
+
+// classify maps a transfer error onto the typed taxonomy. Anything
+// outside the taxonomy is an invariant-1 violation and keeps its full
+// message for the counterexample report.
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, reliability.ErrAborted):
+		return "aborted"
+	case errors.Is(err, reliability.ErrPeerDead):
+		return "peer-dead"
+	case errors.Is(err, reliability.ErrTimeout):
+		return "timeout"
+	default:
+		return "UNTYPED(" + err.Error() + ")"
+	}
+}
+
+// xferResult is one driven transfer: both sides' errors, byte
+// verification, and the slower side's elapsed virtual time.
+type xferResult struct {
+	sendErr, recvErr error
+	bytesOK          bool
+	elapsed          time.Duration
+}
+
+func pattern(size int, seed byte) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(i)*7 + seed
+	}
+	return b
+}
+
+// safeCall runs fn converting a panic into an (untyped, thus
+// violating) error, so a harness bug surfaces as a counterexample
+// instead of crashing the sweep's worker goroutine.
+func safeCall(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// transfer drives one scheme transfer A→B over the flow and verifies
+// the received payload.
+func transfer(clk *clock.Virtual, flow *reliability.Session, scheme string, size int, seed byte) xferResult {
+	data := pattern(size, seed)
+	recvBuf := make([]byte, size)
+	mr := flow.Pair.B.Ctx.RegMR(recvBuf)
+	chunk := flow.Pair.B.Ctx.Config().ChunkBytes
+
+	var send, recv func() error
+	switch scheme {
+	case SchemeSR, SchemeSRNACK:
+		send = func() error { return flow.A.WriteSR(data) }
+		recv = func() error { return flow.B.ReceiveSR(mr, 0, size) }
+	case SchemeEC:
+		scratch := flow.Pair.B.Ctx.RegMR(make([]byte, flow.A.Cfg.ECScratchBytes(chunk, size)))
+		send = func() error { return flow.A.WriteEC(data) }
+		recv = func() error { return flow.B.ReceiveEC(mr, 0, size, scratch) }
+	case SchemeAdaptive:
+		acfg := reliability.AdaptorConfig{}.WithDefaults()
+		ad, err := reliability.NewAdaptor(acfg)
+		if err != nil {
+			return xferResult{sendErr: err}
+		}
+		scratch := flow.Pair.B.Ctx.RegMR(make([]byte, reliability.AdaptiveScratchBytes(acfg, chunk, size)))
+		send = func() error { return flow.A.WriteAdaptive(acfg, data) }
+		recv = func() error { return flow.B.ReceiveAdaptive(ad, mr, 0, size, scratch) }
+	default:
+		return xferResult{sendErr: fmt.Errorf("chaos: unknown scheme %q", scheme)}
+	}
+
+	var res xferResult
+	start := clk.Now()
+	var tSend, tRecv time.Duration
+	clock.JoinNamed(clk,
+		clock.NamedFunc{Name: "chaos-send", Fn: func() {
+			res.sendErr = safeCall(send)
+			tSend = clk.Since(start)
+		}},
+		clock.NamedFunc{Name: "chaos-recv", Fn: func() {
+			res.recvErr = safeCall(recv)
+			tRecv = clk.Since(start)
+		}},
+	)
+	res.elapsed = max(tSend, tRecv)
+	res.bytesOK = bytes.Equal(recvBuf, data)
+	return res
+}
+
+// RunProgram executes one scenario on a fresh virtual clock and
+// checks every invariant. A virtual-clock deadlock (or any other
+// panic) is recovered into the outcome as a counterexample — the
+// poisoned engine is simply discarded, never reused.
+func RunProgram(p Program) (o Outcome) {
+	o = Outcome{Index: p.Index, Program: p, Send: "-", Recv: "-", FollowUp: "skipped"}
+	defer func() {
+		if r := recover(); r != nil {
+			o.Send, o.Recv = "deadlock", "deadlock"
+			o.viol("virtual clock deadlocked: %v", r)
+		}
+	}()
+	clk := clock.NewVirtual()
+	if p.Scheme == SchemeRCGBN {
+		runRC(clk, p, &o)
+	} else {
+		runSDR(clk, p, &o)
+	}
+	return o
+}
+
+func runSDR(clk *clock.Virtual, p Program, o *Outcome) {
+	topo, src, dst, err := diamond(clk, int64(p.Seed)+int64(p.Index)*7919)
+	if err != nil {
+		o.viol("topology: %v", err)
+		return
+	}
+	sched, eps := compile(p)
+	coreCfg := chaosCoreCfg()
+	relCfg := chaosRelCfg(p.Scheme)
+	flow, err := topo.NewFlow(src, dst, coreCfg, relCfg)
+	if err != nil {
+		o.viol("lease: %v", err)
+		return
+	}
+	installEndpointFaults(clk, flow, p, eps)
+	if _, err := sched.Apply(topo); err != nil {
+		o.viol("schedule: %v", err)
+		return
+	}
+
+	res := transfer(clk, flow, p.Scheme, p.Size, byte(p.Index))
+	o.Send, o.Recv = classify(res.sendErr), classify(res.recvErr)
+	o.Elapsed = res.elapsed
+
+	// Invariant 1: byte-verified completion or a typed error, within a
+	// bounded multiple of GlobalTimeout.
+	ok := res.sendErr == nil && res.recvErr == nil
+	if ok && !res.bytesOK {
+		o.viol("transfer completed but payload mismatched")
+	}
+	if strings.HasPrefix(o.Send, "UNTYPED") {
+		o.viol("sender error outside the typed taxonomy: %s", o.Send)
+	}
+	if strings.HasPrefix(o.Recv, "UNTYPED") {
+		o.viol("receiver error outside the typed taxonomy: %s", o.Recv)
+	}
+	if res.elapsed > 2*GlobalTimeout+elapsedSlack {
+		o.viol("transfer overran: %v > 2×GlobalTimeout+%v", res.elapsed, elapsedSlack)
+	}
+
+	// Drain the fault program: advance past the horizon so link-death
+	// flaps restore and stray crash timers fire against the old lease,
+	// then force the fabric back to a clean room for the follow-up.
+	clock.Join(clk, func() {
+		if rem := Horizon + time.Millisecond - clk.Elapsed(); rem > 0 {
+			clk.Sleep(rem)
+		}
+	})
+	for _, e := range topo.Edges() {
+		e.SetDown(false)
+		if err := e.SetLoss(netem.LossSpec{}); err != nil {
+			o.viol("restore loss: %v", err)
+		}
+		if err := e.SetDistance(chaosDistKm); err != nil {
+			o.viol("restore distance: %v", err)
+		}
+	}
+	topo.ReroutePaths()
+
+	// Invariant 3: a clean transfer releases the lease back to the
+	// pool; a failed one explicitly quarantines it. Either way the
+	// follow-up flow must run byte-clean — re-leased from the pool
+	// after Close, cold-built after Quarantine — and the pool must
+	// account for exactly that.
+	clean := ok && res.bytesOK
+	if clean {
+		flow.Close()
+	} else {
+		flow.Quarantine()
+	}
+	flow2, err := topo.NewFlow(src, dst, coreCfg, relCfg)
+	if err != nil {
+		o.FollowUp = "FAIL(lease: " + err.Error() + ")"
+		o.viol("follow-up lease failed: %v", err)
+	} else {
+		res2 := transfer(clk, flow2, p.Scheme, followUpSize, byte(p.Index)+1)
+		switch {
+		case res2.sendErr != nil:
+			o.FollowUp = "FAIL(send)"
+			o.viol("follow-up send on a clean network: %v", res2.sendErr)
+		case res2.recvErr != nil:
+			o.FollowUp = "FAIL(recv)"
+			o.viol("follow-up receive on a clean network: %v", res2.recvErr)
+		case !res2.bytesOK:
+			o.FollowUp = "FAIL(bytes)"
+			o.viol("follow-up payload mismatched — lease poisoned")
+		case clean:
+			o.FollowUp = "ok-reused"
+		default:
+			o.FollowUp = "ok-cold"
+		}
+		flow2.Close()
+	}
+
+	built, leased := topo.PoolStats()
+	if leased != 0 {
+		o.viol("pool leak: %d deployment(s) still leased", leased)
+	}
+	wantBuilt := 1
+	if !clean {
+		wantBuilt = 2 // quarantined lease must not be re-leased
+	}
+	if built != wantBuilt {
+		o.viol("pool built %d deployments, want %d", built, wantBuilt)
+	}
+	if err := topo.ClosePools(); err != nil {
+		o.viol("pool close: %v", err)
+	}
+}
+
+// runRC drives the commodity RC go-back-N baseline over the same
+// diamond (its packets ride the same re-routable netem paths), with a
+// GlobalTimeout-bounded completion poll. The baseline has no control
+// plane or session pool, so only invariants 1 and 2 apply.
+func runRC(clk *clock.Virtual, p Program, o *Outcome) {
+	o.FollowUp = "n/a"
+	topo, src, dst, err := diamond(clk, int64(p.Seed)+int64(p.Index)*7919)
+	if err != nil {
+		o.viol("topology: %v", err)
+		return
+	}
+	devA := nicsim.NewDevice("chaos-rcA")
+	devB := nicsim.NewDevice("chaos-rcB")
+	pAB, err := topo.NewPath(src, dst, devB)
+	if err != nil {
+		o.viol("path: %v", err)
+		return
+	}
+	pBA, err := topo.NewPath(dst, src, devA)
+	if err != nil {
+		o.viol("path: %v", err)
+		return
+	}
+	ab := fabric.NewDirectionTo(pAB, fabric.Config{Clock: clk})
+	ba := fabric.NewDirectionTo(pBA, fabric.Config{Clock: clk})
+	hops, err := topo.Route(src, dst)
+	if err != nil {
+		o.viol("route: %v", err)
+		return
+	}
+	rtt := 2 * netem.PathDelay(hops)
+
+	recvCQ := nicsim.NewCQ(1<<12, true)
+	sendCQ := nicsim.NewCQ(1<<12, true)
+	var completed atomic.Int64
+	recvCQ.SetSink(func(nicsim.CQE) {})
+	sendCQ.SetSink(func(nicsim.CQE) {
+		completed.Add(1)
+		clk.Notify()
+	})
+	qpA := nicsim.NewRCQP(devA, clk, 1024, nicsim.NewCQ(16, false), sendCQ, 3*rtt, 16)
+	qpA.SetSendWindow(512)
+	qpB := nicsim.NewRCQP(devB, clk, 1024, recvCQ, nil, 3*rtt, 16)
+	defer qpA.Close()
+	defer qpB.Close()
+	qpA.Connect(ab, qpB.QPN())
+	qpB.Connect(ba, qpA.QPN())
+
+	sched, _ := compile(p)
+	if _, err := sched.Apply(topo); err != nil {
+		o.viol("schedule: %v", err)
+		return
+	}
+
+	data := pattern(p.Size, byte(p.Index))
+	recvBuf := make([]byte, p.Size)
+	mr := devB.RegMR(recvBuf)
+	start := clk.Now()
+	var xferErr error
+	var elapsed time.Duration
+	clock.JoinNamed(clk, clock.NamedFunc{Name: "chaos-rc-send", Fn: func() {
+		xferErr = safeCall(func() error {
+			qpA.WriteImm(mr.Key(), 0, data, 0, 1)
+			deadline := start.Add(GlobalTimeout)
+			for completed.Load() == 0 {
+				epoch := clk.Epoch()
+				if completed.Load() != 0 {
+					break
+				}
+				if !clk.Now().Before(deadline) {
+					return fmt.Errorf("%w: rc-gbn transfer of %d B", reliability.ErrTimeout, p.Size)
+				}
+				clk.WaitNotify(epoch, rtt)
+			}
+			return nil
+		})
+		elapsed = clk.Since(start)
+	}})
+	o.Send = classify(xferErr)
+	o.Recv = o.Send
+	o.Elapsed = elapsed
+	if xferErr == nil && !bytes.Equal(recvBuf, data) {
+		o.viol("rc-gbn completed but payload mismatched")
+	}
+	if strings.HasPrefix(o.Send, "UNTYPED") {
+		o.viol("rc-gbn error outside the typed taxonomy: %s", o.Send)
+	}
+	if elapsed > GlobalTimeout+rtt+elapsedSlack {
+		o.viol("rc-gbn overran: %v", elapsed)
+	}
+}
+
+// Report is one sweep's verdict: outcomes in scenario order. Its
+// String is byte-identical for any worker count — each scenario runs
+// on its own virtual clock and touches nothing shared.
+type Report struct {
+	Seed     uint64
+	Outcomes []Outcome
+}
+
+// NumViolations counts invariant breaches across the sweep.
+func (r *Report) NumViolations() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		n += len(o.Violations)
+	}
+	return n
+}
+
+// Counterexamples returns the violating outcomes: each carries the
+// full triggering fault program (see Shrink for minimization).
+func (r *Report) Counterexamples() []Outcome {
+	var bad []Outcome
+	for _, o := range r.Outcomes {
+		if len(o.Violations) > 0 {
+			bad = append(bad, o)
+		}
+	}
+	return bad
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos seed=%#x scenarios=%d violations=%d\n",
+		r.Seed, len(r.Outcomes), r.NumViolations())
+	for _, o := range r.Outcomes {
+		fmt.Fprintf(&b, "[%3d] %-64s send=%-9s recv=%-9s t=%-10v follow=%s\n",
+			o.Index, o.Program.String(), o.Send, o.Recv, o.Elapsed, o.FollowUp)
+		for _, v := range o.Violations {
+			fmt.Fprintf(&b, "      VIOLATION: %s\n", v)
+		}
+	}
+	return b.String()
+}
+
+// Run generates and executes n scenarios of seed's corpus across
+// `workers` goroutines (≤ 0 means serial). Scenarios are claimed from
+// an atomic counter; results land at their own index, so the report
+// is identical for every worker count.
+func Run(seed uint64, n, workers int) *Report {
+	if workers <= 0 {
+		workers = 1
+	}
+	outs := make([]Outcome, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				outs[i] = RunProgram(Generate(seed, i))
+			}
+		}()
+	}
+	wg.Wait()
+	return &Report{Seed: seed, Outcomes: outs}
+}

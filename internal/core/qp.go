@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdrrdma/internal/clock"
 	"sdrrdma/internal/fabric"
@@ -36,6 +38,15 @@ var (
 	// ErrOffsetUnaligned means a streaming send targeted an offset
 	// that is not MTU-aligned.
 	ErrOffsetUnaligned = errors.New("sdr: stream offset must be MTU-aligned")
+	// ErrQPAborted means the QP was cancelled via Abort while an
+	// operation was blocked or about to block; the recorded cause is
+	// attached to the chain. Sticky until Reset.
+	ErrQPAborted = errors.New("sdr: QP aborted")
+	// ErrCTSTimeout means the peer never posted the matching receive
+	// within the caller's deadline — the order-based matching handshake
+	// (§3.1.3) stalled, typically because the peer crashed or the
+	// control plane is partitioned.
+	ErrCTSTimeout = errors.New("sdr: timed out waiting for clear-to-send")
 )
 
 // QPInfo is the out-of-band connection blob (Table 1: qp_info_get):
@@ -116,6 +127,38 @@ type QP struct {
 	// packet addressed. Reliability layers use it to re-ACK senders
 	// still retransmitting into recently retired receives.
 	lateSink atomic.Pointer[func(slot int, gen uint32)]
+
+	// abortCause, when set, cancels every blocked and future operation
+	// on this QP: CTS waiters wake and return ErrQPAborted wrapping the
+	// cause. First abort wins; Reset clears it for the next lease.
+	abortCause atomic.Pointer[error]
+}
+
+// Abort cancels the QP: every operation currently blocked on a
+// clear-to-send (and every future one) fails with ErrQPAborted
+// wrapping cause. The first cause sticks until Reset; later calls are
+// no-ops. Safe from any goroutine, including clock callbacks.
+func (qp *QP) Abort(cause error) {
+	if cause == nil {
+		cause = ErrQPAborted
+	}
+	if qp.abortCause.CompareAndSwap(nil, &cause) {
+		qp.ctx.Clock().Notify()
+	}
+}
+
+// AbortErr returns the typed abort error (ErrQPAborted wrapping the
+// recorded cause), or nil if the QP has not been aborted.
+func (qp *QP) AbortErr() error {
+	p := qp.abortCause.Load()
+	if p == nil {
+		return nil
+	}
+	cause := *p
+	if cause == ErrQPAborted {
+		return ErrQPAborted
+	}
+	return fmt.Errorf("%w: %w", ErrQPAborted, cause)
 }
 
 // SetLateSink registers fn (nil clears) to be called for every late
@@ -262,6 +305,7 @@ func (qp *QP) Stats() Stats {
 // instead of colliding with the next session's operations.
 func (qp *QP) Reset() {
 	qp.lateSink.Store(nil)
+	qp.abortCause.Store(nil)
 	qp.recvMu.Lock()
 	live := false
 	for i := range qp.slots {
@@ -318,21 +362,32 @@ func (qp *QP) slotFor(seq uint64) int {
 
 // --- CTS control messages -------------------------------------------------
 
-// ctsMsgLen is seq(8) + size(8).
-const ctsMsgLen = 16
+// ctsMsgLen is seq(8) + size(8) + crc32c(4). The checksum covers the
+// first 16 bytes; a corrupted CTS is dropped like a lost one and the
+// receiver's linger/retry machinery re-announces it.
+const ctsMsgLen = 20
+
+// ctsCRCTable is the Castagnoli table shared with the reliability
+// control plane's trailer.
+var ctsCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 func encodeCTS(seq, size uint64) []byte {
 	buf := make([]byte, ctsMsgLen)
 	binary.LittleEndian.PutUint64(buf[0:], seq)
 	binary.LittleEndian.PutUint64(buf[8:], size)
+	binary.LittleEndian.PutUint32(buf[16:], crc32.Checksum(buf[:16], ctsCRCTable))
 	return buf
 }
 
 // DeliverCTS ingests one clear-to-send message from the out-of-band
 // channel (§3.2.3: the receiver announces a posted buffer; the sender
-// may then write message seq).
+// may then write message seq). Messages with a bad length or checksum
+// are treated as wire loss.
 func (qp *QP) DeliverCTS(msg []byte) {
 	if len(msg) != ctsMsgLen {
+		return
+	}
+	if crc32.Checksum(msg[:16], ctsCRCTable) != binary.LittleEndian.Uint32(msg[16:]) {
 		return
 	}
 	seq := binary.LittleEndian.Uint64(msg[0:])
@@ -363,17 +418,34 @@ func (qp *QP) SendReady() bool {
 // waitCTS blocks until the peer posted the receive matching seq and
 // returns its size. The epoch is snapshotted before each check, so a
 // CTS that lands between the check and the wait wakes it immediately.
-func (qp *QP) waitCTS(seq uint64) uint64 {
+// A timeout > 0 bounds the wait (ErrCTSTimeout); an abort wakes it at
+// any point (ErrQPAborted wrapping the cause). timeout <= 0 blocks
+// until CTS or abort.
+func (qp *QP) waitCTS(seq uint64, timeout time.Duration) (uint64, error) {
 	clk := qp.ctx.Clock()
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = clk.Now().Add(timeout)
+	}
 	for {
 		epoch := clk.Epoch()
+		if err := qp.AbortErr(); err != nil {
+			return 0, err
+		}
 		qp.sendMu.Lock()
 		if size, ok := qp.ctsSize[seq]; ok {
 			delete(qp.ctsSize, seq)
 			qp.sendMu.Unlock()
-			return size
+			return size, nil
 		}
 		qp.sendMu.Unlock()
-		clk.WaitNotify(epoch, -1)
+		wait := time.Duration(-1)
+		if timeout > 0 {
+			wait = deadline.Sub(clk.Now())
+			if wait <= 0 {
+				return 0, fmt.Errorf("%w: seq %d after %v", ErrCTSTimeout, seq, timeout)
+			}
+		}
+		clk.WaitNotify(epoch, wait)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // SendStream is a streaming send context (Table 1: send_stream_*).
@@ -25,8 +26,18 @@ type SendStream struct {
 
 // SendStreamStart opens a streaming send for the next matched receive
 // (order-based matching, §3.1.3). It blocks until the peer's CTS for
-// this sequence number arrives and validates the announced size.
+// this sequence number arrives and validates the announced size. The
+// wait is unbounded (only a QP Abort interrupts it); callers that must
+// survive a dead peer use SendStreamStartTimeout.
 func (qp *QP) SendStreamStart(size int, userImm uint32) (*SendStream, error) {
+	return qp.SendStreamStartTimeout(size, userImm, 0)
+}
+
+// SendStreamStartTimeout is SendStreamStart with a bounded CTS wait:
+// if the peer has not announced the matching receive within timeout
+// (> 0), it fails with ErrCTSTimeout instead of blocking forever. An
+// Abort interrupts the wait in either mode with ErrQPAborted.
+func (qp *QP) SendStreamStartTimeout(size int, userImm uint32, timeout time.Duration) (*SendStream, error) {
 	if !qp.connected.Load() {
 		return nil, ErrNotConnected
 	}
@@ -38,7 +49,10 @@ func (qp *QP) SendStreamStart(size int, userImm uint32) (*SendStream, error) {
 	qp.sendSeq++
 	qp.sendMu.Unlock()
 
-	matched := qp.waitCTS(seq)
+	matched, err := qp.waitCTS(seq, timeout)
+	if err != nil {
+		return nil, err
+	}
 	if uint64(size) > matched {
 		return nil, fmt.Errorf("%w: send %d B, receive posted %d B (seq %d)",
 			ErrSizeMismatch, size, matched, seq)
@@ -153,7 +167,13 @@ func (h *SendHandle) Packets() int { return h.packets }
 // message (Table 1: send_post): efficient path for large contiguous
 // blocks (§3.1.2). Blocks until the matching receive is posted.
 func (qp *QP) SendPost(data []byte, userImm uint32) (*SendHandle, error) {
-	stream, err := qp.SendStreamStart(len(data), userImm)
+	return qp.SendPostTimeout(data, userImm, 0)
+}
+
+// SendPostTimeout is SendPost with a bounded CTS wait (see
+// SendStreamStartTimeout).
+func (qp *QP) SendPostTimeout(data []byte, userImm uint32, timeout time.Duration) (*SendHandle, error) {
+	stream, err := qp.SendStreamStartTimeout(len(data), userImm, timeout)
 	if err != nil {
 		return nil, err
 	}

@@ -336,3 +336,116 @@ func TestFlapRerouteInFlightTransfer(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFlapDuringECDecode drives the erasure-coded path through a
+// mid-transfer flap: the primary arm dies while data and parity
+// shards are in flight, the reroute steers the remaining shards (and
+// the NACK-driven repairs) over the backup, and the receiver's decode
+// still reconstructs the payload bit-exactly.
+func TestFlapDuringECDecode(t *testing.T) {
+	clk := clock.NewVirtual()
+	cfg := EdgeConfig{DistanceKm: 300, BandwidthBps: 1e9, BufferBytes: 1 << 20}
+	topo, s, d, _ := diamond(t, clk, cfg, 11)
+	sched := Schedule{
+		Horizon: time.Second,
+		Flaps:   []Flap{{Edge: 0, Down: 3 * time.Millisecond, Up: 500 * time.Millisecond}},
+	}
+	ap, err := sched.Apply(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relCfg := flowRelCfg()
+	flow, err := topo.NewFlow(s, d, flowCoreCfg(), relCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 1 << 20
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*37 + i>>10)
+	}
+	recvBuf := make([]byte, size)
+	mr := flow.Pair.B.Ctx.RegMR(recvBuf)
+	chunk := flow.Pair.B.Ctx.Config().ChunkBytes
+	scratch := flow.Pair.B.Ctx.RegMR(make([]byte, relCfg.ECScratchBytes(chunk, size)))
+	var sendErr, recvErr error
+	clock.Join(clk,
+		func() { sendErr = flow.A.WriteEC(data) },
+		func() { recvErr = flow.B.ReceiveEC(mr, 0, size, scratch) },
+	)
+	if sendErr != nil || recvErr != nil {
+		t.Fatalf("EC transfer through flap failed: send=%v recv=%v", sendErr, recvErr)
+	}
+	if !bytes.Equal(recvBuf, data) {
+		t.Fatal("EC decode corrupted data across flap + reroute")
+	}
+	if got := ap.Flapped.Load(); got != 1 {
+		t.Fatalf("Flapped = %d, want 1", got)
+	}
+	if topo.LinkDownDrops() == 0 {
+		t.Fatal("no in-flight shards were caught by the flap — flap fired after the transfer?")
+	}
+	flow.Close()
+	if topo.NumPaths() != 0 {
+		t.Fatal("closed flow leaked paths")
+	}
+	if err := topo.ClosePools(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoubleFlapTransfer flaps the primary down, back up, and down
+// again one millisecond later — the second failure lands right as the
+// restored route is re-adopted, so the flow must survive two reroutes
+// (primary→backup→primary→backup) with data in flight through each.
+func TestDoubleFlapTransfer(t *testing.T) {
+	clk := clock.NewVirtual()
+	cfg := EdgeConfig{DistanceKm: 300, BandwidthBps: 1e9, BufferBytes: 1 << 20}
+	topo, s, d, _ := diamond(t, clk, cfg, 13)
+	sched := Schedule{
+		Horizon: time.Second,
+		Flaps: []Flap{
+			{Edge: 0, Down: 3 * time.Millisecond, Up: 8 * time.Millisecond},
+			{Edge: 0, Down: 9 * time.Millisecond, Up: 500 * time.Millisecond},
+		},
+	}
+	ap, err := sched.Apply(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := topo.NewFlow(s, d, flowCoreCfg(), flowRelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 1 << 20
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*41 + i>>8)
+	}
+	recvBuf := make([]byte, size)
+	mr := flow.Pair.B.Ctx.RegMR(recvBuf)
+	var sendErr, recvErr error
+	clock.Join(clk,
+		func() { sendErr = flow.A.WriteSR(data) },
+		func() { recvErr = flow.B.ReceiveSR(mr, 0, size) },
+	)
+	if sendErr != nil || recvErr != nil {
+		t.Fatalf("transfer through double flap failed: send=%v recv=%v", sendErr, recvErr)
+	}
+	if !bytes.Equal(recvBuf, data) {
+		t.Fatal("data corrupted across double flap")
+	}
+	if got := ap.Flapped.Load(); got != 2 {
+		t.Fatalf("Flapped = %d, want 2", got)
+	}
+	if got := topo.PathReroutes(); got < 3 {
+		t.Fatalf("PathReroutes = %d, want >= 3 (down, up, down again)", got)
+	}
+	flow.Close()
+	if topo.NumPaths() != 0 {
+		t.Fatal("closed flow leaked paths")
+	}
+	if err := topo.ClosePools(); err != nil {
+		t.Fatal(err)
+	}
+}

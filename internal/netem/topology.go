@@ -584,10 +584,15 @@ func (t *Topology) NewFlow(from, to int, coreCfg core.Config, relCfg reliability
 		return nil, err
 	}
 	// Closing the flow retires its paths from the reroute registry
-	// before the deployment goes back to the pool.
+	// before the deployment goes back to the pool; quarantining does
+	// the same but retires the deployment from circulation entirely.
 	sess.SetRelease(func() {
 		t.removePaths(pAB, pBA)
 		dep.Release()
+	})
+	sess.SetQuarantine(func() {
+		t.removePaths(pAB, pBA)
+		dep.Quarantine()
 	})
 	return sess, nil
 }

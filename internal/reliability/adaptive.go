@@ -409,9 +409,9 @@ func (e *Endpoint) WriteAdaptive(acfg AdaptorConfig, data []byte) error {
 	start := func(i int) (*adaptiveSegSender, error) {
 		lo := i * g.segBytes
 		seg := &adaptiveSegSender{idx: i, mode: plans[i], data: data[lo : lo+g.segSize(i)]}
-		st, err := e.QP.SendStreamStart(len(seg.data), 0)
+		st, err := e.QP.SendStreamStartTimeout(len(seg.data), 0, cfg.GlobalTimeout)
 		if err != nil {
-			return nil, fmt.Errorf("reliability: adaptive segment %d stream: %w", i, err)
+			return nil, startErr(fmt.Sprintf("adaptive segment %d stream", i), err)
 		}
 		seg.stream = st
 		seg.opID = st.Seq()
@@ -430,8 +430,8 @@ func (e *Endpoint) WriteAdaptive(acfg AdaptorConfig, data []byte) error {
 			if err != nil {
 				return nil, err
 			}
-			if _, err := e.QP.SendPost(parity, 0); err != nil {
-				return nil, fmt.Errorf("reliability: adaptive segment %d parity: %w", i, err)
+			if _, err := e.QP.SendPostTimeout(parity, 0, cfg.GlobalTimeout); err != nil {
+				return nil, startErr(fmt.Sprintf("adaptive segment %d parity", i), err)
 			}
 		}
 		return seg, nil
@@ -541,6 +541,9 @@ func (e *Endpoint) WriteAdaptive(acfg AdaptorConfig, data []byte) error {
 	completed := 0
 	for completed < g.nsegs {
 		epoch := clk.Epoch()
+		if err := e.abortErr(); err != nil {
+			return fmt.Errorf("adaptive write %d B: %w", len(data), err)
+		}
 		drain(planCh, applyPlan)
 		// Start every segment whose plan is known and whose receive is
 		// already posted: SendReady keeps this loop non-blocking, so a
@@ -608,8 +611,16 @@ func (e *Endpoint) WriteAdaptive(acfg AdaptorConfig, data []byte) error {
 			}
 			// RTO sweep: the last resort for repairs that were
 			// themselves lost and for tail holes with no later evidence.
+			// The per-chunk deadline backs off exponentially with
+			// deterministic jitter (retryRTO).
 			for c := range s.chunks {
-				if !s.chunks[c].acked && now.Sub(s.chunks[c].lastSent) >= rto {
+				if s.chunks[c].acked {
+					continue
+				}
+				if now.Sub(s.chunks[c].lastSent) >= retryRTO(rto, s.chunks[c].retries, s.opID<<16+uint64(c)) {
+					if s.chunks[c].retries < maxBackoffShift {
+						s.chunks[c].retries++
+					}
 					if err := resend(s, c, telemetry.CauseRTO); err != nil {
 						return err
 					}
@@ -1028,6 +1039,15 @@ func (e *Endpoint) ReceiveAdaptive(ad *Adaptor, mr *nicsim.MR, offset uint64, si
 		}
 		if head >= g.nsegs {
 			break
+		}
+		if err := e.abortErr(); err != nil {
+			for i := head; i < posted; i++ {
+				segs[i].dataH.Complete()
+				if segs[i].parityH != nil {
+					segs[i].parityH.Complete()
+				}
+			}
+			return fmt.Errorf("adaptive receive %d B: %w", size, err)
 		}
 		now := clk.Now()
 		if now.After(deadline) {

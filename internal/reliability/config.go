@@ -109,6 +109,22 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
+// Validate rejects configurations that cannot make progress, mirroring
+// wan.NewGilbertElliottChecked's fail-fast stance: a GlobalTimeout at
+// or below 2·RTT expires before a single request/response round trip
+// can complete, so every transfer would die with ErrGlobalTimeout no
+// matter how healthy the network is. Call after WithDefaults.
+func (c Config) Validate() error {
+	if c.RTT < 0 {
+		return fmt.Errorf("reliability: RTT %v < 0", c.RTT)
+	}
+	if c.GlobalTimeout <= 2*c.RTT {
+		return fmt.Errorf("reliability: GlobalTimeout %v <= 2*RTT (%v) — no transfer can complete",
+			c.GlobalTimeout, 2*c.RTT)
+	}
+	return nil
+}
+
 // RTO returns the Selective Repeat retransmission timeout
 // RTT + Alpha·RTT.
 func (c Config) RTO() time.Duration {

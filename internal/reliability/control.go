@@ -3,7 +3,9 @@ package reliability
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sync"
+	"sync/atomic"
 
 	"sdrrdma/internal/clock"
 	"sdrrdma/internal/nicsim"
@@ -67,6 +69,41 @@ type ControlPlane struct {
 	// returns — no per-message encode allocation on the ACK path.
 	sendMu sync.Mutex
 	encBuf []byte
+
+	// fault, when set, intercepts every outbound control payload (see
+	// SetFault) — the chaos harness's control-plane drop / duplicate /
+	// corrupt injection point.
+	fault atomic.Pointer[CtrlFault]
+}
+
+// CtrlFaultAction is a CtrlFault's verdict on one outbound payload.
+type CtrlFaultAction int
+
+const (
+	// CtrlPass transmits the payload normally.
+	CtrlPass CtrlFaultAction = iota
+	// CtrlDrop discards the payload (control is lossy by contract).
+	CtrlDrop
+	// CtrlDup transmits the payload twice.
+	CtrlDup
+)
+
+// CtrlFault inspects one encoded outbound control payload and decides
+// its fate. It may mutate the payload in place to model corruption —
+// the CRC trailer has already been appended, so a mutated packet fails
+// checksum validation at the receiver and is dropped like wire loss.
+// Runs under the control plane's send lock; must not block.
+type CtrlFault func(payload []byte) CtrlFaultAction
+
+// SetFault registers fn (nil clears) on the outbound control path.
+// Rebind clears it, so a pooled deployment never carries an old
+// lease's fault injection into the next one.
+func (cp *ControlPlane) SetFault(fn CtrlFault) {
+	if fn == nil {
+		cp.fault.Store(nil)
+		return
+	}
+	cp.fault.Store(&fn)
 }
 
 // NewControlPlane creates the control endpoint on dev transmitting via
@@ -124,6 +161,7 @@ func (cp *ControlPlane) Rebind(wire nicsim.Wire) {
 	clear(cp.handlers)
 	cp.stopped = false
 	cp.mu.Unlock()
+	cp.fault.Store(nil)
 	cp.ud.ResetCounters()
 	cp.ud.Attach(wire)
 }
@@ -184,7 +222,8 @@ func (cp *ControlPlane) handleCQE(cqe nicsim.CQE) {
 	}
 }
 
-// send transmits a control message (unreliably).
+// send transmits a control message (unreliably), applying any
+// registered fault injection first.
 func (cp *ControlPlane) send(m ctrlMsg) error {
 	cp.sendMu.Lock()
 	defer cp.sendMu.Unlock()
@@ -193,6 +232,16 @@ func (cp *ControlPlane) send(m ctrlMsg) error {
 		return err
 	}
 	cp.encBuf = payload[:0]
+	if f := cp.fault.Load(); f != nil {
+		switch (*f)(payload) {
+		case CtrlDrop:
+			return nil
+		case CtrlDup:
+			if err := cp.ud.Send(cp.peer, payload, 0, false); err != nil {
+				return err
+			}
+		}
+	}
 	return cp.ud.Send(cp.peer, payload, 0, false)
 }
 
@@ -205,13 +254,21 @@ func (cp *ControlPlane) send(m ctrlMsg) error {
 // EC NACK:   count u16, then per entry: submsg u32, nMissing u16,
 //            missing u32 each
 // PLAN:      seg u32, scheme u8, k u16, m u16
+// trailer:   crc32c over everything above (last 4 bytes)
+
+// ctrlCRCLen is the checksum trailer size; every truncation budget
+// must leave room for it.
+const ctrlCRCLen = 4
+
+var ctrlCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
 func encodeCtrl(m ctrlMsg, mtu int) ([]byte, error) {
 	return encodeCtrlInto(make([]byte, 0, 64), m, mtu)
 }
 
 // encodeCtrlInto appends the encoding of m to buf (typically a reused
-// scratch slice) and returns the extended slice.
+// scratch slice), seals it with the CRC trailer, and returns the
+// extended slice.
 func encodeCtrlInto(buf []byte, m ctrlMsg, mtu int) ([]byte, error) {
 	buf = append(buf, m.typ)
 	buf = binary.LittleEndian.AppendUint64(buf, m.opID)
@@ -219,7 +276,7 @@ func encodeCtrlInto(buf []byte, m ctrlMsg, mtu int) ([]byte, error) {
 	case msgSRAck:
 		buf = binary.LittleEndian.AppendUint32(buf, m.cumAck)
 		sack := m.sack
-		if max := mtu - len(buf) - 2; len(sack) > max {
+		if max := mtu - len(buf) - 2 - ctrlCRCLen; len(sack) > max {
 			sack = sack[:max] // as much of the bitmap as fits (§4.1.1)
 		}
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sack)))
@@ -234,7 +291,7 @@ func encodeCtrlInto(buf []byte, m ctrlMsg, mtu int) ([]byte, error) {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.nackSubmsgs)))
 		for _, e := range m.nackSubmsgs {
 			need := 4 + 2 + 4*len(e.missing)
-			if len(buf)+need > mtu {
+			if len(buf)+need > mtu-ctrlCRCLen {
 				// truncate: remaining failures reported in a later NACK
 				binary.LittleEndian.PutUint16(buf[9:], uint16(countEncoded(buf)))
 				break
@@ -248,7 +305,7 @@ func encodeCtrlInto(buf []byte, m ctrlMsg, mtu int) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("reliability: unknown control type %d", m.typ)
 	}
-	return buf, nil
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, ctrlCRCTable)), nil
 }
 
 // countEncoded recounts how many NACK entries actually fit (used when
@@ -268,9 +325,14 @@ func countEncoded(buf []byte) int {
 }
 
 func decodeCtrl(buf []byte) (ctrlMsg, error) {
-	if len(buf) < 9 {
+	if len(buf) < 9+ctrlCRCLen {
 		return ctrlMsg{}, fmt.Errorf("reliability: short control packet (%d B)", len(buf))
 	}
+	body := buf[:len(buf)-ctrlCRCLen]
+	if crc32.Checksum(body, ctrlCRCTable) != binary.LittleEndian.Uint32(buf[len(body):]) {
+		return ctrlMsg{}, fmt.Errorf("reliability: control checksum mismatch")
+	}
+	buf = body
 	m := ctrlMsg{typ: buf[0], opID: binary.LittleEndian.Uint64(buf[1:9])}
 	rest := buf[9:]
 	switch m.typ {

@@ -128,13 +128,15 @@ func (e *Endpoint) WriteEC(data []byte) error {
 	}
 
 	// Interleaved injection: data_i (streaming) then parity_i
-	// (one-shot), matching the receiver's posting order.
+	// (one-shot), matching the receiver's posting order. Every stream
+	// start is bounded by GlobalTimeout: a crashed receiver surfaces as
+	// ErrPeerDead instead of stalling the sender forever.
 	var opID uint64
 	for i := 0; i < g.L; i++ {
 		sb := g.subBytes(i, len(data))
-		st, err := e.QP.SendStreamStart(sb, 0)
+		st, err := e.QP.SendStreamStartTimeout(sb, 0, cfg.GlobalTimeout)
 		if err != nil {
-			return fmt.Errorf("reliability: EC data stream %d: %w", i, err)
+			return startErr(fmt.Sprintf("EC data stream %d", i), err)
 		}
 		if i == 0 {
 			opID = st.Seq()
@@ -144,8 +146,8 @@ func (e *Endpoint) WriteEC(data []byte) error {
 		if err := st.Continue(0, data[lo:lo+sb]); err != nil {
 			return err
 		}
-		if _, err := e.QP.SendPost(parity[i], 0); err != nil {
-			return fmt.Errorf("reliability: EC parity send %d: %w", i, err)
+		if _, err := e.QP.SendPostTimeout(parity[i], 0, cfg.GlobalTimeout); err != nil {
+			return startErr(fmt.Sprintf("EC parity send %d", i), err)
 		}
 	}
 
@@ -194,6 +196,9 @@ func (e *Endpoint) WriteEC(data []byte) error {
 	}
 	for {
 		epoch := clk.Epoch()
+		if err := e.abortErr(); err != nil {
+			return fmt.Errorf("EC write %d B: %w", len(data), err)
+		}
 		drain(acks, apply)
 		if nackErr != nil {
 			return nackErr
@@ -410,6 +415,13 @@ func (e *Endpoint) ReceiveEC(mr *nicsim.MR, offset uint64, size int, scratch *ni
 		}
 		if allOK {
 			return complete()
+		}
+		if err := e.abortErr(); err != nil {
+			for i := range subs {
+				subs[i].dataH.Complete()
+				subs[i].parityH.Complete()
+			}
+			return fmt.Errorf("EC receive %d B: %w", size, err)
 		}
 		now := clk.Now()
 		if now.After(deadline) {

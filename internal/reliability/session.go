@@ -1,6 +1,7 @@
 package reliability
 
 import (
+	"sync/atomic"
 	"time"
 
 	"sdrrdma/internal/core"
@@ -19,13 +20,25 @@ type Session struct {
 	// the session fabric uses to return a pooled deployment to its
 	// pool. See SetRelease.
 	release func()
+	// quarantine, when set, runs on Quarantine in place of teardown —
+	// the pooled-deployment hook that permanently retires a lease whose
+	// post-failure state cannot be trusted.
+	quarantine func()
+	// closed makes Close/Quarantine idempotent: an abort path and a
+	// deferred Close racing each other must not double-release the
+	// pooled deployment.
+	closed atomic.Bool
 }
 
 // NewSession builds a connected client/server reliability deployment.
 // The whole deployment — data fabric, OOB channel, control planes and
 // protocol loops — runs on coreCfg.Clock (nil = real clock); building
 // it on a clock.Virtual yields a deterministic discrete-event run.
+// The reliability config is validated fail-fast (Config.Validate).
 func NewSession(coreCfg core.Config, relCfg Config, ab, ba fabric.Config, oobLatency time.Duration) (*Session, error) {
+	if err := relCfg.WithDefaults().Validate(); err != nil {
+		return nil, err
+	}
 	pair, err := core.NewPair(coreCfg, ab, ba, oobLatency)
 	if err != nil {
 		return nil, err
@@ -66,6 +79,42 @@ func NewSessionOnCPs(pair *core.Pair, cpA, cpB *ControlPlane, relCfg Config) *Se
 // Close transparently resets and releases the pooled deployment.
 func (s *Session) SetRelease(fn func()) { s.release = fn }
 
+// SetQuarantine registers fn to run on Quarantine instead of teardown
+// — the pooled-deployment hook (session.Pool) that retires the lease
+// from circulation instead of returning it to the free list.
+func (s *Session) SetQuarantine(fn func()) { s.quarantine = fn }
+
+// Abort cancels both endpoints: whichever operations are blocked (on
+// either side) unwind and return ErrAborted wrapping cause. The
+// session must still be Closed (or Quarantined) afterwards.
+func (s *Session) Abort(cause error) {
+	s.A.Abort(cause)
+	s.B.Abort(cause)
+}
+
+// Quarantine retires the session without trusting its state: pending
+// retires are flushed, then the pooled deployment is quarantined (not
+// re-leased) — or, unpooled, the deployment is torn down. Idempotent,
+// and mutually exclusive with Close: whichever runs first wins.
+func (s *Session) Quarantine() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.A.flushRetires()
+	s.B.flushRetires()
+	if s.quarantine != nil {
+		s.quarantine()
+		return
+	}
+	s.teardown()
+}
+
+func (s *Session) teardown() {
+	s.A.CP.Close()
+	s.B.CP.Close()
+	s.Pair.Close()
+}
+
 // SetTelemetry attaches both endpoints to a flight recorder: nameA and
 // nameB become their track names (see Endpoint.SetTelemetry). Pass a
 // nil recorder to detach — pooled deployments do this implicitly on
@@ -78,15 +127,17 @@ func (s *Session) SetTelemetry(rec *telemetry.Recorder, nameA, nameB string) {
 // Close finishes any background receive retires (their slots retire
 // immediately, without waiting out the remaining linger), then either
 // releases the session's pooled deployment or tears the deployment
-// down.
+// down. Idempotent: a second Close — e.g. an abort path racing a
+// deferred Close — is a no-op rather than a double release.
 func (s *Session) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
 	s.A.flushRetires()
 	s.B.flushRetires()
 	if s.release != nil {
 		s.release()
 		return
 	}
-	s.A.CP.Close()
-	s.B.CP.Close()
-	s.Pair.Close()
+	s.teardown()
 }

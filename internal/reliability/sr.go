@@ -1,7 +1,6 @@
 package reliability
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -14,8 +13,9 @@ import (
 )
 
 // ErrGlobalTimeout is returned when an operation exceeds
-// Config.GlobalTimeout (§4.1.2's deadlock guard).
-var ErrGlobalTimeout = errors.New("reliability: global timeout exceeded")
+// Config.GlobalTimeout (§4.1.2's deadlock guard). It matches
+// errors.Is(err, ErrTimeout) — the typed taxonomy in abort.go.
+var ErrGlobalTimeout = fmt.Errorf("%w: global timeout exceeded", ErrTimeout)
 
 // Endpoint is one side of a reliable connection: the SDR data path
 // plus the lossy control path. Operations on a single endpoint are
@@ -56,6 +56,10 @@ type Endpoint struct {
 	Retransmits telemetry.Counter
 	NacksSent   telemetry.Counter
 	LateReAcks  telemetry.Counter
+
+	// aborted holds the first Abort cause (abort.go); protocol loops
+	// check it once per wake and unwind with ErrAborted.
+	aborted abortState
 
 	// tel is the flight-recorder attachment (zero value = dark: every
 	// probe is a nil check and nothing else).
@@ -240,6 +244,9 @@ type chunkState struct {
 	// repaired marks a chunk already resent once on ack-hole evidence
 	// (adaptive sender); further repairs fall back to the RTO sweep.
 	repaired bool
+	// retries counts RTO retransmissions taken, driving the capped
+	// exponential backoff (retryRTO).
+	retries  uint8
 	lastSent time.Time
 }
 
@@ -254,9 +261,9 @@ func (e *Endpoint) WriteSR(data []byte) error {
 	cfg := e.Cfg
 	clk := e.clock()
 
-	stream, err := e.QP.SendStreamStart(len(data), 0)
+	stream, err := e.QP.SendStreamStartTimeout(len(data), 0, cfg.GlobalTimeout)
 	if err != nil {
-		return fmt.Errorf("reliability: SR stream start: %w", err)
+		return startErr("SR stream start", err)
 	}
 	opID := stream.Seq()
 	acks := e.CP.register(opID)
@@ -317,6 +324,9 @@ func (e *Endpoint) WriteSR(data []byte) error {
 		// Snapshot BEFORE draining: an ACK that lands after the drain
 		// wakes the wait below immediately (no lost wakeup).
 		epoch := clk.Epoch()
+		if err := e.abortErr(); err != nil {
+			return fmt.Errorf("SR write %d B: %w", len(data), err)
+		}
 		progressed := drain(acks, applyAck)
 		if ackedCount >= nchunks {
 			break
@@ -345,10 +355,18 @@ func (e *Endpoint) WriteSR(data []byte) error {
 				}
 			}
 		}
-		// Per-chunk RTO retransmission (checked on every wake; the
-		// elapsed-time guard keeps the cadence at one RTO per chunk).
+		// Per-chunk RTO retransmission (checked on every wake). The
+		// deadline backs off exponentially per attempt with a
+		// deterministic jitter (retryRTO), so a dead stretch of network
+		// does not grind out fixed-cadence retransmission storms.
 		for i := range chunks {
-			if !chunks[i].acked && now.Sub(chunks[i].lastSent) >= rto {
+			if chunks[i].acked {
+				continue
+			}
+			if now.Sub(chunks[i].lastSent) >= retryRTO(rto, chunks[i].retries, opID<<16+uint64(i)) {
+				if chunks[i].retries < maxBackoffShift {
+					chunks[i].retries++
+				}
 				if err := resend(i, telemetry.CauseRTO); err != nil {
 					return err
 				}
@@ -416,6 +434,10 @@ func (e *Endpoint) ReceiveSR(mr *nicsim.MR, offset uint64, size int) error {
 		epoch := clk.Epoch()
 		if h.Done() {
 			break
+		}
+		if err := e.abortErr(); err != nil {
+			h.Complete()
+			return fmt.Errorf("SR receive %d B: %w", size, err)
 		}
 		now := clk.Now()
 		if now.After(deadline) {

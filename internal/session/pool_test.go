@@ -271,3 +271,107 @@ func TestConcurrentLeaseChurnRaces(t *testing.T) {
 		t.Fatalf("%d deployments still leased after churn", leased)
 	}
 }
+
+// Closing a session twice must be a no-op the second time: an abort
+// path and a deferred Close racing each other must not double-release
+// the pooled deployment (the double-free the strict Deployment.Release
+// panic would otherwise turn into a crash).
+func TestSessionCloseIdempotent(t *testing.T) {
+	vc := clock.NewVirtual()
+	pool, err := session.NewPool(session.Config{Core: poolCoreCfg(vc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	fab := fabric.Config{Latency: time.Millisecond, Clock: vc}
+	s, err := pool.LeaseLinkedOn(vc, poolRelCfg(), fab, fab, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runLeaseTransfer(t, vc, s, 64<<10)
+	s.Close()
+	s.Close() // must absorb, not panic or corrupt the free list
+	if built, leased, quarantined := pool.Health(); built != 1 || leased != 0 || quarantined != 0 {
+		t.Fatalf("health after double close: built=%d leased=%d quarantined=%d, want 1/0/0",
+			built, leased, quarantined)
+	}
+	// The deployment returned exactly once: the next lease reuses it.
+	s2, err := pool.LeaseLinkedOn(vc, poolRelCfg(), fab, fab, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runLeaseTransfer(t, vc, s2, 64<<10)
+	s2.Close()
+	if built, _ := pool.Stats(); built != 1 {
+		t.Fatalf("built %d deployments, want 1 (double close must not lose the lease)", built)
+	}
+}
+
+// An aborted lease is quarantined, never silently returned: the pool
+// retires it from circulation, counts it, and the next lease pays a
+// cold build that runs clean — the poison-free reuse invariant.
+func TestQuarantineRetiresLease(t *testing.T) {
+	vc := clock.NewVirtual()
+	pool, err := session.NewPool(session.Config{Core: poolCoreCfg(vc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	fab := fabric.Config{Latency: time.Millisecond, Clock: vc}
+	s, err := pool.LeaseLinkedOn(vc, poolRelCfg(), fab, fab, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cause := fmt.Errorf("test: injected failure")
+	var sendErr error
+	data := make([]byte, 256<<10)
+	clock.Join(vc,
+		func() { sendErr = s.A.WriteSR(data) },
+		func() { vc.Sleep(500 * time.Microsecond); s.Abort(cause) },
+	)
+	if sendErr == nil {
+		t.Fatal("aborted write returned nil")
+	}
+	s.Quarantine()
+	s.Close() // mutually exclusive with Quarantine: must be a no-op
+	if built, leased, quarantined := pool.Health(); built != 1 || leased != 0 || quarantined != 1 {
+		t.Fatalf("health after quarantine: built=%d leased=%d quarantined=%d, want 1/0/1",
+			built, leased, quarantined)
+	}
+	if got := pool.Quarantined.Load(); got != 1 {
+		t.Fatalf("Quarantined counter %d, want 1", got)
+	}
+	// The quarantined deployment must not be re-leased: the next
+	// Acquire cold-builds, and the fresh lease runs clean.
+	s2, err := pool.LeaseLinkedOn(vc, poolRelCfg(), fab, fab, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runLeaseTransfer(t, vc, s2, 64<<10)
+	s2.Close()
+	if built, leased, _ := pool.Health(); built != 2 || leased != 0 {
+		t.Fatalf("after follow-up: built=%d leased=%d, want 2/0 (cold build, returned)", built, leased)
+	}
+}
+
+// Quarantining a deployment that is not leased is the same caller bug
+// as a double release — it must panic loudly.
+func TestQuarantineNotLeasedPanics(t *testing.T) {
+	vc := clock.NewVirtual()
+	pool, err := session.NewPool(session.Config{Core: poolCoreCfg(vc)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	d, err := pool.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("quarantine of an un-leased deployment did not panic")
+		}
+	}()
+	d.Quarantine()
+}

@@ -67,16 +67,23 @@ type Config struct {
 type Pool struct {
 	cfg Config
 
-	mu     sync.Mutex
-	free   []*Deployment
-	built  int // deployments ever constructed
-	leased int // deployments currently out
-	closed bool
+	mu          sync.Mutex
+	free        []*Deployment
+	built       int // deployments ever constructed
+	leased      int // deployments currently out
+	quarantined int // deployments retired from circulation
+	closed      bool
 
 	// sink, when non-nil, receives cold-build/lease/rebind/release
 	// events on track (guarded by mu like the counters it narrates).
 	sink  telemetry.Sink
 	track int32
+
+	// Quarantined counts deployments permanently retired because a
+	// failure left their state untrusted (Deployment.Quarantine). It
+	// counts whether or not a recorder is attached; register it via
+	// telemetry.Recorder.RegisterCounter to surface it in summaries.
+	Quarantined telemetry.Counter
 }
 
 // SetTelemetry attaches a telemetry sink: the pool reports deployment
@@ -117,9 +124,10 @@ type Deployment struct {
 	pair     *core.Pair
 	cpA, cpB *reliability.ControlPlane
 	leased   bool
-	// releaseFn caches the release method value so per-lease Bind does
-	// not allocate a fresh closure.
-	releaseFn func()
+	// releaseFn and quarantineFn cache the method values so per-lease
+	// Bind does not allocate fresh closures.
+	releaseFn    func()
+	quarantineFn func()
 	// link and oob are the pooled fabric envelopes of the LeaseLinked
 	// path: built on the deployment's first linked lease and
 	// Reconfigure/Reset per lease afterwards, so link churn costs no
@@ -188,6 +196,7 @@ func (p *Pool) build(idx int) (*Deployment, error) {
 	pair.B.Ctx.SetMRTracking(true)
 	d := &Deployment{pool: p, pair: pair, cpA: cpA, cpB: cpB}
 	d.releaseFn = d.release
+	d.quarantineFn = d.quarantineLeased
 	return d, nil
 }
 
@@ -207,6 +216,9 @@ func (d *Deployment) Bind(link *fabric.Link, oob *fabric.OOB, relCfg reliability
 	if !d.leased {
 		return nil, fmt.Errorf("session: Bind on a deployment that is not leased")
 	}
+	if err := relCfg.WithDefaults().Validate(); err != nil {
+		return nil, err
+	}
 	if err := d.pair.Bind(link, oob); err != nil {
 		return nil, err
 	}
@@ -219,6 +231,7 @@ func (d *Deployment) Bind(link *fabric.Link, oob *fabric.OOB, relCfg reliability
 	p.probe(sink, track, telemetry.EvRebind, 0)
 	s := reliability.NewSessionOnCPs(d.pair, d.cpA, d.cpB, relCfg)
 	s.SetRelease(d.releaseFn)
+	s.SetQuarantine(d.quarantineFn)
 	return s, nil
 }
 
@@ -252,7 +265,40 @@ func (d *Deployment) release() {
 // Release returns an acquired deployment to the pool without a Bind —
 // the error-path counterpart of closing the bound session. Releasing a
 // deployment whose session was already closed panics (double release).
+//
+// Idempotency lives one layer up: reliability.Session.Close and
+// .Quarantine are CAS-guarded, so an abort path racing a deferred
+// Close fires this hook at most once per lease. A second explicit
+// Release here means two owners believed they held the lease — a
+// genuine double-free, and it panics.
 func (d *Deployment) Release() { d.release() }
+
+// Quarantine permanently retires a leased deployment from circulation:
+// its resources are torn down, it never returns to the free list, and
+// the pool's quarantine health counter advances. Use it when a failure
+// (abort mid-transfer, suspected state corruption) leaves the
+// deployment untrustworthy — a quarantined lease can never poison a
+// later flow. Quarantining an unleased deployment panics.
+func (d *Deployment) Quarantine() { d.quarantineLeased() }
+
+// quarantineLeased is the Session.Quarantine hook body.
+func (d *Deployment) quarantineLeased() {
+	p := d.pool
+	p.mu.Lock()
+	if !d.leased {
+		p.mu.Unlock()
+		panic("session: deployment quarantined while not leased")
+	}
+	d.leased = false
+	p.leased--
+	p.quarantined++
+	q := p.quarantined
+	sink, track := p.sink, p.track
+	p.mu.Unlock()
+	p.Quarantined.Add(1)
+	p.probe(sink, track, telemetry.EvQuarantine, int64(q))
+	d.teardown()
+}
 
 // teardown permanently destroys the deployment's resources.
 func (d *Deployment) teardown() {
@@ -339,6 +385,16 @@ func (p *Pool) Stats() (built, leased int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.built, p.leased
+}
+
+// Health is Stats plus the quarantine count — the pool's failure
+// ledger. built - quarantined deployments remain in circulation;
+// quarantined ones were retired after a failure rather than risking a
+// poisoned re-lease.
+func (p *Pool) Health() (built, leased, quarantined int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.built, p.leased, p.quarantined
 }
 
 // Close tears down every free deployment and marks the pool closed

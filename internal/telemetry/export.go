@@ -91,6 +91,7 @@ var kindArgs = [kindCount][4]string{
 	EvCellStart:    {"cell"},
 	EvCellFinish:   {"cell", "elapsed_ns"},
 	EvTransfer:     {"bytes", "dur_ns"},
+	EvQuarantine:   {"quarantined"},
 }
 
 // jsonEscape writes s as a JSON string body (no surrounding quotes).

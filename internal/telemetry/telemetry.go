@@ -108,6 +108,13 @@ const (
 	// EvTransfer: one message-level transfer completed. a0 = bytes,
 	// a1 = duration nanos.
 	EvTransfer
+	// EvAbort: an endpoint was cancelled (Endpoint.Abort) — its blocked
+	// operation unwinds with ErrAborted.
+	EvAbort
+	// EvQuarantine: a pool retired a deployment from circulation after
+	// a failure left its state untrusted. a0 = deployments quarantined
+	// so far.
+	EvQuarantine
 
 	kindCount // sentinel
 )
@@ -155,6 +162,8 @@ var kindNames = [...]string{
 	EvCellStart:    "cell-start",
 	EvCellFinish:   "cell-finish",
 	EvTransfer:     "transfer",
+	EvAbort:        "abort",
+	EvQuarantine:   "quarantine",
 }
 
 // Event is one recorded probe firing. At is in clock nanoseconds (the
